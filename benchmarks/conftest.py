@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Each paper experiment is expensive enough that its full sweep runs once
+per session (cached here); the individual benchmark tests then:
+
+1. wall-clock one representative engine operation via pytest-benchmark,
+2. assert the paper's qualitative claims on the cached sweep results.
+
+The assertions live inside the benchmark tests on purpose, so they are
+exercised under ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.harness import ExperimentResult, format_table
+
+
+class _ExperimentCache:
+    def __init__(self) -> None:
+        self._results: dict[str, ExperimentResult] = {}
+
+    def get(self, name: str) -> ExperimentResult:
+        if name not in self._results:
+            result = EXPERIMENTS[name]()
+            print()
+            print(format_table(result))
+            self._results[name] = result
+        return self._results[name]
+
+
+@pytest.fixture(scope="session")
+def experiments() -> _ExperimentCache:
+    return _ExperimentCache()

@@ -1,0 +1,39 @@
+"""Figure 1 — SQL vs aggregate UDF as n grows (triangular matrix).
+
+Paper claims asserted: both curves are linear in n; SQL stays below the
+UDF at d ∈ {8, 16} for large n; at d=32 they are comparable; at d=64 the
+UDF is much faster and the gap holds as n grows.
+"""
+
+from repro.bench.calibration import PAPER_FIGURES_1_2, within_factor
+from repro.bench.harness import nlq_sql_seconds, scaled_dataset
+
+
+def test_figure1(benchmark, experiments):
+    data = scaled_dataset(100_000.0, 16, physical_rows=256)
+    benchmark(nlq_sql_seconds, data)
+
+    result = experiments.get("figure1")
+    by_key = {(row[0], row[1]): (row[2], row[3]) for row in result.rows}
+
+    # Low d, large n: SQL wins.
+    for d in (8, 16):
+        assert by_key[(d, 1600)][0] < by_key[(d, 1600)][1]
+    # d=32: comparable (within 40%).
+    sql32, udf32 = by_key[(32, 1600)]
+    assert within_factor(sql32, udf32, 1.6)
+    # d=64: the UDF is much faster everywhere.
+    for n_thousand in (100, 200, 400, 800, 1600):
+        sql64, udf64 = by_key[(64, n_thousand)]
+        assert sql64 > 2.5 * udf64
+    # Linearity in n for the UDF: 16x rows within 2x of 16x time (the
+    # small fixed merge/return cost bends the low end, as in the paper).
+    for d in (8, 16, 32, 64):
+        ratio = by_key[(d, 1600)][1] / by_key[(d, 100)][1]
+        assert within_factor(ratio, 16.0, 2.0), d
+    # Anchor against the published plot values.
+    for (d, n_thousand), (paper_sql, paper_udf) in PAPER_FIGURES_1_2.items():
+        sql_s, udf_s = by_key[(d, n_thousand)]
+        assert within_factor(udf_s, paper_udf, 2.0), (d, n_thousand)
+        if d >= 16:
+            assert within_factor(sql_s, paper_sql, 2.0), (d, n_thousand)

@@ -1,0 +1,27 @@
+"""Figure 2 — SQL vs aggregate UDF as d grows.
+
+Paper claims asserted: SQL time grows quadratically in d (the wide
+1 + d + d² result plus per-term evaluation) while the UDF's growth is
+almost linear; the crossover sits around d=32.
+"""
+
+from repro.bench.harness import nlq_udf_seconds, scaled_dataset
+
+
+def test_figure2(benchmark, experiments):
+    data = scaled_dataset(200_000.0, 48, physical_rows=256)
+    benchmark(nlq_udf_seconds, data)
+
+    result = experiments.get("figure2")
+    by_key = {(row[0], row[1]): (row[2], row[3]) for row in result.rows}
+    for n_thousand in (100, 200, 800, 1600):
+        sql_growth = by_key[(n_thousand, 64)][0] / by_key[(n_thousand, 8)][0]
+        udf_growth = by_key[(n_thousand, 64)][1] / by_key[(n_thousand, 8)][1]
+        # d grew 8x: quadratic SQL should grow far faster than 8x at
+        # small n (fixed parse+spool ∝ d²) and the UDF well below 8x.
+        assert sql_growth > 12.0, f"SQL growth too slow at n={n_thousand}k"
+        assert udf_growth < 4.0, f"UDF growth too fast at n={n_thousand}k"
+        # And convexity of SQL in d: the 32→64 step outgrows the 8→16 step.
+        step_low = by_key[(n_thousand, 16)][0] / by_key[(n_thousand, 8)][0]
+        step_high = by_key[(n_thousand, 64)][0] / by_key[(n_thousand, 32)][0]
+        assert step_high > step_low

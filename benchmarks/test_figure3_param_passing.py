@@ -1,0 +1,31 @@
+"""Figure 3 — UDF parameter passing style: packed string vs scalar list.
+
+Paper claims asserted: the two styles are close at d ≤ 16 and the list
+version is clearly better at d ≥ 32 — the float→text→float overhead
+exceeds even the quadratic update arithmetic.
+"""
+
+from repro.bench.harness import nlq_udf_seconds, scaled_dataset
+
+
+def test_figure3(benchmark, experiments):
+    data = scaled_dataset(400_000.0, 8, physical_rows=256)
+    benchmark(nlq_udf_seconds, data, passing="string")
+
+    result = experiments.get("figure3")
+    vary_n = [row for row in result.rows if row[0] == "vary_n(d=8)"]
+    vary_d = [row for row in result.rows if row[0] == "vary_d(n=1600k)"]
+
+    # d=8: marginal difference (under 35%) at every n.
+    for _sweep, _n, _d, string_s, list_s in vary_n:
+        assert list_s <= string_s
+        assert string_s < 1.35 * list_s
+    # The gap widens with d: at d=64 the string version is ≥ 1.7x.
+    gaps = {row[2]: row[3] / row[4] for row in vary_d}
+    assert gaps[8] < gaps[16] < gaps[32] < gaps[64]
+    assert gaps[64] > 1.7
+    # The list version's growth in d is mild (paper: "almost constant
+    # with an almost zero slope" relative to string growth).
+    list_growth = vary_d[-1][4] / vary_d[0][4]
+    string_growth = vary_d[-1][3] / vary_d[0][3]
+    assert list_growth < string_growth

@@ -1,0 +1,32 @@
+"""Figure 5 — aggregate-UDF time complexity over n and d, all types.
+
+Paper claims asserted: time is clearly linear in n for all three matrix
+types; the spread between d values is marginal for the diagonal matrix,
+small for triangular, larger for full.
+"""
+
+from repro.bench.calibration import within_factor
+from repro.bench.harness import nlq_udf_seconds, scaled_dataset
+from repro.core.summary import MatrixType
+
+
+def test_figure5(benchmark, experiments):
+    data = scaled_dataset(800_000.0, 32, physical_rows=256)
+    benchmark(nlq_udf_seconds, data, MatrixType.FULL)
+
+    result = experiments.get("figure5")
+    by_key = {(row[0], row[1]): row[2:] for row in result.rows}
+    # Linearity in n (100k → 1600k = 16x) per type and d, allowing the
+    # small fixed merge/return cost to bend the low end.
+    for d in (32, 64):
+        for type_index in range(3):
+            ratio = (
+                by_key[(d, 1600)][type_index] / by_key[(d, 100)][type_index]
+            )
+            assert within_factor(ratio, 16.0, 1.6), (d, type_index)
+    # The d=32 → d=64 spread ordering: diag spread < tri spread < full.
+    spreads = [
+        by_key[(64, 1600)][i] / by_key[(32, 1600)][i] for i in range(3)
+    ]
+    assert spreads[0] < spreads[1] < spreads[2]
+    assert spreads[0] < 1.4, "diagonal spread should be marginal"

@@ -1,0 +1,34 @@
+"""Figure 6 — scoring UDF scalability as n grows (d=32, k=16).
+
+Paper claims asserted: every scoring UDF scales linearly in n;
+regression (one dot product) is the fastest by a wide margin; PCA and
+clustering — which each call their UDF k times — sit close together at
+the top.
+"""
+
+from repro.bench.calibration import PAPER_FIGURE6, within_factor
+from repro.bench.experiments import _fitted_scorer
+from repro.bench.harness import scaled_dataset
+
+
+def test_figure6(benchmark, experiments):
+    data = scaled_dataset(200_000.0, 32, with_y=True, physical_rows=256)
+    scorer, _models = _fitted_scorer(data)
+    benchmark(lambda: scorer.score_clustering(16, "udf"))
+
+    result = experiments.get("figure6")
+    by_n = {row[0]: row[1:] for row in result.rows}
+    for n_thousand, (regression, pca, clustering) in by_n.items():
+        assert regression < pca, f"regression must be fastest at n={n_thousand}k"
+        assert regression < clustering
+        # PCA and clustering close together (within 25%).
+        assert within_factor(pca, clustering, 1.25)
+    # Linearity: 16x rows within 40% of 16x time (the fixed statement
+    # overhead bends the cheap regression curve at the low end).
+    for index in range(3):
+        ratio = by_n[1600][index] / by_n[100][index]
+        assert within_factor(ratio, 16.0, 1.4), index
+    # Anchor to the published plot.
+    for n_thousand, paper in PAPER_FIGURE6.items():
+        for measured, reference in zip(by_n[n_thousand], paper):
+            assert within_factor(measured, reference, 2.0), (n_thousand, reference)

@@ -1,0 +1,39 @@
+"""Table 4 — scoring a data set: SQL expressions vs scalar UDFs.
+
+Paper claims asserted: the UDF matches SQL for linear regression and
+PCA-style scoring, and clearly beats SQL for clustering, where SQL needs
+a pivoted derived table and a second pass.
+"""
+
+from repro.bench.calibration import PAPER_TABLE4, within_factor
+from repro.bench.experiments import _fitted_scorer
+from repro.bench.harness import scaled_dataset
+
+
+def test_table4(benchmark, experiments):
+    data = scaled_dataset(100_000.0, 32, with_y=True, physical_rows=256)
+    scorer, _models = _fitted_scorer(data)
+    benchmark(lambda: scorer.score_regression("udf"))
+
+    result = experiments.get("table4")
+    by_key = {(row[1], row[0]): (row[2], row[3]) for row in result.rows}
+    for (technique, n_thousand), (sql, udf) in by_key.items():
+        paper_sql, paper_udf = PAPER_TABLE4[(technique, n_thousand)]
+        if technique == "regression":
+            # "the UDF is as efficient as SQL to produce a linear
+            # regression score"
+            assert within_factor(udf, sql, 1.3)
+            assert within_factor(udf, paper_udf, 1.6)
+        if technique == "clustering":
+            # "the UDF is faster than SQL because SQL requires two scans
+            # on a pivoted version of X"
+            assert sql > 2.0 * udf
+            assert within_factor(sql, paper_sql, 1.5)
+            assert within_factor(udf, paper_udf, 1.5)
+        if technique == "pca":
+            # UDF never slower than the expression route.
+            assert udf <= sql * 1.1
+    # Linear scaling: 8x the rows ≈ 8x the time, per technique.
+    for technique in ("regression", "pca", "clustering"):
+        ratio = by_key[(technique, 800)][1] / by_key[(technique, 100)][1]
+        assert within_factor(ratio, 8.0, 1.4), technique

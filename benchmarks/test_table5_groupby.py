@@ -1,0 +1,34 @@
+"""Table 5 — GROUP BY aggregate UDF: string vs list, k groups.
+
+Paper claims asserted: the list variant is faster than the string
+variant at every k; time grows slowly while the per-group state fits the
+64 KB heap segment and jumps ~4x once k=32 overflows it.
+"""
+
+from repro.bench.calibration import PAPER_TABLE5, within_factor
+from repro.bench.harness import nlq_udf_seconds, scaled_dataset
+from repro.core.summary import MatrixType
+
+
+def test_table5(benchmark, experiments):
+    data = scaled_dataset(800_000.0, 32, physical_rows=256)
+    benchmark(
+        nlq_udf_seconds,
+        data,
+        MatrixType.DIAGONAL,
+        "list",
+        group_by="(i MOD 4) + 1",
+    )
+
+    result = experiments.get("table5")
+    by_key = {(row[0], row[1]): (row[2], row[3]) for row in result.rows}
+    for (n_thousand, k), (string_s, list_s) in by_key.items():
+        paper_string, paper_list = PAPER_TABLE5[(n_thousand, k)]
+        assert list_s < string_s, f"list must beat string at k={k}"
+        assert within_factor(list_s, paper_list, 1.6)
+        assert within_factor(string_s, paper_string, 1.6)
+    for n_thousand in (800, 1600):
+        # Slow growth below the segment: k=8 within 15% of k=1.
+        assert by_key[(n_thousand, 8)][1] < 1.15 * by_key[(n_thousand, 1)][1]
+        # The spill jump: k=32 at least 3x the k=16 list time.
+        assert by_key[(n_thousand, 32)][1] > 3.0 * by_key[(n_thousand, 16)][1]

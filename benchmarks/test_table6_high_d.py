@@ -1,0 +1,32 @@
+"""Table 6 — very high d via block-partitioned UDF calls.
+
+Paper claims asserted: the number of calls is ⌈d/64⌉²; the single
+synchronized-scan statement's total time is proportional to the number
+of calls; measured times track the paper within 2x.
+"""
+
+from repro.bench.calibration import PAPER_TABLE6, within_factor
+from repro.bench.harness import scaled_dataset
+from repro.core.blockwise import blockwise_sql, compute_nlq_blockwise
+
+
+def test_table6(benchmark, experiments):
+    data = scaled_dataset(100_000.0, 128, physical_rows=64, mixture_k=4)
+    benchmark(
+        lambda: data.db.execute(blockwise_sql(data.table, data.dimensions))
+    )
+    # The assembled summary must be exact (checked against the storage).
+    stats = compute_nlq_blockwise(data.db, data.table, data.dimensions)
+    import numpy as np
+
+    X = data.db.table(data.table).numeric_matrix(data.dimensions)
+    assert np.allclose(stats.Q, X.T @ X)
+
+    result = experiments.get("table6")
+    per_call = []
+    for d, calls, total, paper_calls, paper_total in result.rows:
+        assert calls == paper_calls == (max(d, 64) // 64) ** 2
+        assert within_factor(total, paper_total, 2.0)
+        per_call.append(total / calls)
+    # Proportionality: per-call time stays flat across the sweep.
+    assert max(per_call) < 1.3 * min(per_call)

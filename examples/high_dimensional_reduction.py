@@ -1,0 +1,68 @@
+"""Dimensionality reduction at d beyond the UDF's MAX_d.
+
+The aggregate UDF's state is sized statically for 64 dimensions (the
+64 KB heap segment).  For wider data sets the paper partitions Q into
+64x64 blocks, one UDF call per block, all submitted in one statement
+over a single synchronized scan (Table 6).  This example runs that path
+on a 150-dimensional data set, then builds PCA and maximum-likelihood
+factor analysis from the assembled summary and compresses the data to
+10 dimensions.
+
+Run:  python examples/high_dimensional_reduction.py
+"""
+
+import numpy as np
+
+from repro import WarehouseMiner
+from repro.core.blockwise import blockwise_call_count
+from repro.core.models.factor_analysis import FactorAnalysisModel
+from repro.core.models.pca import PCAModel
+from repro.core.scoring.scorer import scores_as_matrix
+
+D, K, N = 150, 10, 4_000
+
+miner = WarehouseMiner()
+miner.load_synthetic("wide", n=N, d=D, k=8, seed=31)
+print(f"data set: n={N}, d={D} "
+      f"(> MAX_d=64, so Q needs {blockwise_call_count(D)} block calls)")
+
+# summarize() switches to the blockwise route automatically above MAX_d.
+miner.db.reset_clock()
+stats = miner.summarize("wide")
+print(f"blockwise (n, L, Q) in one statement: "
+      f"{miner.db.simulated_time:.1f} simulated seconds")
+
+# --- PCA ----------------------------------------------------------------------
+pca = PCAModel.from_summary(stats, k=K)
+explained = pca.explained_variance_ratio().sum()
+print(f"\nPCA: {K} of {D} components capture {explained:.1%} of the variance")
+print(f"orthogonality error: {pca.orthogonality_error():.2e}")
+
+# --- factor analysis ------------------------------------------------------------
+fa = FactorAnalysisModel.from_summary(stats, k=K, max_iterations=80)
+X = miner.db.table("wide").numeric_matrix(miner.dimensions_of("wide"))
+S = stats.covariance()
+fit = np.linalg.norm(fa.implied_covariance() - S) / np.linalg.norm(S)
+print(f"\nML factor analysis: {fa.iterations} EM iterations, "
+      f"covariance fit error {fit:.1%}")
+top = np.argsort(fa.communalities())[::-1][:5]
+print(f"dimensions best explained by the common factors: "
+      f"{[f'x{i + 1}' for i in top]}")
+
+# --- score: reduce the table inside the DBMS ------------------------------------
+scorer = miner.scorer("wide")
+scorer.store_pca(pca)
+result = scorer.score_pca(K, "udf", into="wide_reduced")
+reduced = scores_as_matrix(
+    miner.db.execute(f"SELECT {', '.join(['i', *[f'f{j}' for j in range(1, K + 1)]])} "
+                     "FROM wide_reduced"),
+    K,
+)
+assert np.allclose(reduced, pca.transform(X), atol=1e-8)
+print(f"\nreduced table 'wide_reduced': {miner.db.table('wide_reduced').row_count} "
+      f"rows x {K} coordinates (was {D})")
+reconstruction = pca.inverse_transform(reduced)
+relative_error = np.linalg.norm(X - reconstruction) / np.linalg.norm(
+    X - X.mean(axis=0)
+)
+print(f"reconstruction error from {K} components: {relative_error:.1%}")

@@ -1,0 +1,79 @@
+"""Always-fresh models on a growing table: incremental (n, L, Q).
+
+Because the summary matrices are additive — the same property that lets
+the paper's aggregate UDF merge per-AMP partial states — they can be
+maintained *incrementally* as a warehouse table grows: each refresh
+scans only the rows appended since the last one, then every model is
+rebuilt from the updated summary in milliseconds.  This example
+simulates a week of daily loads and keeps a correlation matrix, a
+regression and a PCA current the whole time, comparing the incremental
+cost against recomputing from scratch each day.
+
+Run:  python examples/streaming_summaries.py
+"""
+
+import numpy as np
+
+from repro import WarehouseMiner
+from repro.core.incremental import IncrementalSummary
+from repro.core.models.correlation import CorrelationModel
+from repro.core.models.pca import PCAModel
+from repro.core.nlq_udf import compute_nlq_udf
+from repro.core.summary import SummaryStatistics
+from repro.dbms.schema import dataset_schema, dimension_names
+
+D = 6
+DAILY_ROWS = 3_000
+DAYS = 7
+
+rng = np.random.default_rng(77)
+miner = WarehouseMiner()
+db = miner.db
+db.create_table("events", dataset_schema(D))
+dims = dimension_names(D)
+
+summary = IncrementalSummary(db, "events", dims)
+next_id = 1
+incremental_cost = 0.0
+full_recompute_cost = 0.0
+
+print(f"{'day':>4} {'rows':>7} {'new':>6} {'incr s':>8} {'full s':>8} "
+      f"{'rho(x1,x2)':>11}")
+for day in range(1, DAYS + 1):
+    # The day's load: correlated activity whose strength drifts by day.
+    base = rng.normal(size=DAILY_ROWS)
+    drift = 0.5 + 0.07 * day
+    block = rng.normal(size=(DAILY_ROWS, D))
+    block[:, 0] = base
+    block[:, 1] = drift * base + np.sqrt(1 - drift**2) * block[:, 1]
+    columns = {"i": np.arange(next_id, next_id + DAILY_ROWS)}
+    for index, name in enumerate(dims):
+        columns[name] = block[:, index]
+    db.load_columns("events", columns)
+    next_id += DAILY_ROWS
+
+    # Incremental refresh: O(new rows).
+    db.reset_clock()
+    stats = summary.refresh()
+    day_incremental = db.simulated_time
+    incremental_cost += day_incremental
+
+    # The naive alternative: full UDF rescan of the whole table.
+    db.reset_clock()
+    full_stats = compute_nlq_udf(db, "events", dims)
+    day_full = db.simulated_time
+    full_recompute_cost += day_full
+    assert stats.allclose(full_stats), "incremental drifted from the truth"
+
+    # Models rebuild from the summary in negligible time.
+    correlation = CorrelationModel.from_summary(stats, dims)
+    PCAModel.from_summary(stats, k=3)
+    print(f"{day:>4} {int(stats.n):>7} {DAILY_ROWS:>6} "
+          f"{day_incremental:>8.2f} {day_full:>8.2f} "
+          f"{correlation.coefficient('x1', 'x2'):>11.3f}")
+
+print(f"\nweek total: incremental {incremental_cost:.1f}s vs "
+      f"full recompute {full_recompute_cost:.1f}s "
+      f"({full_recompute_cost / incremental_cost:.1f}x)")
+print("the drifting x1~x2 correlation is visible day by day, and the "
+      "incremental summary never diverged from a full rescan.")

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment has no ``wheel`` package (offline), so PEP 660 editable
+installs fail; this shim lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` use the legacy develop path.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro — reproduction of "Building Statistical Models and Scoring with
+UDFs" (Carlos Ordonez, SIGMOD 2007).
+
+The package computes multidimensional statistical models *inside* a
+relational DBMS in a single table scan, by reducing correlation, linear
+regression, PCA / factor analysis and clustering to two summary matrices
+— the linear sum of points L and the quadratic sum of cross-products Q —
+maintained by SQL queries or by an aggregate UDF, and scores data sets
+with scalar UDFs.  Everything the paper's system needs is built from
+scratch: the relational engine (:mod:`repro.dbms`), the UDF framework,
+the statistical models (:mod:`repro.core`), the ODBC-export / external
+C++ comparison points (:mod:`repro.odbc`, :mod:`repro.external`), the
+synthetic workloads (:mod:`repro.workloads`) and the high-level client
+(:mod:`repro.twm`).
+
+Quick start::
+
+    from repro import WarehouseMiner
+
+    miner = WarehouseMiner()
+    miner.load_synthetic("x", n=10_000, d=8, with_y=True)
+    stats = miner.summarize("x")          # one-scan (n, L, Q) via the UDF
+    model = miner.linear_regression("x")  # solved from the summary
+    print(model.r_squared())
+"""
+
+from repro.core.summary import MatrixType, SummaryStatistics
+from repro.dbms.database import Database, QueryResult
+from repro.twm.miner import WarehouseMiner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "MatrixType",
+    "QueryResult",
+    "SummaryStatistics",
+    "WarehouseMiner",
+    "__version__",
+]

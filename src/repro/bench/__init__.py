@@ -1,0 +1,6 @@
+"""Benchmark harness: regenerates every table and figure of the paper."""
+
+from repro.bench.harness import ExperimentResult, format_table, run_experiment
+from repro.bench.experiments import EXPERIMENTS
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "format_table", "run_experiment"]

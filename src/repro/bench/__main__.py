@@ -1,0 +1,71 @@
+"""Command-line benchmark runner.
+
+Usage::
+
+    python -m repro.bench list            # show experiment ids
+    python -m repro.bench run table1      # one experiment
+    python -m repro.bench run all         # every table and figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.harness import format_table, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list experiment ids")
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "names",
+        nargs="+",
+        help="experiment ids (table1..table6, figure1..figure6) or 'all'",
+    )
+    run_parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each experiment's rows to DIR/<id>.csv "
+        "(for plotting the figures)",
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = sorted(EXPERIMENTS) if "all" in arguments.names else arguments.names
+    csv_dir = Path(arguments.csv) if arguments.csv else None
+    if csv_dir is not None:
+        csv_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        started = time.perf_counter()
+        result = run_experiment(name)
+        elapsed = time.perf_counter() - started
+        print(format_table(result))
+        print(f"  (wall {elapsed:.1f}s)")
+        print()
+        if csv_dir is not None:
+            target = csv_dir / f"{result.experiment}.csv"
+            with target.open("w", newline="") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(result.columns)
+                writer.writerows(result.rows)
+            print(f"  wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""Paper reference numbers and the cost-model fit.
+
+Every table and figure of the paper's Section 4 is transcribed here so
+benchmarks can print *paper vs. measured* side by side and tests can
+assert the qualitative claims.  Times are seconds on the paper's
+hardware (20-AMP Teradata V2R6 server; 1.6 GHz workstation; 100 Mbps
+LAN; ODBC export).
+
+How the cost constants were fitted
+----------------------------------
+The engine's charging formulas (see :mod:`repro.dbms.cost`) were reduced
+to closed forms and solved against the rows of Tables 1-5:
+
+* aggregate-UDF per-row wall time ``T(d) = [scan_row + (d+1)·scan_value
+  + udf_row_overhead + (d+1)·udf_param + (3d + ops(d))·udf_arith] / 20``
+  was fitted to Table 2's d ∈ {8..64} column and Table 1's n-sweep
+  (≈ 30-65 µs/row), with ``udf_arith`` pinned by Figure 4's ~30 s gap
+  between the triangular and diagonal matrix at d=64, n=1.6M;
+* the SQL long query's fixed cost (parse + wide-spool creation,
+  ``(1+d+d²) × 16 ms``) and per-row interpreted evaluation
+  (``0.28 µs`` per expression node) were fitted to Table 2's SQL column
+  and Table 1's slope;
+* ``udf_string_char`` comes from Figure 3's string-vs-list gap
+  (≈ 47 s at d=32, n=1.6M over ≈ 19·d characters per row);
+* the graded GROUP BY spill multiplier reproduces Table 5: the diagonal
+  d=32 struct is ≈ 2 KB/group, so k=16 crosses half the 64 KB segment
+  (mild climb) and k=32 exceeds it (the ×4 jump);
+* scalar-UDF constants were fitted to Table 4 so regression scoring
+  matches its SQL expression and clustering lands near the paper's
+  UDF column;
+* workstation constants (row 26.2 µs, parse 0.44 µs/value, multiply-add
+  0.69 µs) solve Table 2's C++ column exactly at d ∈ {8, 64};
+* ODBC constants (0.1875 ms/value + 0.15 ms/row) reproduce Table 2's
+  export column within 2%.
+
+Known residuals (recorded honestly; see EXPERIMENTS.md): the SQL route
+is under-charged at d ≤ 16 (measured ≈2 s at d=8 vs. the paper's 6 s
+floor — our fixed statement cost is smaller than Teradata's) and
+PCA scoring via SQL expressions over-charges ≈2× relative to its UDF
+twin, where the paper has them equal.  All *qualitative* claims — who
+wins where, linear vs. quadratic growth, crossovers, the k=32 jump —
+hold; the assertions live in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+#: Table 1 — total time to build models at d=32 (secs).
+#: rows: n (×1000) → (C++, SQL, UDF); identical for correlation/PCA and
+#: regression up to ±1 s in the paper, so one triple is recorded.
+PAPER_TABLE1 = {
+    100: (49, 24, 6),
+    200: (97, 33, 11),
+    400: (194, 43, 21),
+    800: (387, 59, 42),
+    1600: (774, 105, 77),
+}
+
+#: Table 2 — time to compute n, L, Q and time to export X with ODBC.
+#: rows: (n×1000, d) → (C++, SQL, UDF, ODBC).
+PAPER_TABLE2 = {
+    (100, 8): (6, 6, 4, 168),
+    (100, 16): (16, 10, 5, 311),
+    (100, 32): (48, 23, 5, 615),
+    (100, 64): (162, 77, 8, 1204),
+    (200, 8): (12, 10, 9, 335),
+    (200, 16): (31, 15, 10, 623),
+    (200, 32): (96, 32, 10, 1234),
+    (200, 64): (324, 112, 12, 2407),
+}
+
+#: Table 3 — time to build models from n, L, Q; independent of n (secs).
+#: rows: d → (correlation, regression, PCA, clustering).
+PAPER_TABLE3 = {
+    4: (1, 1, 1, 1),
+    8: (1, 1, 1, 1),
+    16: (1, 1, 1, 1),
+    32: (1, 1, 2, 1),
+    64: (1, 2, 4, 1),
+}
+
+#: Table 4 — time to score X at d=32, k=16 (secs).
+#: rows: (technique, n×1000) → (SQL, UDF).
+PAPER_TABLE4 = {
+    ("regression", 100): (1, 1),
+    ("regression", 200): (2, 2),
+    ("regression", 400): (2, 3),
+    ("regression", 800): (5, 6),
+    ("pca", 100): (2, 2),
+    ("pca", 200): (3, 4),
+    ("pca", 400): (8, 9),
+    ("pca", 800): (17, 18),
+    ("clustering", 100): (10, 3),
+    ("clustering", 200): (19, 6),
+    ("clustering", 400): (37, 12),
+    ("clustering", 800): (76, 25),
+}
+
+#: Table 5 — GROUP BY with the aggregate UDF at d=32, diagonal Q (secs).
+#: rows: (n×1000, k) → (string, list).
+PAPER_TABLE5 = {
+    (800, 1): (61, 36),
+    (800, 2): (59, 37),
+    (800, 4): (63, 38),
+    (800, 8): (68, 42),
+    (800, 16): (78, 52),
+    (800, 32): (198, 175),
+    (1600, 1): (120, 73),
+    (1600, 2): (117, 69),
+    (1600, 4): (124, 65),
+    (1600, 8): (138, 86),
+    (1600, 16): (168, 118),
+    (1600, 32): (458, 415),
+}
+
+#: Table 6 — time growth for high d at n=100k (secs).
+#: rows: d → (number of UDF calls, total time).
+PAPER_TABLE6 = {
+    64: (1, 7),
+    128: (4, 28),
+    256: (16, 110),
+    512: (64, 438),
+    1024: (256, 1753),
+}
+
+#: Figure 1/2 grid — SQL vs UDF for the triangular matrix (secs), read
+#: off the published plots (±10%).  rows: (d, n×1000) → (SQL, UDF).
+PAPER_FIGURES_1_2 = {
+    (8, 100): (6, 4),
+    (8, 1600): (20, 60),
+    (16, 100): (10, 5),
+    (16, 1600): (32, 62),
+    (32, 100): (23, 5),
+    (32, 1600): (105, 77),
+    (64, 100): (77, 8),
+    (64, 1600): (320, 100),
+}
+
+#: Figure 4/5 — matrix-type comparison at n=1600k (secs), read off the
+#: plots.  rows: d → (diag, triangular, full).
+PAPER_FIGURE4 = {
+    32: (60, 72, 76),
+    64: (65, 95, 115),
+}
+
+#: Figure 6 — scoring scalability at d=32, k=16 (secs), read off the
+#: plot.  rows: n×1000 → (regression, PCA, clustering).
+PAPER_FIGURE6 = {
+    400: (3, 9, 12),
+    800: (6, 18, 25),
+    1600: (12, 36, 50),
+}
+
+#: Default physical rows stored per benchmark table; the cost model's
+#: row_scale mechanism makes simulated times independent of this, so it
+#: only trades wall-clock against sampling noise in the numeric results.
+DEFAULT_PHYSICAL_ROWS = 320
+
+
+def within_factor(measured: float, reference: float, factor: float) -> bool:
+    """True when *measured* is within ×/÷ *factor* of *reference* — the
+    acceptance band the shape assertions use for absolute magnitudes."""
+    if reference <= 0 or measured <= 0:
+        return False
+    ratio = measured / reference
+    return 1.0 / factor <= ratio <= factor

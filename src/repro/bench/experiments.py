@@ -1,0 +1,433 @@
+"""One experiment per table and figure of the paper's Section 4.
+
+Each function regenerates the corresponding result with the same
+workloads and parameter sweeps, printing measured simulated seconds next
+to the paper's published numbers.  Numeric model results are computed
+for real; timing comes from the calibrated cost model (see DESIGN.md's
+timing-methodology section).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import calibration
+from repro.bench.harness import (
+    BenchDataset,
+    ExperimentResult,
+    cpp_and_odbc_seconds,
+    nlq_sql_seconds,
+    nlq_udf_seconds,
+    scaled_dataset,
+)
+from repro.core.blockwise import blockwise_call_count, blockwise_sql
+from repro.core.models.correlation import CorrelationModel
+from repro.core.models.kmeans import KMeansModel
+from repro.core.models.pca import PCAModel
+from repro.core.models.regression import LinearRegressionModel
+from repro.core.scoring.scorer import ModelScorer
+from repro.core.summary import AugmentedSummary, MatrixType, SummaryStatistics
+from repro.external.workstation import model_build_seconds
+from repro.workloads.generator import MixtureSpec, SyntheticDataGenerator
+
+_K = 16  # the paper's scoring/clustering k
+
+
+# --------------------------------------------------------------------- table 1
+def table1() -> ExperimentResult:
+    """Total time to build models at d=32: C++ vs SQL vs UDF."""
+    d = 32
+    rows = []
+    for n_thousand, paper in sorted(calibration.PAPER_TABLE1.items()):
+        data = scaled_dataset(n_thousand * 1000.0, d)
+        cpp_scan, _export = cpp_and_odbc_seconds(data)
+        sql_seconds = nlq_sql_seconds(data)
+        udf_seconds = nlq_udf_seconds(data)
+        build = model_build_seconds("correlation", d)
+        rows.append(
+            (
+                n_thousand,
+                round(cpp_scan + build, 1),
+                round(sql_seconds + build, 1),
+                round(udf_seconds + build, 1),
+                *paper,
+            )
+        )
+    return ExperimentResult(
+        "table1",
+        "Total time to build models at d=32 (secs)",
+        ["n_x1000", "cpp", "sql", "udf", "paper_cpp", "paper_sql", "paper_udf"],
+        rows,
+        "model build from (n, L, Q) adds ~1 s on top of the scan for "
+        "every implementation; export time excluded as in the paper",
+    )
+
+
+# --------------------------------------------------------------------- table 2
+def table2() -> ExperimentResult:
+    """Time to compute n, L, Q and time to export X with ODBC."""
+    rows = []
+    for (n_thousand, d), paper in sorted(calibration.PAPER_TABLE2.items()):
+        data = scaled_dataset(n_thousand * 1000.0, d)
+        cpp_scan, export = cpp_and_odbc_seconds(data)
+        sql_seconds = nlq_sql_seconds(data)
+        udf_seconds = nlq_udf_seconds(data)
+        rows.append(
+            (
+                n_thousand,
+                d,
+                round(cpp_scan, 1),
+                round(sql_seconds, 1),
+                round(udf_seconds, 1),
+                round(export, 1),
+                *paper,
+            )
+        )
+    return ExperimentResult(
+        "table2",
+        "Time for n, L, Q with aggregate UDF and ODBC export time (secs)",
+        [
+            "n_x1000", "d", "cpp", "sql", "udf", "odbc",
+            "paper_cpp", "paper_sql", "paper_udf", "paper_odbc",
+        ],
+        rows,
+    )
+
+
+# --------------------------------------------------------------------- table 3
+def table3() -> ExperimentResult:
+    """Model build time from (n, L, Q): independent of n, grows with d."""
+    rows = []
+    generator_cache: dict[int, SummaryStatistics] = {}
+    for d, paper in sorted(calibration.PAPER_TABLE3.items()):
+        # Build the models for real from a synthetic summary to prove the
+        # path works; report the workstation-model times (the paper's
+        # hardware), which depend only on d (and k for clustering).
+        if d not in generator_cache:
+            sample = SyntheticDataGenerator(MixtureSpec(d=d, k=4)).generate(512)
+            generator_cache[d] = SummaryStatistics.from_matrix(sample.X)
+        stats = generator_cache[d]
+        CorrelationModel.from_summary(stats)
+        PCAModel.from_summary(stats, k=min(4, d))
+        rows.append(
+            (
+                d,
+                round(model_build_seconds("correlation", d), 1),
+                round(model_build_seconds("regression", d), 1),
+                round(model_build_seconds("pca", d), 1),
+                round(model_build_seconds("clustering", d, _K), 1),
+                *paper,
+            )
+        )
+    return ExperimentResult(
+        "table3",
+        "Time to build models once n, L, Q are available (secs; any n)",
+        [
+            "d", "correlation", "regression", "pca", "clustering",
+            "paper_corr", "paper_regr", "paper_pca", "paper_clu",
+        ],
+        rows,
+        "independent of n: the inputs are the summary matrices only",
+    )
+
+
+# --------------------------------------------------------------------- table 4
+def _fitted_scorer(data: BenchDataset) -> tuple[ModelScorer, dict]:
+    """Fit regression / PCA / clustering on the physical sample and store
+    the model tables for scoring."""
+    X = data.sample.X
+    y = data.sample.y
+    scorer = ModelScorer(data.db, data.table, data.dimensions)
+    models: dict = {}
+    if y is not None:
+        regression = LinearRegressionModel.from_summary(
+            AugmentedSummary.from_xy(X, y)
+        )
+        scorer.store_regression(regression)
+        models["regression"] = regression
+    stats = SummaryStatistics.from_matrix(X)
+    pca = PCAModel.from_summary(stats, k=_K)
+    scorer.store_pca(pca)
+    models["pca"] = pca
+    kmeans = KMeansModel.fit_matrix(X, _K, max_iterations=8)
+    scorer.store_clustering(kmeans)
+    models["clustering"] = kmeans
+    data.db.reset_clock()
+    return scorer, models
+
+
+def table4() -> ExperimentResult:
+    """Scoring time at d=32, k=16: SQL expressions vs scalar UDFs."""
+    d = 32
+    rows = []
+    for n_thousand in (100, 200, 400, 800):
+        data = scaled_dataset(n_thousand * 1000.0, d, with_y=True)
+        scorer, _models = _fitted_scorer(data)
+        measured = {
+            "regression": (
+                scorer.score_regression("sql").simulated_seconds,
+                scorer.score_regression("udf").simulated_seconds,
+            ),
+            "pca": (
+                scorer.score_pca(_K, "sql").simulated_seconds,
+                scorer.score_pca(_K, "udf").simulated_seconds,
+            ),
+            "clustering": (
+                scorer.score_clustering(_K, "sql").simulated_seconds,
+                scorer.score_clustering(_K, "udf").simulated_seconds,
+            ),
+        }
+        for technique, (sql_s, udf_s) in measured.items():
+            paper = calibration.PAPER_TABLE4[(technique, n_thousand)]
+            rows.append(
+                (
+                    n_thousand,
+                    technique,
+                    round(sql_s, 1),
+                    round(udf_s, 1),
+                    *paper,
+                )
+            )
+    return ExperimentResult(
+        "table4",
+        "Time to score X at d=32, k=16 (secs)",
+        ["n_x1000", "technique", "sql", "udf", "paper_sql", "paper_udf"],
+        rows,
+        "SQL clustering pays the pivoted derived table + second pass",
+    )
+
+
+# --------------------------------------------------------------------- table 5
+def table5() -> ExperimentResult:
+    """GROUP BY aggregate UDF: string vs list passing, k groups."""
+    d = 32
+    rows = []
+    for (n_thousand, k), paper in sorted(calibration.PAPER_TABLE5.items()):
+        data = scaled_dataset(n_thousand * 1000.0, d)
+        group = f"(i MOD {k}) + 1"
+        string_seconds = nlq_udf_seconds(
+            data, MatrixType.DIAGONAL, "string", group_by=group
+        )
+        list_seconds = nlq_udf_seconds(
+            data, MatrixType.DIAGONAL, "list", group_by=group
+        )
+        rows.append(
+            (
+                n_thousand,
+                k,
+                round(string_seconds, 1),
+                round(list_seconds, 1),
+                *paper,
+            )
+        )
+    return ExperimentResult(
+        "table5",
+        "GROUP BY with aggregate UDF, d=32, diagonal Q (secs)",
+        ["n_x1000", "k", "string", "list", "paper_string", "paper_list"],
+        rows,
+        "the jump at k=32 is the group state outgrowing the 64 KB segment",
+    )
+
+
+# --------------------------------------------------------------------- table 6
+def table6() -> ExperimentResult:
+    """Very high d via block-partitioned UDF calls in one statement."""
+    n = 100_000.0
+    rows = []
+    for d, (paper_calls, paper_seconds) in sorted(calibration.PAPER_TABLE6.items()):
+        data = scaled_dataset(n, d, physical_rows=64, mixture_k=4)
+        calls = blockwise_call_count(d)
+        sql = blockwise_sql(data.table, data.dimensions)
+        seconds = data.db.execute(sql).simulated_seconds
+        rows.append((d, calls, round(seconds, 1), paper_calls, paper_seconds))
+    return ExperimentResult(
+        "table6",
+        "Time growth for high d at n=100k: one synchronized scan, "
+        "one UDF call per 64x64 block of Q (secs)",
+        ["d", "calls", "total", "paper_calls", "paper_total"],
+        rows,
+        "total time proportional to the number of calls",
+    )
+
+
+# -------------------------------------------------------------------- figures
+def figure1() -> ExperimentResult:
+    """SQL vs UDF varying n, triangular matrix, d in {8, 16, 32, 64}."""
+    rows = []
+    for d in (8, 16, 32, 64):
+        for n_thousand in (100, 200, 400, 800, 1600):
+            data = scaled_dataset(n_thousand * 1000.0, d)
+            rows.append(
+                (
+                    d,
+                    n_thousand,
+                    round(nlq_sql_seconds(data), 1),
+                    round(nlq_udf_seconds(data), 1),
+                )
+            )
+    return ExperimentResult(
+        "figure1",
+        "SQL vs aggregate UDF varying n (triangular matrix, secs)",
+        ["d", "n_x1000", "sql", "udf"],
+        rows,
+        "SQL wins at low d, the UDF wins at high d; both linear in n",
+    )
+
+
+def figure2() -> ExperimentResult:
+    """SQL vs UDF varying d, n in {100k, 200k, 800k, 1600k}."""
+    rows = []
+    for n_thousand in (100, 200, 800, 1600):
+        for d in (8, 16, 32, 48, 64):
+            data = scaled_dataset(n_thousand * 1000.0, d)
+            rows.append(
+                (
+                    n_thousand,
+                    d,
+                    round(nlq_sql_seconds(data), 1),
+                    round(nlq_udf_seconds(data), 1),
+                )
+            )
+    return ExperimentResult(
+        "figure2",
+        "SQL vs aggregate UDF varying d (triangular matrix, secs)",
+        ["n_x1000", "d", "sql", "udf"],
+        rows,
+        "SQL grows quadratically in d (the 1+d+d² result), "
+        "the UDF almost linearly",
+    )
+
+
+def figure3() -> ExperimentResult:
+    """Parameter passing: string vs list, varying n (d=8) and d (n=1.6M)."""
+    rows = []
+    for n_thousand in (100, 400, 800, 1600):
+        data = scaled_dataset(n_thousand * 1000.0, 8)
+        rows.append(
+            (
+                "vary_n(d=8)",
+                n_thousand,
+                8,
+                round(nlq_udf_seconds(data, passing="string"), 1),
+                round(nlq_udf_seconds(data, passing="list"), 1),
+            )
+        )
+    for d in (8, 16, 32, 64):
+        data = scaled_dataset(1_600_000.0, d)
+        rows.append(
+            (
+                "vary_d(n=1600k)",
+                1600,
+                d,
+                round(nlq_udf_seconds(data, passing="string"), 1),
+                round(nlq_udf_seconds(data, passing="list"), 1),
+            )
+        )
+    return ExperimentResult(
+        "figure3",
+        "Aggregate UDF parameter passing style (secs)",
+        ["sweep", "n_x1000", "d", "string", "list"],
+        rows,
+        "similar at d<=16; list clearly better at d>=32 — the number-to-"
+        "string overhead beats the quadratic arithmetic",
+    )
+
+
+def figure4() -> ExperimentResult:
+    """Matrix type: diagonal vs triangular vs full."""
+    rows = []
+    for n_thousand in (100, 400, 800, 1600):
+        data = scaled_dataset(n_thousand * 1000.0, 64)
+        rows.append(
+            (
+                "vary_n(d=64)",
+                n_thousand,
+                64,
+                round(nlq_udf_seconds(data, MatrixType.DIAGONAL), 1),
+                round(nlq_udf_seconds(data, MatrixType.TRIANGULAR), 1),
+                round(nlq_udf_seconds(data, MatrixType.FULL), 1),
+            )
+        )
+    for d in (8, 16, 32, 64):
+        data = scaled_dataset(1_600_000.0, d)
+        rows.append(
+            (
+                "vary_d(n=1600k)",
+                1600,
+                d,
+                round(nlq_udf_seconds(data, MatrixType.DIAGONAL), 1),
+                round(nlq_udf_seconds(data, MatrixType.TRIANGULAR), 1),
+                round(nlq_udf_seconds(data, MatrixType.FULL), 1),
+            )
+        )
+    return ExperimentResult(
+        "figure4",
+        "Aggregate UDF matrix optimization: diag/triangular/full (secs)",
+        ["sweep", "n_x1000", "d", "diag", "triangular", "full"],
+        rows,
+        "marginal difference at low d, important at d=64",
+    )
+
+
+def figure5() -> ExperimentResult:
+    """Time complexity of the aggregate UDF over n and d, all types."""
+    rows = []
+    for d in (32, 64):
+        for n_thousand in (100, 400, 800, 1600):
+            data = scaled_dataset(n_thousand * 1000.0, d)
+            rows.append(
+                (
+                    d,
+                    n_thousand,
+                    round(nlq_udf_seconds(data, MatrixType.DIAGONAL), 1),
+                    round(nlq_udf_seconds(data, MatrixType.TRIANGULAR), 1),
+                    round(nlq_udf_seconds(data, MatrixType.FULL), 1),
+                )
+            )
+    return ExperimentResult(
+        "figure5",
+        "Aggregate UDF time varying n and d, all matrix types (secs)",
+        ["d", "n_x1000", "diag", "triangular", "full"],
+        rows,
+        "clearly linear in n for all three matrix types",
+    )
+
+
+def figure6() -> ExperimentResult:
+    """Scoring UDF scalability varying n (d=32, k=16)."""
+    d = 32
+    rows = []
+    for n_thousand in (100, 200, 400, 800, 1600):
+        data = scaled_dataset(n_thousand * 1000.0, d, with_y=True)
+        scorer, _models = _fitted_scorer(data)
+        rows.append(
+            (
+                n_thousand,
+                round(scorer.score_regression("udf").simulated_seconds, 1),
+                round(scorer.score_pca(_K, "udf").simulated_seconds, 1),
+                round(scorer.score_clustering(_K, "udf").simulated_seconds, 1),
+            )
+        )
+    return ExperimentResult(
+        "figure6",
+        "Scalar scoring UDFs varying n at d=32, k=16 (secs)",
+        ["n_x1000", "regression", "pca", "clustering"],
+        rows,
+        "linear in n; clustering most demanding, regression a dot product",
+    )
+
+
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+}

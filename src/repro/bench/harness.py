@@ -1,0 +1,177 @@
+"""Shared benchmark machinery: scaled data sets, timed runs, table output.
+
+Every experiment stores a small number of *physical* rows (default 320)
+and sets the table's ``row_scale`` so the cost model charges for the
+paper's nominal n (100k – 1.6M).  Numeric results are computed for real
+on the physical sample; simulated seconds are exact for the nominal
+size because every per-row charge is linear (see
+:mod:`repro.dbms.cost`).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.bench.calibration import DEFAULT_PHYSICAL_ROWS
+from repro.core.blockwise import NlqBlockUdf
+from repro.core.nlq_udf import nlq_call_sql, register_nlq_udfs
+from repro.core.scoring.udfs import register_scoring_udfs
+from repro.core.sqlgen import NlqSqlGenerator
+from repro.core.summary import MatrixType
+from repro.dbms.database import Database
+from repro.dbms.schema import dimension_names
+from repro.external.cpp_tool import CppAnalysisTool
+from repro.odbc.export import OdbcExporter
+from repro.workloads.generator import DatasetSample, MixtureSpec, load_dataset
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated rows of one paper table/figure."""
+
+    experiment: str
+    title: str
+    columns: list[str]
+    rows: list[tuple]
+    notes: str = ""
+
+    def column(self, name: str) -> list:
+        position = self.columns.index(name)
+        return [row[position] for row in self.rows]
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as an aligned text table."""
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.1f}"
+        return str(value)
+
+    header = [result.columns]
+    body = [[cell(value) for value in row] for row in result.rows]
+    widths = [
+        max(len(line[index]) for line in header + body)
+        for index in range(len(result.columns))
+    ]
+    lines = [f"== {result.experiment}: {result.title}"]
+    lines.append("  " + "  ".join(
+        name.rjust(width) for name, width in zip(result.columns, widths)
+    ))
+    lines.append("  " + "  ".join("-" * width for width in widths))
+    for line in body:
+        lines.append("  " + "  ".join(
+            value.rjust(width) for value, width in zip(line, widths)
+        ))
+    if result.notes:
+        lines.append(f"  note: {result.notes}")
+    return "\n".join(lines)
+
+
+@dataclass
+class BenchDataset:
+    """A loaded, UDF-equipped database simulating n nominal rows."""
+
+    db: Database
+    table: str
+    d: int
+    nominal_rows: float
+    sample: DatasetSample = field(repr=False)
+
+    @property
+    def dimensions(self) -> list[str]:
+        return dimension_names(self.d)
+
+
+def scaled_dataset(
+    n: float,
+    d: int,
+    physical_rows: int = DEFAULT_PHYSICAL_ROWS,
+    with_y: bool = False,
+    amps: int = 20,
+    mixture_k: int = 16,
+    seed: int = 42,
+) -> BenchDataset:
+    """Build a database holding ``physical_rows`` rows that the cost
+    model treats as *n* rows (the paper's data-set scale)."""
+    physical_rows = min(physical_rows, int(n))
+    db = Database(amps=amps)
+    spec = MixtureSpec(d=d, k=mixture_k, seed=seed)
+    sample = load_dataset(
+        db, "x", physical_rows, spec, with_y=with_y, row_scale=n / physical_rows
+    )
+    register_nlq_udfs(db)
+    register_scoring_udfs(db)
+    db.register_udf(NlqBlockUdf())
+    db.reset_clock()
+    return BenchDataset(db, "x", d, n, sample)
+
+
+# ------------------------------------------------------------- timed actions
+def nlq_udf_seconds(
+    data: BenchDataset,
+    matrix_type: MatrixType = MatrixType.TRIANGULAR,
+    passing: str = "list",
+    group_by: str | None = None,
+) -> float:
+    """Simulated seconds of one aggregate-UDF (n, L, Q) query."""
+    sql = nlq_call_sql(
+        data.table, data.dimensions, matrix_type, passing, group_by=group_by
+    )
+    return data.db.execute(sql).simulated_seconds
+
+
+def nlq_sql_seconds(
+    data: BenchDataset, matrix_type: MatrixType = MatrixType.TRIANGULAR
+) -> float:
+    """Simulated seconds of the long 1+d+d²-term SQL query."""
+    generator = NlqSqlGenerator(data.table, data.dimensions)
+    return data.db.execute(generator.long_query_sql(matrix_type)).simulated_seconds
+
+
+def cpp_and_odbc_seconds(
+    data: BenchDataset,
+    matrix_type: MatrixType = MatrixType.TRIANGULAR,
+) -> tuple[float, float]:
+    """(C++ scan seconds, ODBC export seconds) for the external route.
+
+    Really exports the physical rows to CSV and really scans them; both
+    charges use the nominal row count.
+    """
+    exporter = OdbcExporter()
+    tool = CppAnalysisTool()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        path = Path(tmp) / "x.csv"
+        report = exporter.export_table(data.db, data.table, path)
+        scale = data.nominal_rows / max(data.db.table(data.table).row_count, 1)
+        scan = tool.compute_nlq(
+            path,
+            columns=data.dimensions,
+            matrix_type=matrix_type,
+            row_scale=scale,
+        )
+    return scan.simulated_seconds, report.simulated_seconds
+
+
+RunnerFn = Callable[[], ExperimentResult]
+
+
+def run_experiment(name: str) -> ExperimentResult:
+    """Run one registered experiment by id (e.g. ``table1``)."""
+    from repro.bench.experiments import EXPERIMENTS
+
+    try:
+        runner: RunnerFn = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+    return runner()
+
+
+def run_all(names: Sequence[str] | None = None) -> list[ExperimentResult]:
+    from repro.bench.experiments import EXPERIMENTS
+
+    selected = list(names) if names else sorted(EXPERIMENTS)
+    return [run_experiment(name) for name in selected]

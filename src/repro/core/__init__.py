@@ -1,0 +1,16 @@
+"""The paper's primary contribution: summary matrices, the aggregate nLQ
+UDF, SQL generation, statistical models built from (n, L, Q), and scalar
+scoring UDFs."""
+
+from repro.core.summary import MatrixType, SummaryStatistics
+from repro.core.nlq_udf import NlqListUdf, NlqStringUdf, register_nlq_udfs
+from repro.core.sqlgen import NlqSqlGenerator
+
+__all__ = [
+    "MatrixType",
+    "NlqListUdf",
+    "NlqSqlGenerator",
+    "NlqStringUdf",
+    "SummaryStatistics",
+    "register_nlq_udfs",
+]

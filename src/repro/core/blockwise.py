@@ -1,0 +1,233 @@
+"""Block-partitioned (n, L, Q) for very high dimensionality (Table 6).
+
+The aggregate UDF's state is sized statically for ``MAX_d`` (64)
+dimensions so it fits the 64 KB heap segment.  For ``d > MAX_d`` the
+paper divides the problem into submatrices: Q is partitioned by
+row/column ranges into ``⌈d/64⌉²`` blocks, one UDF call per block, and
+*all calls are submitted in a single SELECT* so the engine synchronizes
+them over one table scan.  Total time is then proportional to the number
+of calls (Table 6).
+
+:class:`NlqBlockUdf` computes one block: given two dimension ranges
+``a`` and ``b`` it maintains n, L over the ``a`` range and the cross
+quadrant Q_ab = Σ x_a x_bᵀ.  :func:`compute_nlq_blockwise` generates the
+combined statement, decodes every block payload and assembles the full
+summary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.nlq_udf import DEFAULT_MAX_D
+from repro.core.packing import (
+    ROW_SEPARATOR,
+    SECTION_SEPARATOR,
+    pack_vector,
+    unpack_vector,
+)
+from repro.core.summary import MatrixType, SummaryStatistics
+from repro.dbms.database import Database
+from repro.dbms.udf import AggregateUdf, RowCost
+from repro.errors import PackingError, UdfArgumentError
+
+
+class _BlockState:
+    __slots__ = ("da", "db_", "n", "La", "Qab")
+
+    def __init__(self) -> None:
+        self.da: int | None = None
+        self.db_: int | None = None
+        self.n = 0.0
+        self.La: np.ndarray | None = None
+        self.Qab: np.ndarray | None = None
+
+    def shape_for(self, da: int, db_: int) -> None:
+        if self.da is None:
+            self.da = da
+            self.db_ = db_
+            self.La = np.zeros(da)
+            self.Qab = np.zeros((da, db_))
+        elif (self.da, self.db_) != (da, db_):
+            raise UdfArgumentError(
+                f"block shape changed mid-scan: ({self.da},{self.db_}) -> "
+                f"({da},{db_})"
+            )
+
+
+class NlqBlockUdf(AggregateUdf):
+    """``nlq_block(da, db, xa1..xada, xb1..xbdb)`` — one Q block.
+
+    Each of ``da`` and ``db`` must be at most ``max_d`` so the state
+    struct (n, L[max_d], Q[max_d][max_d]) respects the heap segment.
+    """
+
+    supports_block = True
+
+    def __init__(self, name: str = "nlq_block", max_d: int = DEFAULT_MAX_D) -> None:
+        super().__init__(name)
+        self.max_d = max_d
+        self._observed: tuple[int, int] = (max_d, max_d)
+
+    def initialize(self) -> _BlockState:
+        self.ensure_state_fits(self.state_value_count())
+        return _BlockState()
+
+    def _shape_from_args(self, args: Sequence[Any]) -> tuple[int, int]:
+        if len(args) < 4:
+            raise UdfArgumentError(
+                f"UDF {self.name!r} needs (da, db, a-values..., b-values...)"
+            )
+        da, db_ = int(args[0]), int(args[1])
+        if da < 1 or db_ < 1:
+            raise UdfArgumentError(f"UDF {self.name!r}: block sizes must be >= 1")
+        if da > self.max_d or db_ > self.max_d:
+            raise UdfArgumentError(
+                f"UDF {self.name!r}: block sizes ({da},{db_}) exceed "
+                f"MAX_d={self.max_d}"
+            )
+        if len(args) != 2 + da + db_:
+            raise UdfArgumentError(
+                f"UDF {self.name!r}: declared block ({da},{db_}) but received "
+                f"{len(args) - 2} values"
+            )
+        return da, db_
+
+    def accumulate(self, state: _BlockState, args: Sequence[Any]) -> _BlockState:
+        da, db_ = self._shape_from_args(args)
+        state.shape_for(da, db_)
+        self._observed = (da, db_)
+        xa = np.asarray([float(v) for v in args[2 : 2 + da]])
+        xb = np.asarray([float(v) for v in args[2 + da :]])
+        state.n += 1.0
+        state.La += xa
+        state.Qab += np.outer(xa, xb)
+        return state
+
+    def accumulate_block(self, state: _BlockState, block: np.ndarray) -> _BlockState:
+        if block.shape[0] == 0:
+            return state
+        da, db_ = int(block[0, 0]), int(block[0, 1])
+        if block.shape[1] != 2 + da + db_:
+            raise UdfArgumentError(
+                f"UDF {self.name!r}: declared block ({da},{db_}) but received "
+                f"{block.shape[1] - 2} values"
+            )
+        state.shape_for(da, db_)
+        self._observed = (da, db_)
+        Xa = block[:, 2 : 2 + da]
+        Xb = block[:, 2 + da :]
+        state.n += float(block.shape[0])
+        state.La += Xa.sum(axis=0)
+        state.Qab += Xa.T @ Xb
+        return state
+
+    def merge(self, state: _BlockState, other: _BlockState) -> _BlockState:
+        if other.da is None:
+            return state
+        if state.da is None:
+            return other
+        state.shape_for(other.da, other.db_)
+        state.n += other.n
+        state.La += other.La
+        state.Qab += other.Qab
+        return state
+
+    def finalize(self, state: _BlockState) -> str | None:
+        if state.da is None:
+            return None
+        rows = ROW_SEPARATOR.join(pack_vector(row) for row in state.Qab)
+        return SECTION_SEPARATOR.join(
+            [
+                str(state.da),
+                str(state.db_),
+                repr(float(state.n)),
+                pack_vector(state.La),
+                rows,
+            ]
+        )
+
+    def state_value_count(self) -> int:
+        return 3 + self.max_d + self.max_d * self.max_d
+
+    def cost_per_row(self, arg_count: int) -> RowCost:
+        da, db_ = self._observed
+        return RowCost(list_params=arg_count, arith_ops=da * db_ + da)
+
+
+def _unpack_block(payload: str) -> tuple[float, np.ndarray, np.ndarray]:
+    sections = payload.split(SECTION_SEPARATOR)
+    if len(sections) != 5:
+        raise PackingError(f"block payload has {len(sections)} sections, expected 5")
+    da, db_ = int(sections[0]), int(sections[1])
+    n = float(sections[2])
+    La = unpack_vector(sections[3], da)
+    rows = sections[4].split(ROW_SEPARATOR)
+    if len(rows) != da:
+        raise PackingError(f"block payload has {len(rows)} Q rows, expected {da}")
+    Qab = np.vstack([unpack_vector(row, db_) for row in rows])
+    return n, La, Qab
+
+
+def dimension_blocks(d: int, block: int = DEFAULT_MAX_D) -> list[range]:
+    """Partition dimension indices 0..d-1 into ranges of at most *block*."""
+    if d < 1:
+        raise UdfArgumentError(f"d must be >= 1, got {d}")
+    return [range(start, min(start + block, d)) for start in range(0, d, block)]
+
+
+def blockwise_call_count(d: int, block: int = DEFAULT_MAX_D) -> int:
+    """The ⌈d/block⌉² calls one statement carries (paper, Table 6)."""
+    blocks = len(dimension_blocks(d, block))
+    return blocks * blocks
+
+
+def blockwise_sql(
+    table: str, dimensions: Sequence[str], block: int = DEFAULT_MAX_D
+) -> str:
+    """The single SELECT invoking ``nlq_block`` once per block pair —
+    submitted as one request so the table is scanned once."""
+    ranges = dimension_blocks(len(dimensions), block)
+    calls: list[str] = []
+    for range_a in ranges:
+        names_a = [dimensions[index] for index in range_a]
+        for range_b in ranges:
+            names_b = [dimensions[index] for index in range_b]
+            args = ", ".join(
+                [str(len(names_a)), str(len(names_b)), *names_a, *names_b]
+            )
+            calls.append(f"nlq_block({args})")
+    return f"SELECT {', '.join(calls)} FROM {table}"
+
+
+def compute_nlq_blockwise(
+    db: Database,
+    table: str,
+    dimensions: Sequence[str],
+    block: int = DEFAULT_MAX_D,
+) -> SummaryStatistics:
+    """Compute a FULL-type summary for arbitrary d via block partitioning.
+
+    Requires :class:`NlqBlockUdf` registered as ``nlq_block``.
+    """
+    d = len(dimensions)
+    ranges = dimension_blocks(d, block)
+    result = db.execute(blockwise_sql(table, dimensions, block))
+    row = result.first()
+    n = 0.0
+    L = np.zeros(d)
+    Q = np.zeros((d, d))
+    position = 0
+    for range_a in ranges:
+        for range_b in ranges:
+            payload = row[position]
+            position += 1
+            if payload is None:
+                continue
+            block_n, La, Qab = _unpack_block(payload)
+            n = block_n  # every block sees the same rows
+            L[list(range_a)] = La
+            Q[np.ix_(list(range_a), list(range_b))] = Qab
+    return SummaryStatistics(n, L, Q, MatrixType.FULL)

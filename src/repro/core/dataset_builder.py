@@ -1,0 +1,284 @@
+"""Deriving the data set X from normalized tables (paper, Section 3.6).
+
+In a warehouse the analysis matrix ``X(i, x1..xd)`` is *derived*: each
+dimension is one of
+
+* a **property** of point i — denormalized from another table by joining
+  on foreign/primary keys (e.g. customer state, customer age);
+* a **binary flag** — a CASE expression turning a categorical attribute
+  into a 0/1 dimension (e.g. "is the customer active?");
+* a **metric** — an aggregation over a detail table, ``sum()`` and
+  ``count()`` being the most common (e.g. number of items purchased).
+
+:class:`DatasetBuilder` is a small, typed specification of those three
+feature kinds.  It generates the SQL the paper describes — left outer
+joins from a *reference table* holding the universe of points, with
+missing values populated as NULLs (or a chosen default), group-by on the
+point id — and can materialize the result into the canonical layout,
+ready for the nLQ UDF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dbms.database import Database
+from repro.dbms.schema import validate_identifier
+from repro.errors import PlanningError
+
+
+@dataclass(frozen=True)
+class PropertyFeature:
+    """A column carried over from a dimension table joined on the id."""
+
+    name: str
+    source_table: str
+    source_column: str
+    join_column: str
+    default: float | None = None
+
+
+@dataclass(frozen=True)
+class FlagFeature:
+    """A 0/1 dimension derived from a SQL condition on joined detail rows.
+
+    Aggregated with ``max()`` so "any matching detail row" sets the flag
+    — the usual presence/absence semantics.
+    """
+
+    name: str
+    source_table: str
+    join_column: str
+    condition: str
+
+
+@dataclass(frozen=True)
+class MetricFeature:
+    """An aggregation over a detail table: sum/count/min/max of an
+    expression, optionally filtered by a condition (the metric CASE
+    pattern)."""
+
+    name: str
+    source_table: str
+    join_column: str
+    aggregate: str
+    expression: str = "1.0"
+    condition: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.aggregate.lower() not in ("sum", "count", "min", "max", "avg"):
+            raise PlanningError(
+                f"unsupported metric aggregate {self.aggregate!r}"
+            )
+
+
+class DatasetBuilder:
+    """Builds the denormalization query for one reference table.
+
+    Parameters
+    ----------
+    reference_table:
+        The table containing the universe of all points i (the paper's
+        left operand of every outer join).
+    id_column:
+        The point identifier in the reference table.
+    """
+
+    def __init__(self, reference_table: str, id_column: str = "i") -> None:
+        validate_identifier(reference_table, "table name")
+        validate_identifier(id_column, "column name")
+        self.reference_table = reference_table
+        self.id_column = id_column
+        self._properties: list[PropertyFeature] = []
+        self._flags: list[FlagFeature] = []
+        self._metrics: list[MetricFeature] = []
+        self._names: set[str] = set()
+        self._declared_order: list[str] = []
+
+    # ----------------------------------------------------------- declaration
+    def _claim(self, name: str) -> str:
+        validate_identifier(name, "feature name")
+        if name.lower() in self._names:
+            raise PlanningError(f"duplicate feature name {name!r}")
+        self._names.add(name.lower())
+        self._declared_order.append(name)
+        return name
+
+    def add_property(
+        self,
+        name: str,
+        source_table: str,
+        source_column: str,
+        join_column: str | None = None,
+        default: float | None = None,
+    ) -> "DatasetBuilder":
+        """A denormalized property: one value per point from a joined
+        table (NULL — or *default* — when the point has no row there)."""
+        self._properties.append(
+            PropertyFeature(
+                self._claim(name),
+                source_table,
+                source_column,
+                join_column or self.id_column,
+                default,
+            )
+        )
+        return self
+
+    def add_flag(
+        self,
+        name: str,
+        source_table: str,
+        condition: str,
+        join_column: str | None = None,
+    ) -> "DatasetBuilder":
+        """A binary dimension: 1 when any detail row satisfies *condition*."""
+        self._flags.append(
+            FlagFeature(
+                self._claim(name),
+                source_table,
+                join_column or self.id_column,
+                condition,
+            )
+        )
+        return self
+
+    def add_metric(
+        self,
+        name: str,
+        source_table: str,
+        aggregate: str,
+        expression: str = "1.0",
+        condition: str | None = None,
+        join_column: str | None = None,
+    ) -> "DatasetBuilder":
+        """An aggregated metric over detail rows, e.g.
+        ``add_metric("spend", "txn", "sum", "amount", "kind = 'buy'")``."""
+        self._metrics.append(
+            MetricFeature(
+                self._claim(name),
+                source_table,
+                join_column or self.id_column,
+                aggregate,
+                expression,
+                condition,
+            )
+        )
+        return self
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Feature names in declaration order (= the X column order)."""
+        return list(self._declared_order)
+
+    # -------------------------------------------------------------- SQL text
+    def build_sql(self) -> str:
+        """The single denormalization SELECT.
+
+        One left-outer-join-shaped derived table per source (computed as
+        a pre-aggregated subquery — the group-by-before-join form the
+        paper recommends when several metrics aggregate from large
+        detail tables), joined back to the reference table; points with
+        no detail rows keep NULL / default values.
+        """
+        if not self.feature_names:
+            raise PlanningError("no features declared")
+        ref = "r"
+        items = [f"{ref}.{self.id_column} AS {self.id_column}"]
+        joins: list[str] = []
+        alias_counter = 0
+
+        # Properties join their dimension table directly (one row per id).
+        for prop in self._properties:
+            alias_counter += 1
+            alias = f"p{alias_counter}"
+            value = f"{alias}.{prop.source_column}"
+            if prop.default is not None:
+                value = f"coalesce({value}, {prop.default!r})"
+            items.append(f"{value} AS {prop.name}")
+            joins.append(
+                f"LEFT JOIN {prop.source_table} {alias} "
+                f"ON {alias}.{prop.join_column} = {ref}.{self.id_column}"
+            )
+
+        # Flags and metrics of the same detail table share one
+        # pre-aggregated subquery (scanning each detail table once).
+        per_table: dict[tuple[str, str], list[str]] = {}
+        table_key_order: list[tuple[str, str]] = []
+        for flag in self._flags:
+            key = (flag.source_table, flag.join_column)
+            if key not in per_table:
+                per_table[key] = []
+                table_key_order.append(key)
+            per_table[key].append(
+                f"max(CASE WHEN {flag.condition} THEN 1.0 ELSE 0.0 END) "
+                f"AS {flag.name}"
+            )
+        for metric in self._metrics:
+            key = (metric.source_table, metric.join_column)
+            if key not in per_table:
+                per_table[key] = []
+                table_key_order.append(key)
+            expression = metric.expression
+            if metric.condition is not None:
+                neutral = "0.0" if metric.aggregate.lower() in ("sum", "count") \
+                    else "NULL"
+                expression = (
+                    f"CASE WHEN {metric.condition} THEN {expression} "
+                    f"ELSE {neutral} END"
+                )
+            per_table[key].append(
+                f"{metric.aggregate}({expression}) AS {metric.name}"
+            )
+
+        for key in table_key_order:
+            table, join_column = key
+            alias_counter += 1
+            alias = f"m{alias_counter}"
+            inner_terms = ", ".join(
+                [f"{join_column} AS __id", *per_table[key]]
+            )
+            subquery = (
+                f"(SELECT {inner_terms} FROM {table} GROUP BY {join_column})"
+            )
+            joins.append(
+                f"LEFT JOIN {subquery} {alias} "
+                f"ON {alias}.__id = {ref}.{self.id_column}"
+            )
+            for term in per_table[key]:
+                feature = term.rsplit(" AS ", 1)[1]
+                items.append(f"coalesce({alias}.{feature}, 0.0) AS {feature}")
+
+        # Keep declared feature order in the select list: id, properties,
+        # then flags/metrics in declaration order.
+        ordered = [items[0]]
+        by_name = {item.rsplit(" AS ", 1)[1]: item for item in items[1:]}
+        for name in self.feature_names:
+            ordered.append(by_name[name])
+
+        return (
+            f"SELECT {', '.join(ordered)} FROM {self.reference_table} {ref} "
+            + " ".join(joins)
+        )
+
+    # ----------------------------------------------------------- materialize
+    def create_view(self, db: Database, view_name: str) -> str:
+        """Install the derivation as a view (the paper's 'X exists as a
+        view' case: recomputed on demand)."""
+        sql = self.build_sql()
+        db.execute(f"CREATE OR REPLACE VIEW {view_name} AS {sql}")
+        return sql
+
+    def materialize(self, db: Database, table_name: str) -> list[str]:
+        """Evaluate the derivation once into a real table (the paper's
+        'X exists as a table' case) and return the dimension names."""
+        sql = self.build_sql()
+        if db.catalog.has_table(table_name):
+            db.drop_table(table_name)
+        columns = ", ".join(
+            [f"{self.id_column} INTEGER PRIMARY KEY"]
+            + [f"{name} FLOAT" for name in self.feature_names]
+        )
+        db.execute(f"CREATE TABLE {table_name} ({columns})")
+        db.execute(f"INSERT INTO {table_name} {sql}")
+        return self.feature_names

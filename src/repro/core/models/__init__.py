@@ -1,0 +1,21 @@
+"""Statistical models built from the summary matrices (n, L, Q)."""
+
+from repro.core.models.correlation import CorrelationModel
+from repro.core.models.regression import LinearRegressionModel
+from repro.core.models.pca import PCAModel
+from repro.core.models.factor_analysis import FactorAnalysisModel
+from repro.core.models.kmeans import KMeansModel
+from repro.core.models.em_mixture import GaussianMixtureModel
+from repro.core.models.naive_bayes import NaiveBayesModel
+from repro.core.models.lda import LdaModel
+
+__all__ = [
+    "CorrelationModel",
+    "FactorAnalysisModel",
+    "GaussianMixtureModel",
+    "KMeansModel",
+    "LdaModel",
+    "LinearRegressionModel",
+    "NaiveBayesModel",
+    "PCAModel",
+]

@@ -1,0 +1,100 @@
+"""Model persistence: storing model matrices as relational tables.
+
+The paper stores every model in the DBMS with layouts chosen so scoring
+retrieves a whole vector in a single I/O (Section 3.5):
+
+* linear regression: ``BETA(b0, b1, ..., bd)`` — one row;
+* PCA / factor analysis: ``LAMBDA(j, x1, ..., xd)`` (k rows) and
+  ``MU(x1, ..., xd)`` (one row);
+* clustering: centroids ``C(j, x1..xd)``, radii ``R(j, x1..xd)``,
+  weights ``W(w1, ..., wk)``.
+
+These helpers create and read such tables generically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dbms.database import Database
+from repro.dbms.schema import Column, TableSchema
+from repro.dbms.types import SqlType
+from repro.errors import ModelError
+
+
+def store_vector(
+    db: Database,
+    table_name: str,
+    values: np.ndarray,
+    column_names: Sequence[str] | None = None,
+    replace: bool = True,
+) -> None:
+    """Store a vector as a one-row table (the BETA/MU/W layout)."""
+    values = np.asarray(values, dtype=float).reshape(-1)
+    if column_names is None:
+        column_names = [f"x{a + 1}" for a in range(values.shape[0])]
+    if len(column_names) != values.shape[0]:
+        raise ModelError(
+            f"{len(column_names)} column names for {values.shape[0]} values"
+        )
+    if replace and db.catalog.has_table(table_name):
+        db.drop_table(table_name)
+    schema = TableSchema(
+        tuple(Column(name, SqlType.FLOAT) for name in column_names)
+    )
+    db.create_table(table_name, schema)
+    db.insert_rows(table_name, [tuple(float(v) for v in values)])
+
+
+def load_vector(db: Database, table_name: str) -> np.ndarray:
+    """Read back a one-row vector table."""
+    table = db.table(table_name)
+    rows = table.rows()
+    if len(rows) != 1:
+        raise ModelError(
+            f"vector table {table_name!r} has {len(rows)} rows, expected 1"
+        )
+    return np.asarray([float(v) for v in rows[0]])
+
+
+def store_matrix(
+    db: Database,
+    table_name: str,
+    matrix: np.ndarray,
+    column_names: Sequence[str] | None = None,
+    replace: bool = True,
+) -> None:
+    """Store a k × d matrix as a table ``(j, x1, ..., xd)`` with the row
+    index j = 1..k as primary key (the LAMBDA/C/R layout)."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ModelError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    k, d = matrix.shape
+    if column_names is None:
+        column_names = [f"x{a + 1}" for a in range(d)]
+    if len(column_names) != d:
+        raise ModelError(f"{len(column_names)} column names for {d} columns")
+    if replace and db.catalog.has_table(table_name):
+        db.drop_table(table_name)
+    columns = [Column("j", SqlType.INTEGER, nullable=False)]
+    columns.extend(Column(name, SqlType.FLOAT) for name in column_names)
+    schema = TableSchema(tuple(columns), primary_key="j")
+    db.create_table(table_name, schema)
+    db.insert_rows(
+        table_name,
+        [
+            (j + 1, *(float(v) for v in matrix[j]))
+            for j in range(k)
+        ],
+    )
+
+
+def load_matrix(db: Database, table_name: str) -> np.ndarray:
+    """Read back a ``(j, x1..xd)`` table as a k × d matrix ordered by j."""
+    table = db.table(table_name)
+    rows = sorted(table.rows(), key=lambda row: row[0])
+    if not rows:
+        raise ModelError(f"matrix table {table_name!r} is empty")
+    return np.asarray([[float(v) for v in row[1:]] for row in rows])

@@ -1,0 +1,93 @@
+"""Correlation analysis from the summary matrices.
+
+The correlation matrix is not a model the paper scores with, but it is
+the input to PCA/FA and the basic tool for understanding linear
+relationships between dimension pairs.  From (n, L, Q):
+
+    ρ_ab = (n·Q_ab − L_a·L_b) / (√(n·Q_aa − L_a²) · √(n·Q_bb − L_b²))
+
+Building ρ takes O(d²) once the summary exists — no access to X.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.summary import SummaryStatistics
+from repro.errors import ModelError
+
+
+@dataclass
+class CorrelationModel:
+    """The d × d Pearson correlation matrix with convenience queries."""
+
+    rho: np.ndarray
+    n: float
+    dimension_names: list[str] | None = None
+
+    @classmethod
+    def from_summary(
+        cls,
+        stats: SummaryStatistics,
+        dimension_names: "list[str] | None" = None,
+    ) -> "CorrelationModel":
+        if dimension_names is not None and len(dimension_names) != stats.d:
+            raise ModelError(
+                f"{len(dimension_names)} names for {stats.d} dimensions"
+            )
+        return cls(stats.correlation(), stats.n, dimension_names)
+
+    @property
+    def d(self) -> int:
+        return int(self.rho.shape[0])
+
+    def _index_of(self, dimension: "int | str") -> int:
+        if isinstance(dimension, str):
+            if self.dimension_names is None:
+                raise ModelError("model was built without dimension names")
+            try:
+                return self.dimension_names.index(dimension)
+            except ValueError:
+                raise ModelError(f"unknown dimension {dimension!r}") from None
+        if not 0 <= dimension < self.d:
+            raise ModelError(f"dimension index {dimension} out of range")
+        return dimension
+
+    def coefficient(self, a: "int | str", b: "int | str") -> float:
+        """ρ between two dimensions (by index or by column name)."""
+        return float(self.rho[self._index_of(a), self._index_of(b)])
+
+    def strongest_pairs(self, top: int = 10) -> list[tuple[int, int, float]]:
+        """Dimension pairs ranked by |ρ|, strongest first."""
+        pairs = [
+            (a, b, float(self.rho[a, b]))
+            for a in range(self.d)
+            for b in range(a)
+        ]
+        pairs.sort(key=lambda item: abs(item[2]), reverse=True)
+        return pairs[:top]
+
+    def t_statistic(self, a: "int | str", b: "int | str") -> float:
+        """The t statistic for H0: ρ_ab = 0 with n − 2 degrees of freedom.
+
+        t = ρ √(n−2) / √(1−ρ²); large |t| rejects independence.
+        """
+        r = self.coefficient(a, b)
+        if self.n <= 2:
+            raise ModelError("t statistic needs n > 2")
+        if abs(r) >= 1.0:
+            return math.inf if r > 0 else -math.inf
+        return r * math.sqrt(self.n - 2.0) / math.sqrt(1.0 - r * r)
+
+    def significant_pairs(
+        self, threshold: float = 1.96
+    ) -> list[tuple[int, int, float]]:
+        """Pairs whose |t| exceeds *threshold* (≈ 5% two-sided for large n)."""
+        return [
+            (a, b, rho)
+            for a, b, rho in self.strongest_pairs(top=self.d * self.d)
+            if abs(self.t_statistic(a, b)) > threshold
+        ]

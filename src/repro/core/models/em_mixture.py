@@ -1,0 +1,134 @@
+"""EM clustering: mixtures of diagonal Gaussians on sufficient statistics.
+
+The paper discusses EM alongside K-means (Sections 3.1-3.2): like
+K-means, its M step needs only per-cluster (N_j, L_j, Q_j) — here
+*weighted* by the E step's responsibilities — and clustering assumes
+dimension independence, so Q_j is kept diagonal.  This module is the
+full EM implementation the paper's framework supports (cf. the author's
+SQLEM line of work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+@dataclass
+class GaussianMixtureModel:
+    """Means C (k × d), diagonal variances R (k × d), weights W (k)."""
+
+    means: np.ndarray
+    variances: np.ndarray
+    weights: np.ndarray
+    log_likelihood: float = float("nan")
+    iterations: int = 0
+
+    @property
+    def k(self) -> int:
+        return int(self.means.shape[0])
+
+    @property
+    def d(self) -> int:
+        return int(self.means.shape[1])
+
+    # --------------------------------------------------------------- fitting
+    @classmethod
+    def fit_matrix(
+        cls,
+        X: np.ndarray,
+        k: int,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        variance_floor: float = 1e-6,
+        seed: int = 0,
+    ) -> "GaussianMixtureModel":
+        X = np.asarray(X, dtype=float)
+        n, d = X.shape
+        if not 1 <= k <= n:
+            raise ModelError(f"k must be in [1, {n}], got {k}")
+        rng = np.random.default_rng(seed)
+        # Initialize from random distinct points with global variances.
+        means = X[rng.choice(n, size=k, replace=False)].astype(float)
+        global_variance = np.maximum(X.var(axis=0), variance_floor)
+        variances = np.tile(global_variance, (k, 1))
+        weights = np.full(k, 1.0 / k)
+        model = cls(means, variances, weights)
+
+        previous = -np.inf
+        for iteration in range(1, max_iterations + 1):
+            log_resp, log_likelihood = model._e_step(X)
+            responsibilities = np.exp(log_resp)
+            # M step from weighted sufficient statistics: N_j = Σ r_ij,
+            # L_j = Σ r_ij x_i, Q_j(diag) = Σ r_ij x_i² — the weighted
+            # analogue of the paper's per-cluster summaries.
+            Nj = responsibilities.sum(axis=0)
+            if np.any(Nj <= 0):
+                raise ModelError("a mixture component collapsed to zero weight")
+            Lj = responsibilities.T @ X
+            Qj = responsibilities.T @ (X * X)
+            means = Lj / Nj[:, None]
+            variances = np.maximum(
+                Qj / Nj[:, None] - means**2, variance_floor
+            )
+            weights = Nj / n
+            model = cls(means, variances, weights, log_likelihood, iteration)
+            if np.isfinite(previous) and (
+                log_likelihood - previous <= tolerance * max(abs(previous), 1.0)
+            ):
+                break
+            previous = log_likelihood
+        # The loop's log-likelihood was evaluated at the *pre-M-step*
+        # parameters; store the value the final parameters achieve.
+        _, final_log_likelihood = model._e_step(X)
+        model.log_likelihood = final_log_likelihood
+        return model
+
+    # --------------------------------------------------------------- scoring
+    def _log_component_densities(self, X: np.ndarray) -> np.ndarray:
+        """log w_j + log N(x | C_j, diag R_j) for each row and component."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if X.shape[1] != self.d:
+            raise ModelError(
+                f"model has d={self.d}, data has {X.shape[1]} dimensions"
+            )
+        log_densities = np.empty((X.shape[0], self.k))
+        for j in range(self.k):
+            centered = X - self.means[j]
+            quad = np.sum(centered * centered / self.variances[j], axis=1)
+            log_norm = -0.5 * (
+                self.d * _LOG_2PI + float(np.sum(np.log(self.variances[j])))
+            )
+            log_densities[:, j] = (
+                np.log(max(self.weights[j], 1e-300)) + log_norm - 0.5 * quad
+            )
+        return log_densities
+
+    def _e_step(self, X: np.ndarray) -> tuple[np.ndarray, float]:
+        log_densities = self._log_component_densities(X)
+        peak = log_densities.max(axis=1, keepdims=True)
+        log_total = peak + np.log(
+            np.exp(log_densities - peak).sum(axis=1, keepdims=True)
+        )
+        return log_densities - log_total, float(log_total.sum())
+
+    def responsibilities(self, X: np.ndarray) -> np.ndarray:
+        """Posterior component probabilities per row (n × k)."""
+        log_resp, _ = self._e_step(X)
+        return np.exp(log_resp)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most likely component per row (1-based, matching K-means)."""
+        return np.argmax(self._log_component_densities(X), axis=1) + 1
+
+    def score(self, X: np.ndarray) -> float:
+        """Total log-likelihood of X under the mixture."""
+        _, log_likelihood = self._e_step(X)
+        return log_likelihood

@@ -1,0 +1,125 @@
+"""Principal component analysis from the summary matrices.
+
+PCA needs only the correlation matrix ρ or the covariance matrix V,
+both of which derive from (n, L, Q) — so once the summary exists, the
+O(d³) eigendecomposition runs outside the scan (paper, Sections 3.1-3.2).
+Using ρ puts all dimensions on the same scale; using V keeps original
+scales.
+
+The output is the d × k dimensionality-reduction matrix Λ whose columns
+are orthonormal component vectors; a point is reduced with
+
+    x′ = Λᵀ (x − µ)
+
+(divided by the per-dimension standard deviation first when the model
+was built from the correlation matrix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.summary import SummaryStatistics
+from repro.errors import ModelError
+
+
+@dataclass
+class PCAModel:
+    """Components Λ (d × k), the data mean µ and the spectrum."""
+
+    components: np.ndarray
+    mean: np.ndarray
+    eigenvalues: np.ndarray
+    scale: np.ndarray | None = None
+
+    @classmethod
+    def from_summary(
+        cls,
+        stats: SummaryStatistics,
+        k: int,
+        use_correlation: bool = True,
+    ) -> "PCAModel":
+        """Decompose ρ (default) or V and keep the top k components."""
+        d = stats.d
+        if not 1 <= k <= d:
+            raise ModelError(f"k must be in [1, {d}], got {k}")
+        matrix = stats.correlation() if use_correlation else stats.covariance()
+        # eigh returns ascending eigenvalues of the symmetric matrix; we
+        # want the top k, largest first.
+        eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+        order = np.argsort(eigenvalues)[::-1][:k]
+        components = eigenvectors[:, order]
+        # Fix signs deterministically: largest-|entry| coordinate positive.
+        for j in range(k):
+            pivot = np.argmax(np.abs(components[:, j]))
+            if components[pivot, j] < 0:
+                components[:, j] = -components[:, j]
+        scale = np.sqrt(stats.variances()) if use_correlation else None
+        if scale is not None and np.any(scale <= 0):
+            raise ModelError("zero-variance dimension; correlation PCA undefined")
+        return cls(
+            components=components,
+            mean=stats.mean(),
+            eigenvalues=eigenvalues[order],
+            scale=scale,
+        )
+
+    @property
+    def d(self) -> int:
+        return int(self.components.shape[0])
+
+    @property
+    def k(self) -> int:
+        return int(self.components.shape[1])
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """x′ = Λᵀ(x − µ) for each row (standardized first for ρ-based)."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if X.shape[1] != self.d:
+            raise ModelError(
+                f"model has d={self.d}, data has {X.shape[1]} dimensions"
+            )
+        centered = X - self.mean
+        if self.scale is not None:
+            centered = centered / self.scale
+        return centered @ self.components
+
+    def inverse_transform(self, reduced: np.ndarray) -> np.ndarray:
+        """Map k-dimensional scores back to the original space."""
+        reduced = np.asarray(reduced, dtype=float)
+        if reduced.ndim == 1:
+            reduced = reduced.reshape(1, -1)
+        if reduced.shape[1] != self.k:
+            raise ModelError(
+                f"model has k={self.k}, scores have {reduced.shape[1]} columns"
+            )
+        restored = reduced @ self.components.T
+        if self.scale is not None:
+            restored = restored * self.scale
+        return restored + self.mean
+
+    def explained_variance_ratio(self) -> np.ndarray:
+        """Fraction of total variance captured by each kept component."""
+        total = float(np.sum(np.abs(self.eigenvalues))) if self.k == self.d \
+            else None
+        if total is None:
+            # Eigenvalues of ρ sum to d; of V, to the total variance —
+            # recover the total from the stored spectrum when k < d is
+            # not enough, so fall back to the trace rule for ρ.
+            if self.scale is not None:
+                total = float(self.d)
+            else:
+                raise ModelError(
+                    "explained-variance ratio for covariance PCA needs "
+                    "k = d (the full spectrum)"
+                )
+        return np.abs(self.eigenvalues) / total
+
+    def orthogonality_error(self) -> float:
+        """‖ΛᵀΛ − I_k‖∞ — the paper's Λ·Λᵀ = I orthogonality property."""
+        gram = self.components.T @ self.components
+        return float(np.max(np.abs(gram - np.eye(self.k))))

@@ -1,0 +1,148 @@
+"""String packing of vectors and (n, L, Q) payloads.
+
+Teradata UDFs can neither take arrays as parameters nor return them
+(paper, Section 2.2), so the paper's aggregate UDF has a variant that
+receives each point *packed as a string* and — in every variant —
+returns the whole (n, L, Q) result packed as one long string.  This
+module is that wire format.
+
+Formats
+-------
+Vector:   ``v1,v2,...,vd`` — decimal floats joined by commas.
+
+Payload:  ``d;type;n;L;Qrows[;mins;maxs]`` where ``L`` is a packed
+vector, ``Qrows`` joins the stored rows of Q with ``|`` (diagonal type
+stores only the diagonal; triangular stores the lower triangle rows),
+and the optional extrema are packed vectors.
+
+Floats are serialized with ``repr`` so the round trip is exact — the
+pack/parse *cost* (the interesting part in the paper) is charged by the
+cost model, not by the byte format.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.summary import MatrixType, SummaryStatistics
+from repro.errors import PackingError
+
+VECTOR_SEPARATOR = ","
+SECTION_SEPARATOR = ";"
+ROW_SEPARATOR = "|"
+
+
+def pack_vector(values: "np.ndarray | list[float]") -> str:
+    """Pack a numeric vector as a comma-separated string."""
+    array = np.asarray(values, dtype=float).reshape(-1)
+    return VECTOR_SEPARATOR.join(repr(float(v)) for v in array)
+
+
+def unpack_vector(text: str, expected_d: int | None = None) -> np.ndarray:
+    """Parse a packed vector; the length check is the paper's 'unpacking
+    routine determines d'."""
+    if not isinstance(text, str):
+        raise PackingError(f"expected a packed string, got {type(text).__name__}")
+    stripped = text.strip()
+    if not stripped:
+        raise PackingError("empty packed vector")
+    try:
+        values = np.asarray(
+            [float(piece) for piece in stripped.split(VECTOR_SEPARATOR)]
+        )
+    except ValueError as exc:
+        raise PackingError(f"malformed packed vector: {exc}") from exc
+    if expected_d is not None and values.shape[0] != expected_d:
+        raise PackingError(
+            f"packed vector has {values.shape[0]} entries, expected {expected_d}"
+        )
+    return values
+
+
+def vector_char_cost(d: int) -> float:
+    """Average packed-string length for a d-dimensional point.
+
+    Used by the cost model for the string-passing UDF variant: floats
+    serialize to roughly 18 characters plus the separator.  (The paper
+    charges both the float→text cast at the call site and the text→float
+    parse inside the UDF; the constant covers one direction, and the
+    cost model's per-character rate covers the pair.)
+    """
+    return 19.0 * d
+
+
+def pack_summary(stats: SummaryStatistics) -> str:
+    """Pack a summary into the single long string the aggregate UDF
+    returns (the paper's 'matrices are packed and returned')."""
+    d = stats.d
+    sections = [
+        str(d),
+        str(stats.matrix_type.code),
+        repr(float(stats.n)),
+        pack_vector(stats.L),
+    ]
+    if stats.matrix_type is MatrixType.DIAGONAL:
+        sections.append(pack_vector(np.diag(stats.Q)))
+    elif stats.matrix_type is MatrixType.TRIANGULAR:
+        rows = [pack_vector(stats.Q[a, : a + 1]) for a in range(d)]
+        sections.append(ROW_SEPARATOR.join(rows))
+    else:
+        rows = [pack_vector(stats.Q[a]) for a in range(d)]
+        sections.append(ROW_SEPARATOR.join(rows))
+    if stats.mins is not None and stats.maxs is not None:
+        sections.append(pack_vector(stats.mins))
+        sections.append(pack_vector(stats.maxs))
+    return SECTION_SEPARATOR.join(sections)
+
+
+def unpack_summary(payload: str) -> SummaryStatistics:
+    """Parse a packed (n, L, Q) payload back into a summary."""
+    if not isinstance(payload, str):
+        raise PackingError(
+            f"expected a packed payload string, got {type(payload).__name__}"
+        )
+    sections = payload.split(SECTION_SEPARATOR)
+    if len(sections) not in (5, 7):
+        raise PackingError(
+            f"payload has {len(sections)} sections, expected 5 or 7"
+        )
+    try:
+        d = int(sections[0])
+        matrix_type = MatrixType.from_code(int(sections[1]))
+        n = float(sections[2])
+    except ValueError as exc:
+        raise PackingError(f"malformed payload header: {exc}") from exc
+    L = unpack_vector(sections[3], d)
+    Q = np.zeros((d, d))
+    if matrix_type is MatrixType.DIAGONAL:
+        np.fill_diagonal(Q, unpack_vector(sections[4], d))
+    elif matrix_type is MatrixType.TRIANGULAR:
+        rows = sections[4].split(ROW_SEPARATOR)
+        if len(rows) != d:
+            raise PackingError(f"payload Q has {len(rows)} rows, expected {d}")
+        for a, row in enumerate(rows):
+            Q[a, : a + 1] = unpack_vector(row, a + 1)
+            Q[: a + 1, a] = Q[a, : a + 1]
+    else:
+        rows = sections[4].split(ROW_SEPARATOR)
+        if len(rows) != d:
+            raise PackingError(f"payload Q has {len(rows)} rows, expected {d}")
+        for a, row in enumerate(rows):
+            Q[a] = unpack_vector(row, d)
+    mins = maxs = None
+    if len(sections) == 7:
+        mins = unpack_vector(sections[5], d)
+        maxs = unpack_vector(sections[6], d)
+    return SummaryStatistics(n, L, Q, matrix_type, mins, maxs)
+
+
+def payload_value_count(d: int, matrix_type: MatrixType) -> int:
+    """Number of numeric values in a packed payload (for return-cost
+    accounting): header + L + stored Q + extrema."""
+    if matrix_type is MatrixType.DIAGONAL:
+        q_values = d
+    elif matrix_type is MatrixType.TRIANGULAR:
+        q_values = d * (d + 1) // 2
+    else:
+        q_values = d * d
+    return 3 + d + q_values + 2 * d

@@ -1,0 +1,123 @@
+"""The pivot primitive: key-value detail tables → the wide X layout.
+
+The paper's related work cites the SQL/MX knowledge-discovery primitives
+[5], which include *pivot* — turning a tall ``(id, key, value)`` table
+into one row per id with one column per key — precisely the
+transformation warehouses need when attributes are stored
+entity-attribute-value style before the analysis matrix X(i, x1..xd) can
+exist.
+
+The generated SQL is the classic CASE-based pivot:
+
+    SELECT id,
+           max(CASE WHEN key = 'k1' THEN value END) AS k1,
+           ...
+    FROM tall GROUP BY id
+
+one scan regardless of the number of pivoted columns, with an optional
+aggregate other than ``max`` for ids carrying duplicate keys.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dbms.database import Database, QueryResult
+from repro.dbms.schema import validate_identifier
+from repro.errors import PlanningError
+
+
+def discover_keys(
+    db: Database, table: str, key_column: str, limit: int = 1000
+) -> list[str]:
+    """The distinct key values of a tall table (sorted), for callers who
+    don't know the attribute universe up front."""
+    result = db.execute(
+        f"SELECT {key_column} FROM {table} "
+        f"GROUP BY {key_column} ORDER BY {key_column} LIMIT {limit}"
+    )
+    keys = [row[0] for row in result.rows if row[0] is not None]
+    if not keys:
+        raise PlanningError(f"table {table!r} has no key values to pivot")
+    return [str(key) for key in keys]
+
+
+def pivot_sql(
+    table: str,
+    id_column: str,
+    key_column: str,
+    value_column: str,
+    keys: Sequence[str],
+    aggregate: str = "max",
+    column_names: Sequence[str] | None = None,
+) -> str:
+    """Generate the CASE-based pivot SELECT.
+
+    *keys* are the attribute values to become columns; *column_names*
+    overrides the output column identifiers (defaults to the keys, which
+    must then be valid identifiers).
+    """
+    if not keys:
+        raise PlanningError("no keys to pivot")
+    if aggregate.lower() not in ("max", "min", "sum", "avg", "count"):
+        raise PlanningError(f"unsupported pivot aggregate {aggregate!r}")
+    if column_names is None:
+        column_names = [str(key) for key in keys]
+    if len(column_names) != len(keys):
+        raise PlanningError(
+            f"{len(column_names)} column names for {len(keys)} keys"
+        )
+    seen: set[str] = set()
+    for name in column_names:
+        validate_identifier(name, "pivot column name")
+        if name.lower() in seen:
+            raise PlanningError(f"duplicate pivot column {name!r}")
+        seen.add(name.lower())
+    items = [f"{id_column} AS {id_column}"]
+    for key, name in zip(keys, column_names):
+        escaped = str(key).replace("'", "''")
+        items.append(
+            f"{aggregate}(CASE WHEN {key_column} = '{escaped}' "
+            f"THEN {value_column} END) AS {name}"
+        )
+    return (
+        f"SELECT {', '.join(items)} FROM {table} "
+        f"GROUP BY {id_column} ORDER BY {id_column}"
+    )
+
+
+def pivot(
+    db: Database,
+    table: str,
+    id_column: str,
+    key_column: str,
+    value_column: str,
+    keys: Sequence[str] | None = None,
+    aggregate: str = "max",
+    column_names: Sequence[str] | None = None,
+    into: str | None = None,
+) -> QueryResult:
+    """Run the pivot; optionally materialize into a wide table.
+
+    With ``into`` the result lands in a new table whose id column is the
+    primary key and whose value columns are FLOAT — ready to be the
+    paper's X.
+    """
+    if keys is None:
+        keys = discover_keys(db, table, key_column)
+    sql = pivot_sql(
+        table, id_column, key_column, value_column, keys, aggregate,
+        column_names,
+    )
+    if into is None:
+        return db.execute(sql)
+    if column_names is None:
+        column_names = [str(key) for key in keys]
+    if db.catalog.has_table(into):
+        db.drop_table(into)
+    columns = ", ".join(
+        [f"{id_column} INTEGER PRIMARY KEY"]
+        + [f"{name} FLOAT" for name in column_names]
+    )
+    db.execute(f"CREATE TABLE {into} ({columns})")
+    return db.execute(f"INSERT INTO {into} {sql}")

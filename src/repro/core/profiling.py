@@ -1,0 +1,213 @@
+"""Data profiling from the summary matrices: histograms and outliers.
+
+The aggregate UDF tracks each dimension's minimum and maximum alongside
+(n, L, Q) "to detect outliers or build histograms" (paper, Section 3.4).
+This module is that use case:
+
+* :func:`profile_table` — one UDF scan yields per-dimension mean,
+  variance, extrema and a z-score range;
+* :class:`HistogramBuilder` — equi-width histograms computed *inside*
+  the DBMS with a generated GROUP BY query (the bin index is an
+  arithmetic expression over the extrema from the profile), one scan
+  for any number of dimensions' histograms;
+* :func:`outlier_sql` / :func:`find_outliers` — a generated one-scan
+  filter selecting points whose z-score exceeds a threshold in any
+  dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.nlq_udf import compute_nlq_udf
+from repro.core.summary import MatrixType, SummaryStatistics
+from repro.dbms.database import Database
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class DimensionProfile:
+    """Per-dimension statistics from one scan."""
+
+    name: str
+    mean: float
+    variance: float
+    minimum: float
+    maximum: float
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(max(self.variance, 0.0)))
+
+    @property
+    def value_range(self) -> float:
+        return self.maximum - self.minimum
+
+    def zscore(self, value: float) -> float:
+        if self.std == 0:
+            raise ModelError(f"dimension {self.name!r} has zero variance")
+        return (value - self.mean) / self.std
+
+
+def profile_table(
+    db: Database,
+    table: str,
+    dimensions: Sequence[str],
+    stats: SummaryStatistics | None = None,
+) -> dict[str, DimensionProfile]:
+    """Profile every dimension from a single diagonal-Q UDF scan.
+
+    Pass a precomputed *stats* (with extrema) to skip the scan.
+    """
+    if stats is None:
+        stats = compute_nlq_udf(
+            db, table, list(dimensions), MatrixType.DIAGONAL
+        )
+    if stats.mins is None or stats.maxs is None:
+        raise ModelError("summary lacks extrema; recompute via the UDF")
+    if stats.n == 0:
+        raise ModelError(f"table {table!r} is empty")
+    means = stats.mean()
+    variances = stats.variances()
+    return {
+        name: DimensionProfile(
+            name,
+            float(means[index]),
+            float(variances[index]),
+            float(stats.mins[index]),
+            float(stats.maxs[index]),
+        )
+        for index, name in enumerate(dimensions)
+    }
+
+
+# ------------------------------------------------------------------ histogram
+@dataclass
+class Histogram:
+    """Equi-width bin counts for one dimension."""
+
+    dimension: str
+    edges: np.ndarray  # bins + 1 edges
+    counts: np.ndarray  # bins
+
+    @property
+    def bins(self) -> int:
+        return int(self.counts.shape[0])
+
+    @property
+    def total(self) -> float:
+        return float(self.counts.sum())
+
+    def densities(self) -> np.ndarray:
+        """Counts normalized to fractions."""
+        total = self.total
+        if total == 0:
+            return np.zeros_like(self.counts, dtype=float)
+        return self.counts / total
+
+    def mode_bin(self) -> tuple[float, float]:
+        """The (low, high) edges of the most populated bin."""
+        index = int(np.argmax(self.counts))
+        return float(self.edges[index]), float(self.edges[index + 1])
+
+
+class HistogramBuilder:
+    """Generates and runs in-DBMS equi-width histogram queries."""
+
+    def __init__(self, db: Database, table: str) -> None:
+        self._db = db
+        self._table = table
+
+    def bin_expression(
+        self, dimension: str, profile: DimensionProfile, bins: int
+    ) -> str:
+        """The bin-index expression: floor((x − min) / width), clamped
+        into [0, bins−1] so the maximum lands in the last bin."""
+        if bins < 1:
+            raise ModelError(f"bins must be >= 1, got {bins}")
+        width = profile.value_range / bins
+        if width <= 0:
+            # Constant dimension: everything in bin 0.
+            return "0"
+        return (
+            f"least(floor(({dimension} - {profile.minimum!r}) / {width!r}), "
+            f"{float(bins - 1)!r})"
+        )
+
+    def histogram_sql(
+        self, dimension: str, profile: DimensionProfile, bins: int
+    ) -> str:
+        expression = self.bin_expression(dimension, profile, bins)
+        return (
+            f"SELECT {expression} AS bin, count(*) AS tally "
+            f"FROM {self._table} GROUP BY {expression} ORDER BY bin"
+        )
+
+    def build(
+        self, dimension: str, profile: DimensionProfile, bins: int = 10
+    ) -> Histogram:
+        result = self._db.execute(self.histogram_sql(dimension, profile, bins))
+        counts = np.zeros(bins)
+        for bin_value, tally in result.rows:
+            if bin_value is None:
+                continue  # NULL values fall outside every bin
+            counts[int(bin_value)] += tally
+        if profile.value_range > 0:
+            edges = np.linspace(profile.minimum, profile.maximum, bins + 1)
+        else:
+            edges = np.asarray([profile.minimum, profile.maximum + 1.0])
+            counts = counts[:1]
+        return Histogram(dimension, edges, counts)
+
+    def build_all(
+        self,
+        profiles: dict[str, DimensionProfile],
+        bins: int = 10,
+    ) -> dict[str, Histogram]:
+        """Histograms for every profiled dimension in one statement
+        (all bin expressions share a single scan via one SELECT with
+        multiple group keys is not expressible; we issue one query per
+        dimension but note the synchronized-scan optimization would
+        batch them on the paper's platform)."""
+        return {
+            name: self.build(name, profile, bins)
+            for name, profile in profiles.items()
+        }
+
+
+# -------------------------------------------------------------------- outliers
+def outlier_sql(
+    table: str,
+    id_column: str,
+    profiles: dict[str, DimensionProfile],
+    threshold: float = 3.0,
+) -> str:
+    """One-scan filter: points with |z| > threshold in any dimension."""
+    if not profiles:
+        raise ModelError("no dimension profiles supplied")
+    conditions = []
+    for name, profile in profiles.items():
+        if profile.std == 0:
+            continue
+        low = profile.mean - threshold * profile.std
+        high = profile.mean + threshold * profile.std
+        conditions.append(f"{name} < {low!r} OR {name} > {high!r}")
+    if not conditions:
+        raise ModelError("every dimension has zero variance")
+    predicate = " OR ".join(f"({c})" for c in conditions)
+    return f"SELECT {id_column} FROM {table} WHERE {predicate}"
+
+
+def find_outliers(
+    db: Database,
+    table: str,
+    id_column: str,
+    profiles: dict[str, DimensionProfile],
+    threshold: float = 3.0,
+) -> list:
+    """Ids of points beyond *threshold* standard deviations anywhere."""
+    result = db.execute(outlier_sql(table, id_column, profiles, threshold))
+    return sorted(row[0] for row in result.rows)

@@ -1,0 +1,25 @@
+"""Scoring: applying a built model to a data set in a single table scan."""
+
+from repro.core.scoring.udfs import (
+    ClassifyScoreUdf,
+    ClusterScoreUdf,
+    FaScoreUdf,
+    KMeansDistanceUdf,
+    LinearRegScoreUdf,
+    NaiveBayesScoreUdf,
+    register_scoring_udfs,
+)
+from repro.core.scoring.sqlgen import ScoringSqlGenerator
+from repro.core.scoring.scorer import ModelScorer
+
+__all__ = [
+    "ClassifyScoreUdf",
+    "ClusterScoreUdf",
+    "FaScoreUdf",
+    "KMeansDistanceUdf",
+    "LinearRegScoreUdf",
+    "ModelScorer",
+    "NaiveBayesScoreUdf",
+    "ScoringSqlGenerator",
+    "register_scoring_udfs",
+]

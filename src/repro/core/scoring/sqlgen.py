@@ -1,0 +1,220 @@
+"""Scoring query generation: UDF calls vs. plain SQL expressions.
+
+For each model the paper compares two single-statement scoring routes
+(Section 3.5 / Table 4):
+
+* **UDF route** — the scoring UDFs of :mod:`repro.core.scoring.udfs`
+  applied after cross-joining X with the (tiny) model tables;
+* **SQL route** — the model equation spelled out as an arithmetic
+  expression; for clustering this needs a derived table (the paper's
+  "two scans on a pivoted version of X") because the arg-min over k
+  distance expressions is a second pass of CASE comparisons.
+
+The generator only produces SQL text; model tables must exist in the
+layouts written by :class:`repro.core.scoring.scorer.ModelScorer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass
+class ScoringSqlGenerator:
+    """Generates scoring statements for one data-set table.
+
+    ``table`` is the data set ``X(i, x1..xd)``; ``dimensions`` its
+    dimension columns; ``id_column`` the point identifier carried into
+    the scored output.
+    """
+
+    table: str
+    dimensions: Sequence[str]
+    id_column: str = "i"
+
+    @property
+    def d(self) -> int:
+        return len(self.dimensions)
+
+    # ------------------------------------------------------------ regression
+    def regression_udf_sql(self, beta_table: str = "beta") -> str:
+        """ŷ via ``linearregscore``; BETA(b0, b1..bd) is one row."""
+        xs = ", ".join(f"t.{dim}" for dim in self.dimensions)
+        bs = ", ".join(f"b.b{a}" for a in range(self.d + 1))
+        return (
+            f"SELECT t.{self.id_column} AS {self.id_column}, "
+            f"linearregscore({xs}, {bs}) AS yhat "
+            f"FROM {self.table} t CROSS JOIN {beta_table} b"
+        )
+
+    def regression_expression_sql(self, beta_table: str = "beta") -> str:
+        """ŷ via a generated arithmetic expression."""
+        terms = ["b.b0"]
+        terms.extend(
+            f"b.b{a + 1} * t.{dim}" for a, dim in enumerate(self.dimensions)
+        )
+        return (
+            f"SELECT t.{self.id_column} AS {self.id_column}, "
+            f"{' + '.join(terms)} AS yhat "
+            f"FROM {self.table} t CROSS JOIN {beta_table} b"
+        )
+
+    # ------------------------------------------------------------------- PCA
+    def _lambda_joins(self, k: int, lambda_table: str) -> str:
+        """Join LAMBDA k times with aliasing, one alias per component j —
+        the paper's 'X is cross-joined with LAMBDA k times'."""
+        return " ".join(
+            f"JOIN {lambda_table} l{j} ON l{j}.j = {j}" for j in range(1, k + 1)
+        )
+
+    def pca_udf_sql(
+        self, k: int, lambda_table: str = "lambda_", mu_table: str = "mu"
+    ) -> str:
+        """x′ via k ``fascore`` calls in one SELECT."""
+        xs = ", ".join(f"t.{dim}" for dim in self.dimensions)
+        mus = ", ".join(f"m.{dim}" for dim in self.dimensions)
+        items = [f"t.{self.id_column} AS {self.id_column}"]
+        for j in range(1, k + 1):
+            lambdas = ", ".join(f"l{j}.{dim}" for dim in self.dimensions)
+            items.append(f"fascore({xs}, {mus}, {lambdas}) AS f{j}")
+        return (
+            f"SELECT {', '.join(items)} FROM {self.table} t "
+            f"CROSS JOIN {mu_table} m {self._lambda_joins(k, lambda_table)}"
+        )
+
+    def pca_expression_sql(
+        self, k: int, lambda_table: str = "lambda_", mu_table: str = "mu"
+    ) -> str:
+        """x′ via k generated Σ (xa − µa)·Λaj expressions."""
+        items = [f"t.{self.id_column} AS {self.id_column}"]
+        for j in range(1, k + 1):
+            terms = [
+                f"(t.{dim} - m.{dim}) * l{j}.{dim}" for dim in self.dimensions
+            ]
+            items.append(f"{' + '.join(terms)} AS f{j}")
+        return (
+            f"SELECT {', '.join(items)} FROM {self.table} t "
+            f"CROSS JOIN {mu_table} m {self._lambda_joins(k, lambda_table)}"
+        )
+
+    # --------------------------------------------------------- classification
+    def _label_case(self, index_expr: str, labels: Sequence[int]) -> str:
+        """Map the 1-based arg-max index back to the class labels."""
+        whens = " ".join(
+            f"WHEN {index_expr} = {j} THEN {int(label)}"
+            for j, label in enumerate(labels, start=1)
+        )
+        return f"CASE {whens} END"
+
+    def lda_udf_sql(
+        self, labels: Sequence[int], discriminant_table: str = "disc"
+    ) -> str:
+        """Predicted class via one ``linearregscore`` per class (the
+        discriminant is affine) and ``classifyscore`` arg-max — one scan.
+        The arg-max index is computed once in a derived table and a CASE
+        on the outer level maps it back to the class labels.
+
+        ``discriminant_table`` is DISC(j, b0, x1..xd): row j holds class
+        j's bias and weights.
+        """
+        xs = ", ".join(f"t.{dim}" for dim in self.dimensions)
+        scores = []
+        for j in range(1, len(labels) + 1):
+            ws = ", ".join(f"d{j}.{dim}" for dim in self.dimensions)
+            scores.append(f"linearregscore({xs}, d{j}.b0, {ws})")
+        joins = " ".join(
+            f"JOIN {discriminant_table} d{j} ON d{j}.j = {j}"
+            for j in range(1, len(labels) + 1)
+        )
+        inner = (
+            f"SELECT t.{self.id_column} AS {self.id_column}, "
+            f"classifyscore({', '.join(scores)}) AS idx "
+            f"FROM {self.table} t {joins}"
+        )
+        return (
+            f"SELECT s.{self.id_column} AS {self.id_column}, "
+            f"{self._label_case('s.idx', labels)} AS label FROM ({inner}) s"
+        )
+
+    def naive_bayes_udf_sql(
+        self,
+        labels: Sequence[int],
+        mean_table: str = "nbmu",
+        inverse_variance_table: str = "nbiv",
+        bias_table: str = "nbb",
+    ) -> str:
+        """Predicted class via one ``nbscore`` per class and the arg-max.
+
+        Model layout: NBMU(j, x1..xd) class means, NBIV(j, x1..xd)
+        inverse variances, NBB(b1..bk) one row of per-class biases.
+        """
+        xs = ", ".join(f"t.{dim}" for dim in self.dimensions)
+        scores = []
+        joins = []
+        for j in range(1, len(labels) + 1):
+            mus = ", ".join(f"m{j}.{dim}" for dim in self.dimensions)
+            ivs = ", ".join(f"v{j}.{dim}" for dim in self.dimensions)
+            scores.append(f"nbscore({xs}, {mus}, {ivs}, b.b{j})")
+            joins.append(f"JOIN {mean_table} m{j} ON m{j}.j = {j}")
+            joins.append(
+                f"JOIN {inverse_variance_table} v{j} ON v{j}.j = {j}"
+            )
+        inner = (
+            f"SELECT t.{self.id_column} AS {self.id_column}, "
+            f"classifyscore({', '.join(scores)}) AS idx "
+            f"FROM {self.table} t CROSS JOIN {bias_table} b "
+            f"{' '.join(joins)}"
+        )
+        return (
+            f"SELECT s.{self.id_column} AS {self.id_column}, "
+            f"{self._label_case('s.idx', labels)} AS label FROM ({inner}) s"
+        )
+
+    # ------------------------------------------------------------ clustering
+    def _centroid_joins(self, k: int, centroid_table: str) -> str:
+        return " ".join(
+            f"JOIN {centroid_table} c{j} ON c{j}.j = {j}" for j in range(1, k + 1)
+        )
+
+    def clustering_udf_sql(self, k: int, centroid_table: str = "c") -> str:
+        """J via ``clusterscore`` over k ``kmeansdistance`` calls — one
+        statement, one scan."""
+        xs = ", ".join(f"t.{dim}" for dim in self.dimensions)
+        distances = []
+        for j in range(1, k + 1):
+            cs = ", ".join(f"c{j}.{dim}" for dim in self.dimensions)
+            distances.append(f"kmeansdistance({xs}, {cs})")
+        return (
+            f"SELECT t.{self.id_column} AS {self.id_column}, "
+            f"clusterscore({', '.join(distances)}) AS j "
+            f"FROM {self.table} t {self._centroid_joins(k, centroid_table)}"
+        )
+
+    def clustering_expression_sql(self, k: int, centroid_table: str = "c") -> str:
+        """J via plain SQL: an inner query materializes the k distances
+        (the pivoted pass), and an outer CASE picks the arg-min — the two
+        scans the paper attributes to the SQL route."""
+        inner_items = [f"t.{self.id_column} AS {self.id_column}"]
+        for j in range(1, k + 1):
+            terms = [
+                f"(t.{dim} - c{j}.{dim}) * (t.{dim} - c{j}.{dim})"
+                for dim in self.dimensions
+            ]
+            inner_items.append(f"{' + '.join(terms)} AS d{j}")
+        inner = (
+            f"SELECT {', '.join(inner_items)} FROM {self.table} t "
+            f"{self._centroid_joins(k, centroid_table)}"
+        )
+        whens = []
+        for j in range(1, k + 1):
+            others = [
+                f"s.d{j} <= s.d{other}" for other in range(1, k + 1) if other != j
+            ]
+            condition = " AND ".join(others) if others else "1 = 1"
+            whens.append(f"WHEN {condition} THEN {j}")
+        case = f"CASE {' '.join(whens)} END"
+        return (
+            f"SELECT s.{self.id_column} AS {self.id_column}, {case} AS j "
+            f"FROM ({inner}) s"
+        )

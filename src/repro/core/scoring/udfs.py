@@ -1,0 +1,231 @@
+"""Scalar scoring UDFs (paper, Section 3.5).
+
+Once a model is stored in its relational layout, scoring a data set is a
+single SELECT whose scalar UDFs evaluate the model equation per row:
+
+* :class:`LinearRegScoreUdf` — ``linearregscore(x1..xd, b0, b1..bd)``
+  returns ŷ = βᵀx: one dot product per row, called once.
+* :class:`FaScoreUdf` — ``fascore(x1..xd, mu1..mud, l1j..ldj)`` returns
+  the jth coordinate of x′ = Λᵀ(x − µ); because UDFs cannot return
+  vectors it is called k times in the same SELECT.
+* :class:`KMeansDistanceUdf` — ``kmeansdistance(x1..xd, c1j..cdj)``
+  returns the squared Euclidean distance to centroid j.
+* :class:`ClusterScoreUdf` — ``clusterscore(d1..dk)`` returns the
+  1-based subscript J of the minimum distance: the cluster score.
+
+All are variadic (the engine imposes no parameter-count cap of its own;
+the *paper's* observation that some DBMSs cap parameters is modeled by
+the string-passing aggregate variant instead).  NULL inputs yield NULL,
+as SQL scalar functions do.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.dbms.database import Database
+from repro.dbms.udf import RowCost, ScalarUdf
+from repro.errors import UdfArgumentError
+
+
+def _floats(args: tuple[Any, ...], udf_name: str) -> "list[float] | None":
+    """Validate numeric arguments; None (any NULL in → NULL out)."""
+    values: list[float] = []
+    for value in args:
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise UdfArgumentError(
+                f"UDF {udf_name!r} expects numeric arguments, got "
+                f"{type(value).__name__}"
+            )
+        values.append(float(value))
+    return values
+
+
+class LinearRegScoreUdf(ScalarUdf):
+    """ŷ = β₀ + Σ βₐ·xₐ from 2d + 1 scalar parameters."""
+
+    def __init__(self, name: str = "linearregscore") -> None:
+        super().__init__(name)
+
+    def compute(self, *args: Any) -> Any:
+        if len(args) < 3 or len(args) % 2 == 0:
+            raise UdfArgumentError(
+                f"UDF {self.name!r} expects (x1..xd, b0, b1..bd) — an odd "
+                f"count of at least 3 arguments, got {len(args)}"
+            )
+        values = _floats(args, self.name)
+        if values is None:
+            return None
+        d = (len(values) - 1) // 2
+        x = values[:d]
+        intercept = values[d]
+        beta = values[d + 1 :]
+        return intercept + sum(b * v for b, v in zip(beta, x))
+
+    def cost_per_row(self, arg_count: int) -> RowCost:
+        d = (arg_count - 1) // 2
+        return RowCost(list_params=arg_count, arith_ops=d)
+
+
+class FaScoreUdf(ScalarUdf):
+    """One coordinate of x′ = Λᵀ(x − µ): Σ (xₐ − µₐ)·Λₐⱼ from 3d params."""
+
+    def __init__(self, name: str = "fascore") -> None:
+        super().__init__(name)
+
+    def compute(self, *args: Any) -> Any:
+        if len(args) < 3 or len(args) % 3 != 0:
+            raise UdfArgumentError(
+                f"UDF {self.name!r} expects (x1..xd, mu1..mud, l1j..ldj) — "
+                f"a multiple of 3 arguments, got {len(args)}"
+            )
+        values = _floats(args, self.name)
+        if values is None:
+            return None
+        d = len(values) // 3
+        x = values[:d]
+        mu = values[d : 2 * d]
+        component = values[2 * d :]
+        return sum((xa - ma) * la for xa, ma, la in zip(x, mu, component))
+
+    def cost_per_row(self, arg_count: int) -> RowCost:
+        d = arg_count // 3
+        return RowCost(list_params=arg_count, arith_ops=2 * d)
+
+
+class KMeansDistanceUdf(ScalarUdf):
+    """Squared Euclidean distance (x − Cⱼ)ᵀ(x − Cⱼ) from 2d params."""
+
+    def __init__(self, name: str = "kmeansdistance") -> None:
+        super().__init__(name)
+
+    def compute(self, *args: Any) -> Any:
+        if len(args) < 2 or len(args) % 2 != 0:
+            raise UdfArgumentError(
+                f"UDF {self.name!r} expects (x1..xd, c1j..cdj) — an even "
+                f"count of arguments, got {len(args)}"
+            )
+        values = _floats(args, self.name)
+        if values is None:
+            return None
+        d = len(values) // 2
+        return sum(
+            (xa - ca) ** 2 for xa, ca in zip(values[:d], values[d:])
+        )
+
+    def cost_per_row(self, arg_count: int) -> RowCost:
+        d = arg_count // 2
+        return RowCost(list_params=arg_count, arith_ops=2 * d)
+
+
+class ClusterScoreUdf(ScalarUdf):
+    """J such that d_J ≤ d_j for all j — the nearest-centroid subscript."""
+
+    def __init__(self, name: str = "clusterscore") -> None:
+        super().__init__(name)
+
+    def compute(self, *args: Any) -> Any:
+        if not args:
+            raise UdfArgumentError(f"UDF {self.name!r} needs at least one distance")
+        values = _floats(args, self.name)
+        if values is None:
+            return None
+        best_j = 1
+        best = values[0]
+        for j, distance in enumerate(values[1:], start=2):
+            if math.isnan(distance):
+                raise UdfArgumentError(f"UDF {self.name!r} received NaN distance")
+            if distance < best:
+                best, best_j = distance, j
+        return best_j
+
+    def cost_per_row(self, arg_count: int) -> RowCost:
+        return RowCost(list_params=arg_count, arith_ops=arg_count)
+
+
+class ClassifyScoreUdf(ScalarUdf):
+    """J such that s_J ≥ s_j for all j — arg-max over class scores.
+
+    The classification twin of :class:`ClusterScoreUdf` (which arg-mins
+    distances): Naive Bayes and LDA both score a point per class and
+    pick the largest discriminant.
+    """
+
+    def __init__(self, name: str = "classifyscore") -> None:
+        super().__init__(name)
+
+    def compute(self, *args: Any) -> Any:
+        if not args:
+            raise UdfArgumentError(f"UDF {self.name!r} needs at least one score")
+        values = _floats(args, self.name)
+        if values is None:
+            return None
+        best_j = 1
+        best = values[0]
+        for j, score in enumerate(values[1:], start=2):
+            if math.isnan(score):
+                raise UdfArgumentError(f"UDF {self.name!r} received NaN score")
+            if score > best:
+                best, best_j = score, j
+        return best_j
+
+    def cost_per_row(self, arg_count: int) -> RowCost:
+        return RowCost(list_params=arg_count, arith_ops=arg_count)
+
+
+class NaiveBayesScoreUdf(ScalarUdf):
+    """One class's Gaussian NB log-joint from 3d + 1 scalar parameters:
+
+        nbscore(x1..xd, mu1..mud, iv1..ivd, bias)
+            = bias − ½ Σ_a (x_a − µ_a)² · iv_a
+
+    where ``iv`` is the precomputed inverse variance and ``bias`` folds
+    log prior − ½ Σ log σ² − (d/2)·log 2π.  Called once per class in the
+    same SELECT, exactly like ``fascore`` is called once per component.
+    """
+
+    def __init__(self, name: str = "nbscore") -> None:
+        super().__init__(name)
+
+    def compute(self, *args: Any) -> Any:
+        if len(args) < 4 or (len(args) - 1) % 3 != 0:
+            raise UdfArgumentError(
+                f"UDF {self.name!r} expects (x1..xd, mu1..mud, iv1..ivd, "
+                f"bias) — 3d + 1 arguments, got {len(args)}"
+            )
+        values = _floats(args, self.name)
+        if values is None:
+            return None
+        d = (len(values) - 1) // 3
+        x = values[:d]
+        mu = values[d : 2 * d]
+        inverse_variance = values[2 * d : 3 * d]
+        bias = values[-1]
+        quadratic = sum(
+            (xa - ma) * (xa - ma) * iv
+            for xa, ma, iv in zip(x, mu, inverse_variance)
+        )
+        return bias - 0.5 * quadratic
+
+    def cost_per_row(self, arg_count: int) -> RowCost:
+        d = (arg_count - 1) // 3
+        return RowCost(list_params=arg_count, arith_ops=3 * d)
+
+
+def register_scoring_udfs(db: Database) -> dict[str, ScalarUdf]:
+    """Register all six scoring UDFs on *db*; returns them by name."""
+    udfs: dict[str, ScalarUdf] = {}
+    for udf in (
+        LinearRegScoreUdf(),
+        FaScoreUdf(),
+        KMeansDistanceUdf(),
+        ClusterScoreUdf(),
+        ClassifyScoreUdf(),
+        NaiveBayesScoreUdf(),
+    ):
+        db.register_udf(udf)
+        udfs[udf.name] = udf
+    return udfs

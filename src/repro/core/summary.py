@@ -1,0 +1,273 @@
+"""Summary matrices: the sufficient statistics (n, L, Q).
+
+This is the paper's central observation (Section 3.2): the row count
+
+    n,
+    L = Σ xᵢ          (d × 1, the linear sum of points)          [Eq. 1]
+    Q = X Xᵀ = Σ xᵢxᵢᵀ (d × d, the quadratic sum of points)      [Eq. 2]
+
+are sufficient to build the correlation matrix, the covariance matrix,
+the linear-regression normal equations, and the per-cluster statistics
+of K-means/EM — so after one table scan the data set X is never needed
+again (except the residual scan in regression).
+
+:class:`SummaryStatistics` is the in-memory representation shared by all
+three computation routes (plain SQL, the aggregate UDF, and the external
+C++-style tool); all routes must produce equal instances on the same
+data (tests enforce this).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class MatrixType(enum.Enum):
+    """Which part of Q the scan maintains (paper, Section 3.4).
+
+    * ``DIAGONAL`` — only Σ Xa² (enough for K-means/EM clustering);
+    * ``TRIANGULAR`` — the lower triangle (Q is symmetric; enough for
+      correlation, PCA/FA and regression — the default);
+    * ``FULL`` — all d² entries (querying / visualization).
+    """
+
+    DIAGONAL = 0
+    TRIANGULAR = 1
+    FULL = 2
+
+    @property
+    def code(self) -> int:
+        """Numeric code used when the type is passed through SQL."""
+        return self.value
+
+    @classmethod
+    def from_code(cls, code: int) -> "MatrixType":
+        return cls(int(code))
+
+    def update_ops(self, d: int) -> int:
+        """Multiply-adds per row to maintain Q for this type."""
+        if self is MatrixType.DIAGONAL:
+            return d
+        if self is MatrixType.TRIANGULAR:
+            return d * (d + 1) // 2
+        return d * d
+
+
+@dataclass
+class SummaryStatistics:
+    """The sufficient statistics of one data set (or one group).
+
+    ``Q`` is always stored as a dense symmetric d × d matrix; for a
+    DIAGONAL computation the off-diagonal entries are zero (and must not
+    be read).  ``mins``/``maxs`` are the per-dimension extrema the
+    paper's UDF also tracks for outlier detection and histograms.
+    """
+
+    n: float
+    L: np.ndarray
+    Q: np.ndarray
+    matrix_type: MatrixType = MatrixType.TRIANGULAR
+    mins: np.ndarray | None = None
+    maxs: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.L = np.asarray(self.L, dtype=float).reshape(-1)
+        self.Q = np.asarray(self.Q, dtype=float)
+        d = self.d
+        if self.Q.shape != (d, d):
+            raise ModelError(
+                f"Q has shape {self.Q.shape}, expected ({d}, {d}) to match L"
+            )
+
+    # -------------------------------------------------------------- basics
+    @property
+    def d(self) -> int:
+        return int(self.L.shape[0])
+
+    @classmethod
+    def zeros(
+        cls, d: int, matrix_type: MatrixType = MatrixType.TRIANGULAR
+    ) -> "SummaryStatistics":
+        return cls(
+            n=0.0,
+            L=np.zeros(d),
+            Q=np.zeros((d, d)),
+            matrix_type=matrix_type,
+            mins=np.full(d, np.inf),
+            maxs=np.full(d, -np.inf),
+        )
+
+    @classmethod
+    def from_matrix(
+        cls,
+        X: np.ndarray,
+        matrix_type: MatrixType = MatrixType.TRIANGULAR,
+    ) -> "SummaryStatistics":
+        """One-pass computation from an (n × d) matrix — the reference
+        implementation every other route is checked against."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ModelError(f"expected a 2-D matrix, got shape {X.shape}")
+        n, d = X.shape
+        L = X.sum(axis=0) if n else np.zeros(d)
+        if matrix_type is MatrixType.DIAGONAL:
+            Q = np.diag((X * X).sum(axis=0)) if n else np.zeros((d, d))
+        else:
+            Q = X.T @ X if n else np.zeros((d, d))
+        mins = X.min(axis=0) if n else np.full(d, np.inf)
+        maxs = X.max(axis=0) if n else np.full(d, -np.inf)
+        return cls(float(n), L, Q, matrix_type, mins, maxs)
+
+    def merge(self, other: "SummaryStatistics") -> "SummaryStatistics":
+        """Combine two partial summaries (the UDF's phase-3 merge)."""
+        if self.d != other.d:
+            raise ModelError(
+                f"cannot merge summaries of dimension {self.d} and {other.d}"
+            )
+        if self.matrix_type is not other.matrix_type:
+            raise ModelError("cannot merge summaries of different matrix types")
+        mins = maxs = None
+        if self.mins is not None and other.mins is not None:
+            mins = np.minimum(self.mins, other.mins)
+        if self.maxs is not None and other.maxs is not None:
+            maxs = np.maximum(self.maxs, other.maxs)
+        return SummaryStatistics(
+            n=self.n + other.n,
+            L=self.L + other.L,
+            Q=self.Q + other.Q,
+            matrix_type=self.matrix_type,
+            mins=mins,
+            maxs=maxs,
+        )
+
+    def allclose(self, other: "SummaryStatistics", rtol: float = 1e-9) -> bool:
+        """Numeric equality between two computation routes."""
+        if self.d != other.d:
+            return False
+        return (
+            np.isclose(self.n, other.n, rtol=rtol)
+            and np.allclose(self.L, other.L, rtol=rtol)
+            and np.allclose(self.Q, other.Q, rtol=rtol)
+        )
+
+    # ---------------------------------------------------------- derivations
+    def mean(self) -> np.ndarray:
+        """µ = L / n."""
+        self._require_rows()
+        return self.L / self.n
+
+    def covariance(self) -> np.ndarray:
+        """V = Q/n − L·Lᵀ/n²  (population covariance; paper, Section 3.2)."""
+        self._require_cross_products()
+        self._require_rows()
+        n = self.n
+        return self.Q / n - np.outer(self.L, self.L) / (n * n)
+
+    def variances(self) -> np.ndarray:
+        """Per-dimension population variance (valid for any matrix type)."""
+        self._require_rows()
+        n = self.n
+        return np.diag(self.Q) / n - (self.L / n) ** 2
+
+    def correlation(self) -> np.ndarray:
+        """ρ_ab = (n·Q_ab − L_a·L_b) / (√(n·Q_aa − L_a²) √(n·Q_bb − L_b²))."""
+        self._require_cross_products()
+        self._require_rows()
+        n = self.n
+        numerator = n * self.Q - np.outer(self.L, self.L)
+        scale = n * np.diag(self.Q) - self.L**2
+        if np.any(scale <= 0):
+            degenerate = [int(a) for a in np.flatnonzero(scale <= 0)]
+            raise ModelError(
+                f"zero-variance dimensions {degenerate}; correlation undefined"
+            )
+        denominator = np.sqrt(np.outer(scale, scale))
+        return numerator / denominator
+
+    def sub(self, indices: "list[int] | np.ndarray") -> "SummaryStatistics":
+        """The summary restricted to a subset of dimensions.
+
+        This is what makes step-wise regression / feature selection free
+        once (n, L, Q) exist: sub-summaries need no further scans.
+        """
+        indices = np.asarray(indices, dtype=int)
+        mins = self.mins[indices] if self.mins is not None else None
+        maxs = self.maxs[indices] if self.maxs is not None else None
+        return SummaryStatistics(
+            n=self.n,
+            L=self.L[indices],
+            Q=self.Q[np.ix_(indices, indices)],
+            matrix_type=self.matrix_type,
+            mins=mins,
+            maxs=maxs,
+        )
+
+    # ----------------------------------------------------------- validation
+    def _require_rows(self) -> None:
+        if self.n <= 0:
+            raise ModelError("summary has no rows")
+
+    def _require_cross_products(self) -> None:
+        if self.matrix_type is MatrixType.DIAGONAL:
+            raise ModelError(
+                "this derivation needs cross-products; the summary was "
+                "computed with a DIAGONAL Q (clustering mode)"
+            )
+
+
+@dataclass
+class AugmentedSummary:
+    """The regression layout: summaries of z = (1, x₁..x_d, y).
+
+    The paper's Q′ = Z Zᵀ (Section 3.2) contains X Xᵀ, X Yᵀ and Y Yᵀ as
+    blocks; with the leading constant dimension it also contains n and L,
+    so β and R² need nothing else.
+    """
+
+    stats: SummaryStatistics
+
+    def __post_init__(self) -> None:
+        if self.stats.matrix_type is MatrixType.DIAGONAL:
+            raise ModelError("regression needs cross-products (triangular/full Q)")
+        if self.stats.d < 3:
+            raise ModelError(
+                "augmented summary needs at least (1, x1, y) — d >= 3"
+            )
+
+    @classmethod
+    def from_xy(cls, X: np.ndarray, y: np.ndarray) -> "AugmentedSummary":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).reshape(-1)
+        if X.shape[0] != y.shape[0]:
+            raise ModelError("X and y row counts differ")
+        Z = np.column_stack([np.ones(X.shape[0]), X, y])
+        return cls(SummaryStatistics.from_matrix(Z, MatrixType.FULL))
+
+    @property
+    def d(self) -> int:
+        """Number of independent dimensions (excluding the 1s column and y)."""
+        return self.stats.d - 2
+
+    @property
+    def n(self) -> float:
+        return self.stats.n
+
+    def xtx(self) -> np.ndarray:
+        """The (d+1) × (d+1) block X Xᵀ including the intercept row."""
+        return self.stats.Q[: self.d + 1, : self.d + 1]
+
+    def xty(self) -> np.ndarray:
+        """The (d+1) × 1 block X Yᵀ."""
+        return self.stats.Q[: self.d + 1, self.d + 1]
+
+    def yty(self) -> float:
+        """Y Yᵀ = Σ yᵢ²."""
+        return float(self.stats.Q[self.d + 1, self.d + 1])
+
+    def sum_y(self) -> float:
+        return float(self.stats.L[self.d + 1])

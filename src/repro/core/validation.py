@@ -1,0 +1,161 @@
+"""Train/test workflows evaluated inside the DBMS.
+
+The paper's Section 3.5 frames scoring as "the standard train and test
+approach": build on one data set, apply to another, measure error.  This
+module keeps the whole loop in the database:
+
+* :func:`train_test_split` — deterministic in-DB split via a modular
+  hash of the point id (two INSERT..SELECT statements, no export);
+* :func:`regression_metrics` — RMSE / MAE / R² computed by *one
+  aggregate query* joining the scored table to the truth: the error
+  sums are just more sufficient statistics;
+* :func:`confusion_matrix` — classification cross-tabulation via a
+  GROUP BY over the same join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dbms.database import Database
+from repro.errors import ModelError
+
+
+def train_test_split(
+    db: Database,
+    source: str,
+    train_name: str,
+    test_name: str,
+    test_modulus: int = 5,
+    id_column: str = "i",
+) -> tuple[int, int]:
+    """Split *source* into two tables: ids with ``i MOD m = 0`` go to the
+    test table (a 1/m holdout), the rest to training.
+
+    Deterministic and reproducible — the same split every run, with no
+    data leaving the DBMS.  Returns (train rows, test rows).
+    """
+    if test_modulus < 2:
+        raise ModelError(f"test modulus must be >= 2, got {test_modulus}")
+    table = db.table(source)
+    columns = ", ".join(table.schema.column_names)
+    ddl_columns = ", ".join(
+        str(column) for column in table.schema.columns
+    )
+    pk = f", PRIMARY KEY ({table.schema.primary_key})" \
+        if table.schema.primary_key else ""
+    for name in (train_name, test_name):
+        if db.catalog.has_table(name):
+            db.drop_table(name)
+        db.execute(f"CREATE TABLE {name} ({ddl_columns}{pk})")
+    db.execute(
+        f"INSERT INTO {test_name} SELECT {columns} FROM {source} "
+        f"WHERE {id_column} MOD {test_modulus} = 0"
+    )
+    db.execute(
+        f"INSERT INTO {train_name} SELECT {columns} FROM {source} "
+        f"WHERE {id_column} MOD {test_modulus} <> 0"
+    )
+    train_rows = db.table(train_name).row_count
+    test_rows = db.table(test_name).row_count
+    if train_rows == 0 or test_rows == 0:
+        raise ModelError(
+            f"degenerate split: {train_rows} train / {test_rows} test rows"
+        )
+    return train_rows, test_rows
+
+
+@dataclass(frozen=True)
+class RegressionMetrics:
+    """Error statistics of a scored table against the truth."""
+
+    n: int
+    rmse: float
+    mae: float
+    r_squared: float
+    mean_error: float
+
+
+def regression_metrics(
+    db: Database,
+    scored_table: str,
+    truth_table: str,
+    prediction_column: str = "yhat",
+    truth_column: str = "y",
+    id_column: str = "i",
+) -> RegressionMetrics:
+    """One aggregate query over the scored↔truth join.
+
+    The five sums it gathers — n, Σe, Σe², Σ|e|, plus Σy and Σy² for the
+    total variance — are themselves sufficient statistics, so the whole
+    evaluation is a single scan.
+    """
+    sql = (
+        f"SELECT count(*), "
+        f"sum(s.{prediction_column} - t.{truth_column}), "
+        f"sum((s.{prediction_column} - t.{truth_column}) * "
+        f"(s.{prediction_column} - t.{truth_column})), "
+        f"sum(abs(s.{prediction_column} - t.{truth_column})), "
+        f"sum(t.{truth_column}), "
+        f"sum(t.{truth_column} * t.{truth_column}) "
+        f"FROM {scored_table} s JOIN {truth_table} t "
+        f"ON t.{id_column} = s.{id_column}"
+    )
+    n, sum_e, sum_e2, sum_abs, sum_y, sum_y2 = db.execute(sql).first()
+    if not n:
+        raise ModelError("no matching rows between scored and truth tables")
+    n = int(n)
+    total_variance = sum_y2 / n - (sum_y / n) ** 2
+    if total_variance <= 0:
+        raise ModelError("truth column has zero variance; R² undefined")
+    mse = sum_e2 / n
+    return RegressionMetrics(
+        n=n,
+        rmse=float(np.sqrt(mse)),
+        mae=float(sum_abs / n),
+        r_squared=float(1.0 - mse / total_variance),
+        mean_error=float(sum_e / n),
+    )
+
+
+def confusion_matrix(
+    db: Database,
+    scored_table: str,
+    truth_table: str,
+    prediction_column: str = "j",
+    truth_column: str = "label",
+    id_column: str = "i",
+) -> dict[tuple[int, int], int]:
+    """Cross-tabulate (truth, prediction) with one GROUP BY query.
+
+    Returns ``{(truth, predicted): count}``.
+    """
+    sql = (
+        f"SELECT t.{truth_column}, s.{prediction_column}, count(*) "
+        f"FROM {scored_table} s JOIN {truth_table} t "
+        f"ON t.{id_column} = s.{id_column} "
+        f"GROUP BY t.{truth_column}, s.{prediction_column}"
+    )
+    result = db.execute(sql)
+    if not result.rows:
+        raise ModelError("no matching rows between scored and truth tables")
+    return {
+        (int(truth), int(predicted)): int(count)
+        for truth, predicted, count in result.rows
+    }
+
+
+def classification_accuracy(
+    matrix: "dict[tuple[int, int], int]"
+) -> float:
+    """Accuracy from a confusion matrix."""
+    total = sum(matrix.values())
+    if total == 0:
+        raise ModelError("empty confusion matrix")
+    correct = sum(
+        count for (truth, predicted), count in matrix.items()
+        if truth == predicted
+    )
+    return correct / total

@@ -1,0 +1,35 @@
+"""The relational DBMS substrate.
+
+This subpackage is a from-scratch, self-contained relational engine that
+plays the role Teradata V2R6 plays in the paper:
+
+* typed schemas and a system catalog (:mod:`repro.dbms.schema`,
+  :mod:`repro.dbms.catalog`),
+* horizontally partitioned storage across simulated AMPs
+  (:mod:`repro.dbms.storage`),
+* a SQL subset — SELECT with full expressions, WHERE, GROUP BY, ORDER BY,
+  joins, derived tables, CASE, views, DDL/DML (:mod:`repro.dbms.sql`),
+* a scalar + aggregate UDF framework enforcing the constraints the paper
+  describes for Teradata's C UDF API (:mod:`repro.dbms.udf`), and
+* a deterministic simulated-time cost model (:mod:`repro.dbms.cost`).
+
+The :class:`~repro.dbms.database.Database` facade ties these together.
+"""
+
+from repro.dbms.cost import CostModel, SimulatedClock
+from repro.dbms.database import Database, QueryResult
+from repro.dbms.schema import Column, TableSchema
+from repro.dbms.types import SqlType
+from repro.dbms.udf import AggregateUdf, ScalarUdf
+
+__all__ = [
+    "AggregateUdf",
+    "Column",
+    "CostModel",
+    "Database",
+    "QueryResult",
+    "ScalarUdf",
+    "SimulatedClock",
+    "SqlType",
+    "TableSchema",
+]

@@ -1,0 +1,136 @@
+"""The system catalog: tables, views, and registered UDFs.
+
+Name resolution is case-insensitive (like unquoted SQL identifiers).
+Views store their defining SELECT AST; the planner expands them inline
+as derived tables, which is how the paper's "X exists as a view"
+scenario (Section 3.6) is executed.
+"""
+
+from __future__ import annotations
+
+from repro.dbms.functions import AGGREGATE_BUILTINS, SCALAR_BUILTINS
+from repro.dbms.schema import TableSchema, validate_identifier
+from repro.dbms.sql import ast
+from repro.dbms.storage import Table
+from repro.dbms.udf import AggregateUdf, ScalarUdf
+from repro.errors import CatalogError, UdfRegistrationError
+
+
+class Catalog:
+    def __init__(self, default_partitions: int = 20) -> None:
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, ast.Select] = {}
+        self._scalar_udfs: dict[str, ScalarUdf] = {}
+        self._aggregate_udfs: dict[str, AggregateUdf] = {}
+        self.default_partitions = default_partitions
+
+    # ------------------------------------------------------------------ tables
+    def create_table(
+        self,
+        name: str,
+        schema: TableSchema,
+        partitions: int | None = None,
+        row_scale: float = 1.0,
+        if_not_exists: bool = False,
+    ) -> Table:
+        validate_identifier(name, "table name")
+        key = name.lower()
+        if key in self._tables or key in self._views:
+            if if_not_exists and key in self._tables:
+                return self._tables[key]
+            raise CatalogError(f"table or view {name!r} already exists")
+        table = Table(
+            name,
+            schema,
+            partitions=partitions or self.default_partitions,
+            row_scale=row_scale,
+        )
+        self._tables[key] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[key]
+
+    def table_names(self) -> list[str]:
+        return sorted(table.name for table in self._tables.values())
+
+    # ------------------------------------------------------------------ views
+    def create_view(
+        self, name: str, select: ast.Select, or_replace: bool = False
+    ) -> None:
+        validate_identifier(name, "view name")
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError(f"a table named {name!r} already exists")
+        if key in self._views and not or_replace:
+            raise CatalogError(f"view {name!r} already exists")
+        self._views[key] = select
+
+    def view(self, name: str) -> ast.Select:
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown view {name!r}") from None
+
+    def has_view(self, name: str) -> bool:
+        return name.lower() in self._views
+
+    def drop_view(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._views:
+            if if_exists:
+                return
+            raise CatalogError(f"unknown view {name!r}")
+        del self._views[key]
+
+    def view_names(self) -> list[str]:
+        return sorted(self._views)
+
+    # ------------------------------------------------------------------- UDFs
+    def register_scalar_udf(self, udf: ScalarUdf) -> None:
+        key = udf.name
+        if key in SCALAR_BUILTINS or key in AGGREGATE_BUILTINS:
+            raise UdfRegistrationError(
+                f"cannot shadow builtin function {key!r}"
+            )
+        if key in self._scalar_udfs or key in self._aggregate_udfs:
+            raise UdfRegistrationError(f"UDF {key!r} already registered")
+        self._scalar_udfs[key] = udf
+
+    def register_aggregate_udf(self, udf: AggregateUdf) -> None:
+        key = udf.name
+        if key in SCALAR_BUILTINS or key in AGGREGATE_BUILTINS:
+            raise UdfRegistrationError(
+                f"cannot shadow builtin function {key!r}"
+            )
+        if key in self._scalar_udfs or key in self._aggregate_udfs:
+            raise UdfRegistrationError(f"UDF {key!r} already registered")
+        self._aggregate_udfs[key] = udf
+
+    def scalar_udf(self, name: str) -> ScalarUdf | None:
+        return self._scalar_udfs.get(name.lower())
+
+    def aggregate_udf(self, name: str) -> AggregateUdf | None:
+        return self._aggregate_udfs.get(name.lower())
+
+    def is_aggregate(self, name: str) -> bool:
+        key = name.lower()
+        return key in AGGREGATE_BUILTINS or key in self._aggregate_udfs
+
+    def is_scalar_function(self, name: str) -> bool:
+        key = name.lower()
+        return key in SCALAR_BUILTINS or key in self._scalar_udfs

@@ -1,0 +1,193 @@
+"""The Database facade: the user-visible entry point to the substrate.
+
+A :class:`Database` owns a catalog, a cost model with its simulated
+clock, and an executor.  ``execute()`` takes SQL text and returns a
+:class:`QueryResult` carrying both the rows and the simulated seconds
+the statement cost — the number every benchmark in this reproduction
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.dbms.catalog import Catalog
+from repro.dbms.cost import CostModel, CostParameters
+from repro.dbms.schema import TableSchema
+from repro.dbms.sql.executor import Executor, Relation
+from repro.dbms.sql.parser import parse_statements
+from repro.dbms.storage import Table
+from repro.dbms.udf import AggregateUdf, ScalarUdf
+
+
+@dataclass
+class QueryResult:
+    """Rows plus metadata from one executed statement."""
+
+    columns: list[str]
+    rows: list[tuple]
+    simulated_seconds: float
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def scalar(self) -> Any:
+        """The single value of a 1×1 result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ValueError(
+                f"expected a 1x1 result, got {len(self.rows)} rows x "
+                f"{len(self.columns)} columns"
+            )
+        return self.rows[0][0]
+
+    def first(self) -> tuple:
+        if not self.rows:
+            raise ValueError("result has no rows")
+        return self.rows[0]
+
+    def column(self, name: str) -> list[Any]:
+        lowered = [c.lower() for c in self.columns]
+        try:
+            position = lowered.index(name.lower())
+        except ValueError:
+            raise KeyError(f"no column {name!r} in result") from None
+        return [row[position] for row in self.rows]
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+class Database:
+    """An in-process relational database with simulated-time accounting.
+
+    Parameters
+    ----------
+    amps:
+        Number of parallel workers (horizontal partitions per table);
+        the paper's server used 20.
+    cost_parameters:
+        Charging constants; defaults are calibrated to the paper.
+    """
+
+    def __init__(
+        self,
+        amps: int = 20,
+        cost_parameters: CostParameters | None = None,
+    ) -> None:
+        params = cost_parameters or CostParameters()
+        params.amps = amps
+        self.cost = CostModel(params=params)
+        self.catalog = Catalog(default_partitions=amps)
+        self._executor = Executor(self.catalog, self.cost)
+
+    # ------------------------------------------------------------------- SQL
+    def execute(self, sql: str) -> QueryResult:
+        """Execute one or more ``;``-separated statements.
+
+        Returns the result of the *last* statement; simulated seconds
+        cover the whole script.
+        """
+        statements = parse_statements(sql)
+        if not statements:
+            raise ValueError("empty SQL script")
+        with self.cost.clock.span() as span:
+            relation: Relation | None = None
+            for statement in statements:
+                relation = self._executor.execute(statement)
+        assert relation is not None
+        return QueryResult(
+            columns=relation.column_names,
+            rows=relation.rows,
+            simulated_seconds=span.seconds,
+        )
+
+    def explain(self, sql: str) -> str:
+        """EXPLAIN a SELECT: binding, rewrites, estimated cost.
+
+        Analytical only — nothing is executed and no time is charged.
+        """
+        from repro.dbms.sql.ast import Select
+        from repro.dbms.sql.optimizer import explain
+        from repro.dbms.sql.parser import parse_statement
+
+        statement = parse_statement(sql)
+        if not isinstance(statement, Select):
+            raise ValueError("EXPLAIN is only supported for SELECT statements")
+        return explain(self.catalog, statement)
+
+    def execute_optimized(self, sql: str) -> QueryResult:
+        """Execute one SELECT after the Section 3.6 rewrites (join
+        elimination, group-by pushdown).  Results are identical to
+        :meth:`execute`; only the plan — and therefore the simulated
+        time — may differ."""
+        from repro.dbms.sql.ast import Select
+        from repro.dbms.sql.optimizer import QueryOptimizer
+        from repro.dbms.sql.parser import parse_statement
+
+        statement = parse_statement(sql)
+        if not isinstance(statement, Select):
+            return self.execute(sql)
+        optimized = QueryOptimizer(self.catalog).optimize(statement).optimized
+        with self.cost.clock.span() as span:
+            relation = self._executor.execute(optimized)
+        return QueryResult(
+            columns=relation.column_names,
+            rows=relation.rows,
+            simulated_seconds=span.seconds,
+        )
+
+    # ------------------------------------------------------------- catalogue
+    def create_table(
+        self,
+        name: str,
+        schema: TableSchema,
+        row_scale: float = 1.0,
+    ) -> Table:
+        """Create a table directly (bypassing SQL), with an optional
+        cost-model row scale for benchmarking (see repro.dbms.cost)."""
+        return self.catalog.create_table(name, schema, row_scale=row_scale)
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        self.catalog.drop_table(name, if_exists)
+
+    def register_udf(self, udf: ScalarUdf | AggregateUdf) -> None:
+        if isinstance(udf, AggregateUdf):
+            self.catalog.register_aggregate_udf(udf)
+        else:
+            self.catalog.register_scalar_udf(udf)
+
+    # --------------------------------------------------------------- loading
+    def load_columns(
+        self, table_name: str, columns: dict[str, "np.ndarray | Sequence[Any]"]
+    ) -> int:
+        """Bulk load column arrays into a table, charging insert cost."""
+        table = self.catalog.table(table_name)
+        loaded = table.bulk_load_arrays(columns)
+        self.cost.charge_insert(loaded * table.row_scale, table.width)
+        return loaded
+
+    def insert_rows(
+        self, table_name: str, rows: Iterable[Sequence[Any]]
+    ) -> int:
+        table = self.catalog.table(table_name)
+        inserted = table.insert_many(rows)
+        self.cost.charge_insert(inserted * table.row_scale, table.width)
+        return inserted
+
+    # ------------------------------------------------------------------ time
+    @property
+    def simulated_time(self) -> float:
+        """Total simulated seconds charged so far."""
+        return self.cost.clock.elapsed
+
+    def reset_clock(self) -> None:
+        self.cost.clock.reset()

@@ -1,0 +1,355 @@
+"""Expression evaluation: row-at-a-time compilation and a vectorized path.
+
+The planner binds every :class:`~repro.dbms.sql.ast.ColumnRef` to a
+position in the executor's row tuples and then calls
+:func:`compile_row_expression`, which turns the AST into a nest of Python
+closures — evaluated once per row with no per-row dispatch on node types.
+
+:func:`compile_vector_expression` additionally compiles *numeric*
+expressions (literals, column refs, arithmetic, a few math functions)
+into numpy-array functions.  The executor uses it as a fast path for
+aggregate arguments over full scans; any expression it cannot handle
+falls back to the row path, so semantics never change — NULLs are
+carried as NaN and restored afterwards.
+
+SQL three-valued logic: NULL propagates through arithmetic and
+comparisons; AND/OR follow Kleene logic; WHERE treats unknown as false
+(the executor's responsibility).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.dbms.functions import SCALAR_BUILTINS, VECTORIZABLE_SCALARS
+from repro.dbms.sql import ast
+from repro.errors import ExecutionError, PlanningError
+
+RowFunction = Callable[[tuple], Any]
+ColumnResolver = Callable[[ast.ColumnRef], int]
+ScalarRegistry = Callable[[str], Callable[..., Any] | None]
+
+
+def builtin_scalar_registry(name: str) -> Callable[..., Any] | None:
+    """Resolver over the builtin scalar functions only (no UDFs)."""
+    return SCALAR_BUILTINS.get(name)
+
+
+# ------------------------------------------------------------------ row path
+def compile_row_expression(
+    expression: ast.Expression,
+    resolver: ColumnResolver,
+    scalar_registry: ScalarRegistry = builtin_scalar_registry,
+) -> RowFunction:
+    """Compile *expression* to a function of one row tuple."""
+    if isinstance(expression, ast.Literal):
+        value = expression.value
+        return lambda row: value
+
+    if isinstance(expression, ast.ColumnRef):
+        position = resolver(expression)
+        return lambda row: row[position]
+
+    if isinstance(expression, ast.Unary):
+        operand = compile_row_expression(
+            expression.operand, resolver, scalar_registry
+        )
+        if expression.op == "-":
+            return lambda row: _negate(operand(row))
+        if expression.op == "NOT":
+            return lambda row: _not(operand(row))
+        raise PlanningError(f"unknown unary operator {expression.op!r}")
+
+    if isinstance(expression, ast.Binary):
+        left = compile_row_expression(expression.left, resolver, scalar_registry)
+        right = compile_row_expression(expression.right, resolver, scalar_registry)
+        return _compile_binary(expression.op, left, right)
+
+    if isinstance(expression, ast.Case):
+        compiled_whens = [
+            (
+                compile_row_expression(cond, resolver, scalar_registry),
+                compile_row_expression(result, resolver, scalar_registry),
+            )
+            for cond, result in expression.whens
+        ]
+        compiled_else = (
+            compile_row_expression(expression.else_result, resolver, scalar_registry)
+            if expression.else_result is not None
+            else None
+        )
+
+        def case(row: tuple) -> Any:
+            for condition, result in compiled_whens:
+                if condition(row) is True:
+                    return result(row)
+            return compiled_else(row) if compiled_else is not None else None
+
+        return case
+
+    if isinstance(expression, ast.IsNull):
+        operand = compile_row_expression(
+            expression.operand, resolver, scalar_registry
+        )
+        if expression.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
+
+    if isinstance(expression, ast.InList):
+        operand = compile_row_expression(
+            expression.operand, resolver, scalar_registry
+        )
+        items = [
+            compile_row_expression(item, resolver, scalar_registry)
+            for item in expression.items
+        ]
+        negated = expression.negated
+
+        def in_list(row: tuple) -> Any:
+            value = operand(row)
+            if value is None:
+                return None
+            saw_null = False
+            for item in items:
+                candidate = item(row)
+                if candidate is None:
+                    saw_null = True
+                elif candidate == value:
+                    return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return in_list
+
+    if isinstance(expression, ast.FuncCall):
+        function = scalar_registry(expression.name)
+        if function is None:
+            raise PlanningError(f"unknown function {expression.name!r}")
+        args = [
+            compile_row_expression(arg, resolver, scalar_registry)
+            for arg in expression.args
+        ]
+        if len(args) == 1:
+            only = args[0]
+            return lambda row: function(only(row))
+        if len(args) == 2:
+            first, second = args
+            return lambda row: function(first(row), second(row))
+        return lambda row: function(*(arg(row) for arg in args))
+
+    if isinstance(expression, ast.Star):
+        raise PlanningError("'*' is only valid in a select list or COUNT(*)")
+
+    raise PlanningError(f"cannot compile {type(expression).__name__}")
+
+
+def _negate(value: Any) -> Any:
+    return None if value is None else -value
+
+
+def _not(value: Any) -> Any:
+    if value is None:
+        return None
+    return not value
+
+
+def _compile_binary(op: str, left: RowFunction, right: RowFunction) -> RowFunction:
+    if op == "+":
+        return lambda row: _arith(left(row), right(row), _add)
+    if op == "-":
+        return lambda row: _arith(left(row), right(row), _sub)
+    if op == "*":
+        return lambda row: _arith(left(row), right(row), _mul)
+    if op == "/":
+        return lambda row: _divide(left(row), right(row))
+    if op == "MOD":
+        return lambda row: _modulo(left(row), right(row))
+    if op == "=":
+        return lambda row: _compare(left(row), right(row), lambda a, b: a == b)
+    if op == "<>":
+        return lambda row: _compare(left(row), right(row), lambda a, b: a != b)
+    if op == "<":
+        return lambda row: _compare(left(row), right(row), lambda a, b: a < b)
+    if op == "<=":
+        return lambda row: _compare(left(row), right(row), lambda a, b: a <= b)
+    if op == ">":
+        return lambda row: _compare(left(row), right(row), lambda a, b: a > b)
+    if op == ">=":
+        return lambda row: _compare(left(row), right(row), lambda a, b: a >= b)
+    if op == "AND":
+        return lambda row: _kleene_and(left(row), right(row))
+    if op == "OR":
+        return lambda row: _kleene_or(left(row), right(row))
+    raise PlanningError(f"unknown binary operator {op!r}")
+
+
+def _add(a: Any, b: Any) -> Any:
+    return a + b
+
+
+def _sub(a: Any, b: Any) -> Any:
+    return a - b
+
+
+def _mul(a: Any, b: Any) -> Any:
+    return a * b
+
+
+def _arith(a: Any, b: Any, op: Callable[[Any, Any], Any]) -> Any:
+    if a is None or b is None:
+        return None
+    try:
+        return op(a, b)
+    except TypeError as exc:
+        raise ExecutionError(f"type error in arithmetic: {exc}") from exc
+
+
+def _divide(a: Any, b: Any) -> Any:
+    if a is None or b is None:
+        return None
+    if b == 0:
+        raise ExecutionError("division by zero")
+    return a / b
+
+
+def _modulo(a: Any, b: Any) -> Any:
+    if a is None or b is None:
+        return None
+    if b == 0:
+        raise ExecutionError("MOD by zero")
+    result = np.fmod(a, b)
+    if isinstance(a, int) and isinstance(b, int):
+        return int(result)
+    return float(result)
+
+
+def _compare(a: Any, b: Any, op: Callable[[Any, Any], bool]) -> Any:
+    if a is None or b is None:
+        return None
+    try:
+        return op(a, b)
+    except TypeError as exc:
+        raise ExecutionError(f"type error in comparison: {exc}") from exc
+
+
+def _kleene_and(a: Any, b: Any) -> Any:
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return bool(a) and bool(b)
+
+
+def _kleene_or(a: Any, b: Any) -> Any:
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return bool(a) or bool(b)
+
+
+# --------------------------------------------------------------- vector path
+VectorFunction = Callable[[np.ndarray], np.ndarray]
+
+_VECTOR_MATH: dict[str, Callable[..., np.ndarray]] = {
+    "abs": np.abs,
+    "sqrt": np.sqrt,
+    "exp": np.exp,
+    "ln": np.log,
+    "log": np.log,
+    "power": np.power,
+}
+
+
+def referenced_columns(expression: ast.Expression) -> list[ast.ColumnRef]:
+    """All column references in *expression*, in first-appearance order."""
+    refs: list[ast.ColumnRef] = []
+    seen: set[tuple[str | None, str]] = set()
+    for node in ast.walk(expression):
+        if isinstance(node, ast.ColumnRef):
+            key = (node.table, node.name.lower())
+            if key not in seen:
+                seen.add(key)
+                refs.append(node)
+    return refs
+
+
+def compile_vector_expression(
+    expression: ast.Expression,
+    resolver: ColumnResolver,
+) -> VectorFunction | None:
+    """Compile a numeric expression over a column-block matrix.
+
+    The returned function takes a ``(rows, columns)`` float matrix whose
+    columns are indexed by *resolver* and returns one value per row.
+    Returns ``None`` when the expression uses features the vector path
+    does not support (CASE, UDFs, strings, NULL-sensitive logic) — the
+    caller must then use the row path.
+    """
+    if isinstance(expression, ast.Literal):
+        if expression.value is None:
+            return lambda block: np.full(block.shape[0], np.nan)
+        if isinstance(expression.value, (int, float)) and not isinstance(
+            expression.value, bool
+        ):
+            value = float(expression.value)
+            return lambda block: np.full(block.shape[0], value)
+        return None
+
+    if isinstance(expression, ast.ColumnRef):
+        try:
+            position = resolver(expression)
+        except Exception:
+            return None
+        return lambda block: block[:, position]
+
+    if isinstance(expression, ast.Unary) and expression.op == "-":
+        operand = compile_vector_expression(expression.operand, resolver)
+        if operand is None:
+            return None
+        return lambda block: -operand(block)
+
+    if isinstance(expression, ast.Binary) and expression.op in ("+", "-", "*", "/", "MOD"):
+        left = compile_vector_expression(expression.left, resolver)
+        right = compile_vector_expression(expression.right, resolver)
+        if left is None or right is None:
+            return None
+        op = expression.op
+        if op == "MOD":
+
+            def modulo(block: np.ndarray) -> np.ndarray:
+                denominator = right(block)
+                if np.any(denominator == 0):
+                    raise ExecutionError("MOD by zero")
+                return np.fmod(left(block), denominator)
+
+            return modulo
+        if op == "+":
+            return lambda block: left(block) + right(block)
+        if op == "-":
+            return lambda block: left(block) - right(block)
+        if op == "*":
+            return lambda block: left(block) * right(block)
+
+        def divide(block: np.ndarray) -> np.ndarray:
+            denominator = right(block)
+            if np.any(denominator == 0):
+                raise ExecutionError("division by zero")
+            return left(block) / denominator
+
+        return divide
+
+    if isinstance(expression, ast.FuncCall) and expression.name in VECTORIZABLE_SCALARS:
+        compiled = [
+            compile_vector_expression(arg, resolver) for arg in expression.args
+        ]
+        if any(arg is None for arg in compiled):
+            return None
+        math_fn = _VECTOR_MATH[expression.name]
+        args: Sequence[VectorFunction] = compiled  # type: ignore[assignment]
+        return lambda block: math_fn(*(arg(block) for arg in args))
+
+    return None

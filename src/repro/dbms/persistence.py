@@ -1,0 +1,149 @@
+"""Saving and restoring a database to/from disk.
+
+A :class:`~repro.dbms.Database` is in-process; this module gives it
+durability so built data sets and stored models survive across sessions:
+
+* ``<dir>/catalog.json`` — table schemas (columns, types, nullability,
+  primary key, partition count, row scale) and view definitions
+  (rendered back to SQL text);
+* ``<dir>/tables/<name>.csv`` — one CSV per table, with NULL encoded as
+  the PostgreSQL-style ``\\N`` sentinel so empty strings stay distinct.
+
+UDFs are code, not data — they are not persisted; re-register them after
+loading (``register_nlq_udfs`` / ``register_scoring_udfs``).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.dbms.database import Database
+from repro.dbms.schema import Column, TableSchema
+from repro.dbms.sql import ast
+from repro.dbms.sql.parser import parse_statement
+from repro.dbms.types import SqlType
+from repro.errors import ExportError
+
+_NULL_SENTINEL = "\\N"
+_FORMAT_VERSION = 1
+
+
+def save_database(db: Database, directory: "str | Path") -> Path:
+    """Serialize every table and view of *db* under *directory*."""
+    root = Path(directory)
+    tables_dir = root / "tables"
+    try:
+        tables_dir.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise ExportError(f"cannot create {tables_dir}: {exc}") from exc
+
+    catalog: dict = {"version": _FORMAT_VERSION, "tables": [], "views": []}
+    for name in db.catalog.table_names():
+        table = db.table(name)
+        catalog["tables"].append(
+            {
+                "name": table.name,
+                "columns": [
+                    {
+                        "name": column.name,
+                        "type": column.sql_type.value,
+                        "nullable": column.nullable,
+                    }
+                    for column in table.schema.columns
+                ],
+                "primary_key": table.schema.primary_key,
+                "partitions": table.partition_count,
+                "row_scale": table.row_scale,
+            }
+        )
+        _write_table_csv(table, tables_dir / f"{table.name.lower()}.csv")
+    for view_name in db.catalog.view_names():
+        catalog["views"].append(
+            {
+                "name": view_name,
+                "sql": ast.render(db.catalog.view(view_name)),
+            }
+        )
+    (root / "catalog.json").write_text(json.dumps(catalog, indent=2))
+    return root
+
+
+def load_database(
+    directory: "str | Path", amps: int | None = None
+) -> Database:
+    """Rebuild a database saved by :func:`save_database`.
+
+    *amps* overrides the engine parallelism; per-table partition counts
+    are restored from the catalog regardless.
+    """
+    root = Path(directory)
+    catalog_path = root / "catalog.json"
+    try:
+        catalog = json.loads(catalog_path.read_text())
+    except OSError as exc:
+        raise ExportError(f"cannot read {catalog_path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ExportError(f"malformed catalog at {catalog_path}: {exc}") from exc
+    if catalog.get("version") != _FORMAT_VERSION:
+        raise ExportError(
+            f"unsupported catalog version {catalog.get('version')!r}"
+        )
+
+    db = Database(amps=amps or 20)
+    for spec in catalog.get("tables", []):
+        columns = tuple(
+            Column(c["name"], SqlType(c["type"]), c["nullable"])
+            for c in spec["columns"]
+        )
+        schema = TableSchema(columns, spec.get("primary_key"))
+        table = db.catalog.create_table(
+            spec["name"],
+            schema,
+            partitions=spec.get("partitions"),
+            row_scale=spec.get("row_scale", 1.0),
+        )
+        _read_table_csv(table, root / "tables" / f"{spec['name'].lower()}.csv")
+    for view_spec in catalog.get("views", []):
+        statement = parse_statement(view_spec["sql"])
+        if not isinstance(statement, ast.Select):
+            raise ExportError(
+                f"view {view_spec['name']!r} does not deserialize to a SELECT"
+            )
+        db.catalog.create_view(view_spec["name"], statement)
+    return db
+
+
+def _write_table_csv(table, path: Path) -> None:
+    try:
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.schema.column_names)
+            for row in table.scan():
+                writer.writerow(
+                    [_NULL_SENTINEL if value is None else value for value in row]
+                )
+    except OSError as exc:
+        raise ExportError(f"cannot write {path}: {exc}") from exc
+
+
+def _read_table_csv(table, path: Path) -> None:
+    try:
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None:
+                raise ExportError(f"{path} is empty")
+            expected = list(table.schema.column_names)
+            if header != expected:
+                raise ExportError(
+                    f"{path} header {header} does not match schema {expected}"
+                )
+            rows = [
+                tuple(None if value == _NULL_SENTINEL else value for value in row)
+                for row in reader
+            ]
+    except OSError as exc:
+        raise ExportError(f"cannot read {path}: {exc}") from exc
+    table.insert_many(rows)

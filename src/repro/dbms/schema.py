@@ -1,0 +1,181 @@
+"""Table schemas: ordered, typed columns with an optional primary key.
+
+The paper's canonical layout is ``X(i, X1, ..., Xd)`` with primary key
+``i`` — a point id column followed by ``d`` numeric dimensions.  The
+:func:`dataset_schema` helper builds exactly that layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.dbms.types import SqlType
+from repro.errors import SchemaError
+
+_MAX_IDENTIFIER_LENGTH = 128
+
+
+def validate_identifier(name: str, kind: str = "identifier") -> str:
+    """Validate a SQL identifier (table or column name).
+
+    Identifiers must start with a letter or underscore and contain only
+    letters, digits and underscores, like unquoted SQL identifiers.
+    """
+    if not name:
+        raise SchemaError(f"empty {kind}")
+    if len(name) > _MAX_IDENTIFIER_LENGTH:
+        raise SchemaError(f"{kind} {name!r} exceeds {_MAX_IDENTIFIER_LENGTH} chars")
+    first = name[0]
+    if not (first.isalpha() or first == "_"):
+        raise SchemaError(f"{kind} {name!r} must start with a letter or underscore")
+    for ch in name[1:]:
+        if not (ch.isalnum() or ch == "_"):
+            raise SchemaError(f"{kind} {name!r} contains invalid character {ch!r}")
+    return name
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table: a name, a SQL type, and nullability."""
+
+    name: str
+    sql_type: SqlType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        validate_identifier(self.name, "column name")
+
+    def __str__(self) -> str:
+        null = "" if self.nullable else " NOT NULL"
+        return f"{self.name} {self.sql_type.value}{null}"
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered collection of columns with an optional primary key.
+
+    Column lookup is case-insensitive, as in SQL; the declared casing is
+    preserved for display.
+    """
+
+    columns: tuple[Column, ...]
+    primary_key: str | None = None
+    _index: dict[str, int] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise SchemaError("a table must have at least one column")
+        index: dict[str, int] = {}
+        for position, column in enumerate(self.columns):
+            key = column.name.lower()
+            if key in index:
+                raise SchemaError(f"duplicate column name {column.name!r}")
+            index[key] = position
+        object.__setattr__(self, "_index", index)
+        if self.primary_key is not None and self.primary_key.lower() not in index:
+            raise SchemaError(
+                f"primary key {self.primary_key!r} is not a column of the table"
+            )
+
+    @classmethod
+    def build(
+        cls,
+        columns: Iterable[Column | tuple[str, SqlType]],
+        primary_key: str | None = None,
+    ) -> "TableSchema":
+        """Build a schema from :class:`Column` objects or (name, type) pairs."""
+        normalized = tuple(
+            col if isinstance(col, Column) else Column(col[0], col[1])
+            for col in columns
+        )
+        return cls(normalized, primary_key)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def position_of(self, name: str) -> int:
+        """The 0-based position of column *name* (case-insensitive)."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position_of(name)]
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def numeric_columns(self) -> tuple[str, ...]:
+        """Names of all numeric columns, in declaration order."""
+        return tuple(
+            column.name for column in self.columns if column.sql_type.is_numeric
+        )
+
+    def ddl(self, table_name: str) -> str:
+        """Render this schema as a CREATE TABLE statement."""
+        cols = ", ".join(str(column) for column in self.columns)
+        pk = f", PRIMARY KEY ({self.primary_key})" if self.primary_key else ""
+        return f"CREATE TABLE {table_name} ({cols}{pk})"
+
+
+def dataset_schema(
+    d: int,
+    with_y: bool = False,
+    id_column: str = "i",
+    dimension_prefix: str = "x",
+) -> TableSchema:
+    """The paper's data-set layout: ``X(i, X1, ..., Xd[, Y])``.
+
+    *d* is the dimensionality; when *with_y* is true an extra dependent
+    variable column ``y`` is appended (the linear-regression layout).
+    """
+    if d < 1:
+        raise SchemaError(f"dimensionality must be >= 1, got {d}")
+    columns: list[Column] = [Column(id_column, SqlType.INTEGER, nullable=False)]
+    columns.extend(
+        Column(f"{dimension_prefix}{a}", SqlType.FLOAT) for a in range(1, d + 1)
+    )
+    if with_y:
+        columns.append(Column("y", SqlType.FLOAT))
+    return TableSchema(tuple(columns), primary_key=id_column)
+
+
+def dimension_names(d: int, prefix: str = "x") -> list[str]:
+    """Column names ``[x1, ..., xd]`` used throughout the reproduction."""
+    return [f"{prefix}{a}" for a in range(1, d + 1)]
+
+
+def model_schema(d: int, with_index: bool = False) -> TableSchema:
+    """Schema for model tables: ``(j, X1..Xd)`` or just ``(X1..Xd)``.
+
+    The paper stores β in BETA(β1..βd), Λ in LAMBDA(j, X1..Xd), centroids
+    in C(j, X1..Xd), and so on; this helper covers both layouts.
+    """
+    columns: list[Column] = []
+    if with_index:
+        columns.append(Column("j", SqlType.INTEGER, nullable=False))
+    columns.extend(Column(name, SqlType.FLOAT) for name in dimension_names(d))
+    return TableSchema(
+        tuple(columns), primary_key="j" if with_index else None
+    )
+
+
+def rows_match_schema(schema: TableSchema, rows: Sequence[Sequence[object]]) -> None:
+    """Raise :class:`SchemaError` if any row has the wrong arity."""
+    width = len(schema)
+    for position, row in enumerate(rows):
+        if len(row) != width:
+            raise SchemaError(
+                f"row {position} has {len(row)} values, schema has {width} columns"
+            )

@@ -1,0 +1,5 @@
+"""SQL front end: lexer, AST, parser, planner and executor."""
+
+from repro.dbms.sql.parser import parse_statement, parse_statements
+
+__all__ = ["parse_statement", "parse_statements"]

@@ -1,0 +1,1038 @@
+"""Plan execution over partitioned storage.
+
+The executor runs bound SELECT/DML statements and charges the cost model
+as it goes.  Two execution styles coexist:
+
+* a **row path** — compiled closures evaluated row by row — which is the
+  reference semantics for everything, and
+* a **vector path** used for aggregation over a single unfiltered base
+  table: argument expressions compile to numpy functions per partition
+  block, and aggregates that implement vectorized accumulation fold whole
+  blocks at once.  This mirrors how a real engine pipelines an aggregate
+  over a scan, and it must produce exactly the row path's results (tests
+  compare the two).
+
+Aggregation is partition-parallel in the paper's sense: one state per
+partition (AMP), then a partial-result merge — the four run-time stages
+of Section 3.4.
+
+Cost accounting: scans charge per (nominal) row and column; SQL select
+lists charge per term per row; aggregate UDFs charge call overhead,
+parameter transfer, and update arithmetic per row plus merge/return
+packing; GROUP BY charges hashing and a spill multiplier once the group
+state outgrows the 64 KB heap segment.  Nominal rows are physical rows ×
+the table's row scale (see :mod:`repro.dbms.cost`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.dbms.catalog import Catalog
+from repro.dbms.cost import CostModel
+from repro.dbms.expressions import (
+    compile_row_expression,
+    compile_vector_expression,
+    referenced_columns,
+)
+from repro.dbms.functions import AGGREGATE_BUILTINS, SCALAR_BUILTINS, AggregateFunction
+from repro.dbms.schema import Column, TableSchema
+from repro.dbms.sql import ast
+from repro.dbms.sql.planner import (
+    AggregateCall,
+    Binder,
+    BoundColumn,
+    find_aggregates,
+    output_name,
+    substitute,
+)
+from repro.dbms.storage import Table
+from repro.dbms.types import SqlType
+from repro.dbms.udf import AggregateUdf
+from repro.errors import ExecutionError, PlanningError
+
+
+@dataclass
+class Relation:
+    """A runtime relation: bound columns plus materialized rows.
+
+    ``base_table`` is set when the relation is a pure, unfiltered scan of
+    one stored table — the case where partition structure and the vector
+    path are available.  ``row_scale`` carries the cost-model scale of
+    the underlying data through joins and projections.
+    """
+
+    columns: list[BoundColumn]
+    rows: list[tuple] = field(default_factory=list)
+    row_scale: float = 1.0
+    base_table: Table | None = None
+    _materialized: bool = True
+
+    @property
+    def width(self) -> int:
+        return len(self.columns)
+
+    @property
+    def physical_rows(self) -> int:
+        if self.base_table is not None and not self._materialized:
+            return self.base_table.row_count
+        return len(self.rows)
+
+    @property
+    def nominal_rows(self) -> float:
+        return self.physical_rows * self.row_scale
+
+    def materialize(self) -> "Relation":
+        if self.base_table is not None and not self._materialized:
+            self.rows = self.base_table.rows()
+            self._materialized = True
+        return self
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+
+def _base_scan(table: Table, binding: str) -> Relation:
+    columns = [BoundColumn(binding, column.name) for column in table.schema.columns]
+    return Relation(
+        columns=columns,
+        rows=[],
+        row_scale=table.row_scale,
+        base_table=table,
+        _materialized=False,
+    )
+
+
+class Executor:
+    """Executes statements against a catalog, charging a cost model."""
+
+    def __init__(self, catalog: Catalog, cost: CostModel) -> None:
+        self._catalog = catalog
+        self._cost = cost
+
+    # --------------------------------------------------------------- dispatch
+    def execute(self, statement: ast.Statement) -> Relation:
+        if isinstance(statement, ast.Select):
+            self._cost.charge_sql_statement(len(statement.items))
+            return self.execute_select(statement)
+        self._cost.charge_sql_statement(1)
+        if isinstance(statement, ast.CreateTable):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.CreateView):
+            self._catalog.create_view(
+                statement.name, statement.select, statement.or_replace
+            )
+            return _empty_result()
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.DropTable):
+            self._catalog.drop_table(statement.name, statement.if_exists)
+            return _empty_result()
+        if isinstance(statement, ast.DropView):
+            self._catalog.drop_view(statement.name, statement.if_exists)
+            return _empty_result()
+        raise PlanningError(f"cannot execute {type(statement).__name__}")
+
+    # ------------------------------------------------------------------- DDL
+    def _execute_create_table(self, statement: ast.CreateTable) -> Relation:
+        columns = tuple(
+            Column(
+                definition.name,
+                SqlType.from_name(definition.type_name),
+                nullable=not definition.not_null,
+            )
+            for definition in statement.columns
+        )
+        schema = TableSchema(columns, statement.primary_key)
+        self._catalog.create_table(
+            statement.name, schema, if_not_exists=statement.if_not_exists
+        )
+        return _empty_result()
+
+    # ------------------------------------------------------------------- DML
+    def _execute_insert(self, statement: ast.Insert) -> Relation:
+        table = self._catalog.table(statement.table)
+        if statement.select is not None:
+            source = self.execute_select(statement.select)
+            rows: list[tuple] = source.rows
+        else:
+            binder = Binder([])
+            rows = []
+            for value_row in statement.values:
+                compiled = [
+                    compile_row_expression(expr, binder.resolve, self._scalar_registry)
+                    for expr in value_row
+                ]
+                rows.append(tuple(fn(()) for fn in compiled))
+        if statement.columns:
+            positions = {
+                name.lower(): index for index, name in enumerate(statement.columns)
+            }
+            full_rows = []
+            for row in rows:
+                if len(row) != len(statement.columns):
+                    raise ExecutionError(
+                        f"INSERT row has {len(row)} values for "
+                        f"{len(statement.columns)} named columns"
+                    )
+                full = [
+                    row[positions[column.name.lower()]]
+                    if column.name.lower() in positions
+                    else None
+                    for column in table.schema.columns
+                ]
+                full_rows.append(tuple(full))
+            rows = full_rows
+        inserted = table.insert_many(rows)
+        self._cost.charge_insert(inserted * table.row_scale, table.width)
+        return _empty_result()
+
+    def _execute_delete(self, statement: ast.Delete) -> Relation:
+        table = self._catalog.table(statement.table)
+        self._cost.charge_scan(table.nominal_rows, table.width)
+        if statement.where is None:
+            table.truncate()
+            return _empty_result()
+        columns = [BoundColumn(table.name, c.name) for c in table.schema.columns]
+        binder = Binder(columns)
+        predicate = compile_row_expression(
+            statement.where, binder.resolve, self._scalar_registry
+        )
+        surviving = [row for row in table.rows() if predicate(row) is not True]
+        table.truncate()
+        table.insert_many(surviving)
+        return _empty_result()
+
+    def _execute_update(self, statement: ast.Update) -> Relation:
+        table = self._catalog.table(statement.table)
+        self._cost.charge_scan(table.nominal_rows, table.width)
+        columns = [BoundColumn(table.name, c.name) for c in table.schema.columns]
+        binder = Binder(columns)
+        predicate = (
+            compile_row_expression(
+                statement.where, binder.resolve, self._scalar_registry
+            )
+            if statement.where is not None
+            else None
+        )
+        targets: list[tuple[int, Callable[[tuple], Any]]] = []
+        for column_name, expression in statement.assignments:
+            position = binder.resolve(ast.ColumnRef(column_name))
+            targets.append(
+                (
+                    position,
+                    compile_row_expression(
+                        expression, binder.resolve, self._scalar_registry
+                    ),
+                )
+            )
+        updated_rows: list[tuple] = []
+        touched = 0
+        for row in table.rows():
+            if predicate is None or predicate(row) is True:
+                new_row = list(row)
+                # Evaluate every assignment against the *old* row (SQL
+                # semantics: SET a = b, b = a swaps).
+                for position, fn in targets:
+                    new_row[position] = fn(row)
+                updated_rows.append(tuple(new_row))
+                touched += 1
+            else:
+                updated_rows.append(row)
+        table.truncate()
+        table.insert_many(updated_rows)
+        self._cost.charge_insert(touched * table.row_scale, len(targets))
+        return _empty_result()
+
+    # ---------------------------------------------------------------- SELECT
+    def execute_select(self, select: ast.Select) -> Relation:
+        env = self._build_from_environment(select)
+        aggregate_calls = self._collect_aggregates(select)
+        if aggregate_calls or select.group_by:
+            result, order_context = self._execute_aggregate(
+                select, env, aggregate_calls
+            )
+        else:
+            if select.having is not None:
+                raise PlanningError("HAVING requires GROUP BY or aggregates")
+            result, order_context = self._execute_projection(select, env)
+        result = self._apply_order_limit(select, result, order_context)
+        return result
+
+    # ------------------------------------------------------ FROM environment
+    def _build_from_environment(self, select: ast.Select) -> Relation:
+        sources: list[
+            tuple[ast.FromSource, Relation, ast.Expression | None, bool]
+        ] = []
+        for source in select.from_sources:
+            sources.append((source, self._relation_for_source(source), None, False))
+        for join in select.joins:
+            sources.append(
+                (
+                    join.source,
+                    self._relation_for_source(join.source),
+                    join.condition,
+                    join.outer,
+                )
+            )
+        if not sources:
+            return Relation(columns=[], rows=[()])
+        if len(sources) == 1 and sources[0][2] is None:
+            return sources[0][1]
+
+        # Materialize a left-deep nested-loop join across all sources.
+        _, current, _, _ = sources[0]
+        current = current.materialize()
+        for _, right, condition, outer in sources[1:]:
+            right = right.materialize()
+            joined_columns = current.columns + right.columns
+            joined_rows: list[tuple] = []
+            if condition is not None:
+                binder = Binder(joined_columns)
+                predicate = compile_row_expression(
+                    condition, binder.resolve, self._scalar_registry
+                )
+                null_pad = (None,) * right.width
+                for left_row in current.rows:
+                    matched = False
+                    for right_row in right.rows:
+                        combined = left_row + right_row
+                        if predicate(combined) is True:
+                            joined_rows.append(combined)
+                            matched = True
+                    if outer and not matched:
+                        # LEFT OUTER: keep the left row, NULL-padded —
+                        # the paper's "populating missing values with
+                        # nulls" star-join construction.
+                        joined_rows.append(left_row + null_pad)
+            else:
+                for left_row in current.rows:
+                    for right_row in right.rows:
+                        joined_rows.append(left_row + right_row)
+            scale = max(current.row_scale, right.row_scale)
+            current = Relation(
+                columns=joined_columns, rows=joined_rows, row_scale=scale
+            )
+            self._cost.charge_spool_rows(
+                len(joined_rows) * scale, len(joined_columns)
+            )
+        return current
+
+    def _relation_for_source(self, source: ast.FromSource) -> Relation:
+        if isinstance(source, ast.DerivedTable):
+            inner = self.execute_select(source.select).materialize()
+            # The derived result is spooled and re-read by the outer query
+            # (this is the paper's "two scans on a pivoted version of X").
+            self._cost.charge_spool_rows(inner.nominal_rows, inner.width)
+            self._cost.charge_scan(inner.nominal_rows, inner.width)
+            columns = [
+                BoundColumn(source.alias, column.name) for column in inner.columns
+            ]
+            return Relation(
+                columns=columns, rows=inner.rows, row_scale=inner.row_scale
+            )
+        binding = source.binding_name
+        if self._catalog.has_view(source.name):
+            view_select = self._catalog.view(source.name)
+            inner = self.execute_select(view_select).materialize()
+            columns = [BoundColumn(binding, column.name) for column in inner.columns]
+            return Relation(
+                columns=columns, rows=inner.rows, row_scale=inner.row_scale
+            )
+        table = self._catalog.table(source.name)
+        self._cost.charge_scan(table.nominal_rows, table.width)
+        return _base_scan(table, binding)
+
+    # ------------------------------------------------------------ projection
+    def _execute_projection(
+        self, select: ast.Select, env: Relation
+    ) -> "tuple[Relation, _OrderContext]":
+        binder = Binder(env.columns)
+        items = self._expand_stars(select.items, binder)
+
+        charged_expressions = [item.expression for item in items]
+        if select.where is not None:
+            charged_expressions.append(select.where)
+        self._cost.charge_sql_evaluation(
+            env.nominal_rows, self._expression_nodes(charged_expressions)
+        )
+        self._charge_scalar_udf_calls(charged_expressions, env.nominal_rows)
+
+        env.materialize()
+        rows = env.rows
+        if select.where is not None:
+            predicate = compile_row_expression(
+                select.where, binder.resolve, self._scalar_registry
+            )
+            rows = [row for row in rows if predicate(row) is True]
+        compiled = [
+            compile_row_expression(item.expression, binder.resolve, self._scalar_registry)
+            for item in items
+        ]
+        out_rows = [tuple(fn(row) for fn in compiled) for row in rows]
+        out_columns = [
+            BoundColumn(None, output_name(item, position))
+            for position, item in enumerate(items)
+        ]
+        self._cost.charge_spool_rows(len(out_rows) * env.row_scale, len(out_columns))
+        result = Relation(
+            columns=out_columns, rows=out_rows, row_scale=env.row_scale
+        )
+        # ORDER BY may reference source columns not in the select list.
+        order_context = _OrderContext(rows, binder, None)
+        return result, order_context
+
+    def _expand_stars(
+        self, items: Sequence[ast.SelectItem], binder: Binder
+    ) -> list[ast.SelectItem]:
+        expanded: list[ast.SelectItem] = []
+        for item in items:
+            if isinstance(item.expression, ast.Star):
+                for position in binder.positions_for_star(item.expression.table):
+                    column = binder.columns[position]
+                    expanded.append(
+                        ast.SelectItem(ast.ColumnRef(column.name, column.binding))
+                    )
+            else:
+                expanded.append(item)
+        return expanded
+
+    # ----------------------------------------------------------- aggregation
+    def _collect_aggregates(self, select: ast.Select) -> list[AggregateCall]:
+        expressions = [item.expression for item in select.items]
+        if select.having is not None:
+            expressions.append(select.having)
+        calls = find_aggregates(expressions, self._catalog.is_aggregate)
+        # ORDER BY may sort on an aggregate that is not selected
+        # (``ORDER BY count(*)``); those must be computed too.  Only
+        # when the query already aggregates — a bare projection cannot
+        # be turned into an aggregate by its ORDER BY.
+        if (calls or select.group_by) and select.order_by:
+            order_expressions = list(expressions) + [
+                expr for expr, _ in select.order_by
+            ]
+            calls = find_aggregates(
+                order_expressions, self._catalog.is_aggregate
+            )
+        return calls
+
+    def _aggregate_object(self, name: str) -> AggregateFunction | AggregateUdf:
+        factory = AGGREGATE_BUILTINS.get(name.lower())
+        if factory is not None:
+            return factory()
+        udf = self._catalog.aggregate_udf(name)
+        if udf is None:
+            raise PlanningError(f"unknown aggregate {name!r}")
+        return udf
+
+    def _execute_aggregate(
+        self,
+        select: ast.Select,
+        env: Relation,
+        aggregate_calls: list[AggregateCall],
+    ) -> "tuple[Relation, _OrderContext]":
+        binder = Binder(env.columns)
+        group_exprs = list(select.group_by)
+
+        aggregates = [
+            _AggregateSpec(call, self._aggregate_object(call.name), binder, self)
+            for call in aggregate_calls
+        ]
+        group_fns = [
+            compile_row_expression(expr, binder.resolve, self._scalar_registry)
+            for expr in group_exprs
+        ]
+
+        where_fn = (
+            compile_row_expression(select.where, binder.resolve, self._scalar_registry)
+            if select.where is not None
+            else None
+        )
+
+        groups = self._accumulate_groups(
+            env, binder, aggregates, group_exprs, group_fns, where_fn
+        )
+
+        self._charge_aggregate_costs(select, env, aggregates, len(groups))
+
+        # Build the post-aggregation environment and rewrite select items.
+        replacements: dict[str, ast.Expression] = {}
+        post_columns: list[BoundColumn] = []
+        for index, expr in enumerate(group_exprs):
+            name = f"__g{index}"
+            replacements[ast.render(expr)] = ast.ColumnRef(name)
+            post_columns.append(BoundColumn(None, name))
+        for index, spec in enumerate(aggregates):
+            name = f"__a{index}"
+            replacements[spec.call.key] = ast.ColumnRef(name)
+            post_columns.append(BoundColumn(None, name))
+        post_binder = Binder(post_columns)
+
+        out_columns = [
+            BoundColumn(None, output_name(item, position))
+            for position, item in enumerate(select.items)
+        ]
+        item_fns = []
+        for item in select.items:
+            rewritten = substitute(item.expression, replacements)
+            self._check_no_raw_columns(rewritten, post_binder)
+            item_fns.append(
+                compile_row_expression(
+                    rewritten, post_binder.resolve, self._scalar_registry
+                )
+            )
+        having_fn = None
+        if select.having is not None:
+            rewritten = substitute(select.having, replacements)
+            having_fn = compile_row_expression(
+                rewritten, post_binder.resolve, self._scalar_registry
+            )
+
+        out_rows: list[tuple] = []
+        post_rows: list[tuple] = []
+        for key, states in groups.items():
+            finalized = tuple(
+                spec.finalize(state) for spec, state in zip(aggregates, states)
+            )
+            post_row = key + finalized
+            if having_fn is not None and having_fn(post_row) is not True:
+                continue
+            post_rows.append(post_row)
+            out_rows.append(tuple(fn(post_row) for fn in item_fns))
+
+        self._cost.charge_spool_result(max(len(out_rows), 1), len(out_columns))
+        result = Relation(columns=out_columns, rows=out_rows, row_scale=1.0)
+
+        def rewrite(expression: ast.Expression) -> ast.Expression:
+            rewritten = substitute(expression, replacements)
+            self._check_no_raw_columns(rewritten, post_binder)
+            return rewritten
+
+        return result, _OrderContext(post_rows, post_binder, rewrite)
+
+    def _check_no_raw_columns(
+        self, expression: ast.Expression, post_binder: Binder
+    ) -> None:
+        """After substitution, any remaining column ref must be a synthetic
+        group/aggregate column — otherwise the query selected a column
+        that is neither aggregated nor in GROUP BY."""
+        for node in ast.walk(expression):
+            if isinstance(node, ast.ColumnRef):
+                if not any(column.matches(node) for column in post_binder.columns):
+                    raise PlanningError(
+                        f"column {node.display()!r} must appear in GROUP BY "
+                        "or inside an aggregate"
+                    )
+
+    def _accumulate_groups(
+        self,
+        env: Relation,
+        binder: Binder,
+        aggregates: list["_AggregateSpec"],
+        group_exprs: list[ast.Expression],
+        group_fns: list[Callable[[tuple], Any]],
+        where_fn: Callable[[tuple], Any] | None,
+    ) -> dict[tuple, list[Any]]:
+        groups: dict[tuple, list[Any]] = {}
+        if not group_exprs:
+            # SQL semantics: a grand aggregate always yields one row.
+            groups[()] = [spec.initialize() for spec in aggregates]
+
+        use_vector = (
+            env.base_table is not None
+            and not env._materialized
+            and where_fn is None
+            and all(spec.vector_ready for spec in aggregates)
+            and self._vector_group_keys_ready(group_exprs, binder)
+            and self._referenced_columns_numeric(
+                env, aggregates, group_exprs, binder
+            )
+        )
+        if use_vector:
+            self._accumulate_vectorized(env, binder, aggregates, group_exprs, groups)
+            return groups
+
+        env.materialize()
+        for row in env.rows:
+            if where_fn is not None and where_fn(row) is not True:
+                continue
+            key = tuple(fn(row) for fn in group_fns)
+            states = groups.get(key)
+            if states is None:
+                states = [spec.initialize() for spec in aggregates]
+                groups[key] = states
+            for index, spec in enumerate(aggregates):
+                states[index] = spec.accumulate_row(states[index], row)
+        return groups
+
+    def _referenced_columns_numeric(
+        self,
+        env: Relation,
+        aggregates: list["_AggregateSpec"],
+        group_exprs: list[ast.Expression],
+        binder: Binder,
+    ) -> bool:
+        """The vector path reads column blocks as float matrices, so every
+        referenced base column must be numeric."""
+        table = env.base_table
+        assert table is not None
+        expressions = [spec.call.call for spec in aggregates] + list(group_exprs)
+        for ref in referenced_columns_of_all(expressions):
+            position = binder.resolve(ref)
+            column = table.schema.columns[position]
+            if not column.sql_type.is_numeric:
+                return False
+        return True
+
+    def _vector_group_keys_ready(
+        self, group_exprs: list[ast.Expression], binder: Binder
+    ) -> bool:
+        for expr in group_exprs:
+            refs = referenced_columns(expr)
+            resolver = _matrix_resolver(binder, refs)
+            if compile_vector_expression(expr, resolver) is None:
+                return False
+        return True
+
+    def _accumulate_vectorized(
+        self,
+        env: Relation,
+        binder: Binder,
+        aggregates: list["_AggregateSpec"],
+        group_exprs: list[ast.Expression],
+        groups: dict[tuple, list[Any]],
+    ) -> None:
+        table = env.base_table
+        assert table is not None
+        needed = referenced_columns_of_all(
+            [spec.call.call for spec in aggregates] + list(group_exprs)
+        )
+        resolver_map = {
+            (ref.table, ref.name.lower()): index for index, ref in enumerate(needed)
+        }
+        positions = [binder.resolve(ref) for ref in needed]
+
+        def matrix_resolver(ref: ast.ColumnRef) -> int:
+            return resolver_map[(ref.table, ref.name.lower())]
+
+        group_vector_fns = [
+            compile_vector_expression(expr, matrix_resolver) for expr in group_exprs
+        ]
+        for spec in aggregates:
+            spec.prepare_vector(matrix_resolver)
+
+        for partition in table.partitions:
+            if partition.row_count == 0:
+                continue
+            block = partition.numeric_matrix(positions)
+            if not group_exprs:
+                partial = [spec.initialize() for spec in aggregates]
+                for index, spec in enumerate(aggregates):
+                    partial[index] = spec.accumulate_vector(partial[index], block)
+                states = groups[()]
+                for index, spec in enumerate(aggregates):
+                    states[index] = spec.merge(states[index], partial[index])
+                continue
+            key_arrays = [fn(block) for fn in group_vector_fns]  # type: ignore[misc]
+            # Integral float keys become ints so vector- and row-path
+            # group keys compare equal (i MOD k on an INTEGER column).
+            keys = [
+                tuple(
+                    int(v) if isinstance(v, float) and v.is_integer() else v
+                    for v in key
+                )
+                for key in zip(*(array.tolist() for array in key_arrays))
+            ]
+            index_map: dict[tuple, list[int]] = {}
+            for row_index, key in enumerate(keys):
+                index_map.setdefault(key, []).append(row_index)
+            for key, row_indices in index_map.items():
+                slice_block = block[np.asarray(row_indices)]
+                partial = [spec.initialize() for spec in aggregates]
+                for index, spec in enumerate(aggregates):
+                    partial[index] = spec.accumulate_vector(
+                        partial[index], slice_block
+                    )
+                states = groups.get(key)
+                if states is None:
+                    groups[key] = partial
+                else:
+                    for index, spec in enumerate(aggregates):
+                        states[index] = spec.merge(states[index], partial[index])
+
+    def _charge_aggregate_costs(
+        self,
+        select: ast.Select,
+        env: Relation,
+        aggregates: list["_AggregateSpec"],
+        group_count: int,
+    ) -> None:
+        rows = env.nominal_rows
+        # Interpreted per-row evaluation of the select list (and WHERE,
+        # and GROUP BY keys) — this is where the long 1+d+d²-term SQL
+        # query pays, while an aggregate-UDF call is a single node.
+        charged: list[ast.Expression] = [item.expression for item in select.items]
+        charged.extend(select.group_by)
+        if select.where is not None:
+            charged.append(select.where)
+        self._cost.charge_sql_evaluation(rows, self._expression_nodes(charged))
+        self._charge_scalar_udf_calls(list(select.group_by), rows)
+        if select.group_by:
+            self._cost.charge_groupby(rows)
+        groups = max(group_count, 1)
+        for spec in aggregates:
+            if spec.is_builtin:
+                continue
+            udf = spec.aggregate
+            assert isinstance(udf, AggregateUdf)
+            profile = udf.cost_per_row(len(spec.call.call.args))
+            multiplier = 1.0
+            if select.group_by:
+                state_bytes = udf.state_value_count() * 8
+                multiplier = self._cost.groupby_spill_multiplier(groups, state_bytes)
+            # The spill multiplier models state management pressure; the
+            # string pack/parse work is unaffected by it.
+            self._cost.charge_udf_rows(
+                rows * multiplier,
+                list_params=profile.list_params,
+                arith_ops=profile.arith_ops,
+            )
+            if profile.string_chars:
+                self._cost.charge_udf_string_transfer(rows, profile.string_chars)
+            partitions = (
+                env.base_table.partition_count if env.base_table is not None else 1
+            )
+            self._cost.charge_udf_merge(
+                partitions * groups, udf.state_value_count()
+            )
+            self._cost.charge_udf_return(udf.state_value_count() * groups)
+
+    # -------------------------------------------------------- order and limit
+    def _apply_order_limit(
+        self,
+        select: ast.Select,
+        result: Relation,
+        order_context: "_OrderContext",
+    ) -> Relation:
+        """Sort and truncate the output.
+
+        ORDER BY expressions resolve in SQL's order of preference:
+        an integer literal is an output position; then output columns
+        (aliases); then the pre-projection environment — source columns
+        not in the select list, or (after aggregation) aggregate
+        expressions rewritten onto the group result.
+        """
+        if select.order_by:
+            out_binder = Binder(result.columns)
+            key_fns: list[tuple[Callable[[int], Any], bool]] = []
+            out_rows = result.rows
+            key_rows = order_context.rows
+            for expr, ascending in select.order_by:
+                if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                    position = expr.value - 1
+                    if not 0 <= position < result.width:
+                        raise PlanningError(
+                            f"ORDER BY position {expr.value} out of range"
+                        )
+                    key_fns.append(
+                        (lambda i, p=position: out_rows[i][p], ascending)
+                    )
+                    continue
+                try:
+                    fn = compile_row_expression(
+                        expr, out_binder.resolve, self._scalar_registry
+                    )
+                    key_fns.append(
+                        (lambda i, f=fn: f(out_rows[i]), ascending)
+                    )
+                    continue
+                except PlanningError:
+                    pass
+                rewritten = (
+                    order_context.rewrite(expr)
+                    if order_context.rewrite is not None
+                    else expr
+                )
+                fn = compile_row_expression(
+                    rewritten, order_context.binder.resolve, self._scalar_registry
+                )
+                key_fns.append((lambda i, f=fn: f(key_rows[i]), ascending))
+
+            order = list(range(len(out_rows)))
+            for fn, ascending in reversed(key_fns):
+                order.sort(
+                    key=lambda i: _sort_key(fn(i)), reverse=not ascending
+                )
+            result = Relation(
+                columns=result.columns,
+                rows=[out_rows[i] for i in order],
+                row_scale=result.row_scale,
+            )
+            self._cost.charge_sort(result.nominal_rows)
+        if select.limit is not None:
+            result = Relation(
+                columns=result.columns,
+                rows=result.rows[: select.limit],
+                row_scale=result.row_scale,
+            )
+        return result
+
+    # -------------------------------------------------------------- utilities
+    def _scalar_registry(self, name: str) -> Callable[..., Any] | None:
+        builtin = SCALAR_BUILTINS.get(name)
+        if builtin is not None:
+            return builtin
+        return self._catalog.scalar_udf(name)
+
+    def _charge_scalar_udf_calls(
+        self, expressions: Sequence[ast.Expression], rows: float
+    ) -> None:
+        for expression in expressions:
+            for node in ast.walk(expression):
+                if isinstance(node, ast.FuncCall):
+                    udf = self._catalog.scalar_udf(node.name)
+                    if udf is not None:
+                        profile = udf.cost_per_row(len(node.args))
+                        self._cost.charge_scalar_udf_rows(
+                            rows,
+                            params=profile.list_params,
+                            arith_ops=profile.arith_ops,
+                        )
+
+    def _expression_nodes(self, expressions: Sequence[ast.Expression]) -> int:
+        """AST-node count the interpreted evaluator pays per row.
+
+        A UDF call (scalar or aggregate) counts as a single node with
+        only its non-trivial arguments descended into: UDF parameters
+        are handed over on the run-time stack, so plain column refs and
+        literals in the argument list cost nothing extra — the UDF's own
+        per-call cost is charged separately.  Builtin calls (sum, sqrt,
+        ...) are interpreted and count fully.
+        """
+        total = 0
+
+        def visit(node: ast.Expression) -> None:
+            nonlocal total
+            total += 1
+            if isinstance(node, ast.FuncCall) and not (
+                node.name in SCALAR_BUILTINS or node.name in AGGREGATE_BUILTINS
+            ):
+                for arg in node.args:
+                    if not isinstance(arg, (ast.ColumnRef, ast.Literal)):
+                        visit(arg)
+                return
+            if isinstance(node, ast.Unary):
+                visit(node.operand)
+            elif isinstance(node, ast.Binary):
+                visit(node.left)
+                visit(node.right)
+            elif isinstance(node, ast.FuncCall):
+                for arg in node.args:
+                    visit(arg)
+            elif isinstance(node, ast.Case):
+                for condition, result in node.whens:
+                    visit(condition)
+                    visit(result)
+                if node.else_result is not None:
+                    visit(node.else_result)
+            elif isinstance(node, ast.IsNull):
+                visit(node.operand)
+            elif isinstance(node, ast.InList):
+                visit(node.operand)
+                for item in node.items:
+                    visit(item)
+
+        for expression in expressions:
+            visit(expression)
+        return total
+
+
+@dataclass
+class _OrderContext:
+    """Pre-projection rows/binder for ORDER BY resolution, plus an
+    optional expression rewriter (aggregate substitution)."""
+
+    rows: list[tuple]
+    binder: Binder
+    rewrite: "Callable[[ast.Expression], ast.Expression] | None" = None
+
+
+def _sort_key(value: Any) -> tuple:
+    """NULLs sort last among ascending values; mixed types sort by type name."""
+    if value is None:
+        return (2, 0)
+    if isinstance(value, (int, float)):
+        return (0, value)
+    return (1, str(value))
+
+
+def _empty_result() -> Relation:
+    return Relation(columns=[], rows=[])
+
+
+def referenced_columns_of_all(
+    expressions: Sequence[ast.Expression],
+) -> list[ast.ColumnRef]:
+    refs: list[ast.ColumnRef] = []
+    seen: set[tuple[str | None, str]] = set()
+    for expression in expressions:
+        for ref in referenced_columns(expression):
+            key = (ref.table, ref.name.lower())
+            if key not in seen:
+                seen.add(key)
+                refs.append(ref)
+    return refs
+
+
+def _matrix_resolver(
+    binder: Binder, refs: list[ast.ColumnRef]
+) -> Callable[[ast.ColumnRef], int]:
+    mapping = {(ref.table, ref.name.lower()): index for index, ref in enumerate(refs)}
+
+    def resolve(ref: ast.ColumnRef) -> int:
+        return mapping[(ref.table, ref.name.lower())]
+
+    return resolve
+
+
+class _DistinctState:
+    """Aggregate state paired with the set of argument tuples seen so far
+    (DISTINCT aggregation; row path only)."""
+
+    __slots__ = ("inner", "seen")
+
+    def __init__(self, inner: Any, seen: set) -> None:
+        self.inner = inner
+        self.seen = seen
+
+
+class _AggregateSpec:
+    """One aggregate call bound to its arguments and execution strategy."""
+
+    def __init__(
+        self,
+        call: AggregateCall,
+        aggregate: AggregateFunction | AggregateUdf,
+        binder: Binder,
+        executor: Executor,
+    ) -> None:
+        self.call = call
+        self.aggregate = aggregate
+        self.is_builtin = isinstance(aggregate, AggregateFunction)
+        self._distinct = call.call.distinct
+        args = call.call.args
+        self._star_args = len(args) == 1 and isinstance(args[0], ast.Star)
+        if self._star_args:
+            if call.name != "count":
+                raise PlanningError(f"'*' argument only valid in COUNT(*)")
+            args = ()
+        self._arg_exprs = args
+        self._row_fns = [
+            compile_row_expression(arg, binder.resolve, executor._scalar_registry)
+            for arg in args
+        ]
+        if not self.is_builtin:
+            assert isinstance(aggregate, AggregateUdf)
+            if aggregate.arity is not None and len(args) != aggregate.arity:
+                raise PlanningError(
+                    f"aggregate UDF {aggregate.name!r} expects "
+                    f"{aggregate.arity} arguments, got {len(args)}"
+                )
+        self._vector_fns: list | None = None
+        self._binder = binder
+        self._skips_nulls = aggregate.skips_nulls and bool(args)
+
+    # The vector path is usable when the aggregate object supports block
+    # accumulation, the call is not DISTINCT, and all arguments vectorize.
+    @property
+    def vector_ready(self) -> bool:
+        if self._distinct:
+            return False
+        if self.is_builtin:
+            supported = (
+                type(self.aggregate).accumulate_vector
+                is not AggregateFunction.accumulate_vector
+            )
+        else:
+            supported = getattr(self.aggregate, "supports_block", False)
+        if not supported:
+            return False
+        refs = referenced_columns_of_all(self._arg_exprs)
+        resolver = _matrix_resolver(self._binder, refs)
+        return all(
+            compile_vector_expression(arg, resolver) is not None
+            for arg in self._arg_exprs
+        )
+
+    def prepare_vector(self, matrix_resolver: Callable[[ast.ColumnRef], int]) -> None:
+        self._vector_fns = [
+            compile_vector_expression(arg, matrix_resolver)
+            for arg in self._arg_exprs
+        ]
+
+    def initialize(self) -> Any:
+        state = self.aggregate.initialize()
+        if self._distinct:
+            return _DistinctState(state, set())
+        return state
+
+    def merge(self, state: Any, other: Any) -> Any:
+        if self._distinct:
+            raise ExecutionError(
+                "DISTINCT aggregates cannot merge partial states"
+            )
+        return self.aggregate.merge(state, other)
+
+    def finalize(self, state: Any) -> Any:
+        if self._distinct:
+            assert isinstance(state, _DistinctState)
+            return self.aggregate.finalize(state.inner)
+        return self.aggregate.finalize(state)
+
+    def accumulate_row(self, state: Any, row: tuple) -> Any:
+        args = tuple(fn(row) for fn in self._row_fns)
+        if self._skips_nulls and any(value is None for value in args):
+            return state
+        if self._distinct:
+            assert isinstance(state, _DistinctState)
+            if args in state.seen:
+                return state
+            state.seen.add(args)
+            state.inner = self.aggregate.accumulate(state.inner, args)
+            return state
+        if not self.is_builtin:
+            assert isinstance(self.aggregate, AggregateUdf)
+            self.aggregate.check_args(args)
+        return self.aggregate.accumulate(state, args)
+
+    def accumulate_vector(self, state: Any, block: np.ndarray) -> Any:
+        assert self._vector_fns is not None
+        vectors = [fn(block) for fn in self._vector_fns]  # type: ignore[misc]
+        if self.is_builtin:
+            assert isinstance(self.aggregate, AggregateFunction)
+            result = self.aggregate.accumulate_vector(
+                state, vectors, block.shape[0]
+            )
+            if result is NotImplemented:
+                raise ExecutionError(
+                    f"aggregate {self.call.name!r} has no vector path"
+                )
+            return result
+        assert isinstance(self.aggregate, AggregateUdf)
+        if vectors:
+            arg_block = np.column_stack(vectors)
+        else:
+            arg_block = np.empty((block.shape[0], 0))
+        if self._skips_nulls and arg_block.size:
+            mask = ~np.isnan(arg_block).any(axis=1)
+            if not mask.all():
+                arg_block = arg_block[mask]
+        return self.aggregate.accumulate_block(state, arg_block)

@@ -1,0 +1,165 @@
+"""SQL tokenizer.
+
+Produces a flat token stream for the recursive-descent parser.  Handles
+identifiers (with ``"quoted"`` form), numeric and string literals,
+multi-character operators, comments (``--`` and ``/* */``) and statement
+separators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+
+class TokenType(enum.Enum):
+    IDENTIFIER = "identifier"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    END = "end"
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC",
+        "DESC", "LIMIT", "AS", "AND", "OR", "NOT", "NULL", "IS", "IN",
+        "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END", "JOIN", "CROSS",
+        "INNER", "ON", "CREATE", "TABLE", "VIEW", "OR", "REPLACE", "DROP",
+        "IF", "EXISTS", "INSERT", "INTO", "VALUES", "DELETE", "PRIMARY",
+        "KEY", "DISTINCT", "LIKE", "MOD", "LEFT", "OUTER", "UPDATE", "SET",
+    }
+)
+
+_TWO_CHAR_OPERATORS = ("<>", "<=", ">=", "!=", "||")
+_ONE_CHAR_OPERATORS = "+-*/<>=%"
+_PUNCTUATION = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.upper in names
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize *sql*, raising :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(sql)
+    while index < length:
+        ch = sql[index]
+        if ch.isspace():
+            index += 1
+            continue
+        if sql.startswith("--", index):
+            newline = sql.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+        if sql.startswith("/*", index):
+            closing = sql.find("*/", index + 2)
+            if closing < 0:
+                raise SqlSyntaxError("unterminated block comment", index)
+            index = closing + 2
+            continue
+        if ch == "'":
+            text, index = _read_string(sql, index)
+            tokens.append(Token(TokenType.STRING, text, index))
+            continue
+        if ch == '"':
+            closing = sql.find('"', index + 1)
+            if closing < 0:
+                raise SqlSyntaxError("unterminated quoted identifier", index)
+            tokens.append(
+                Token(TokenType.IDENTIFIER, sql[index + 1 : closing], index)
+            )
+            index = closing + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and index + 1 < length and sql[index + 1].isdigit()
+        ):
+            text, index = _read_number(sql, index)
+            tokens.append(Token(TokenType.NUMBER, text, index))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = index
+            while index < length and (sql[index].isalnum() or sql[index] == "_"):
+                index += 1
+            word = sql[start:index]
+            token_type = (
+                TokenType.KEYWORD if word.upper() in KEYWORDS else TokenType.IDENTIFIER
+            )
+            tokens.append(Token(token_type, word, start))
+            continue
+        two = sql[index : index + 2]
+        if two in _TWO_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, two, index))
+            index += 2
+            continue
+        if ch in _ONE_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, ch, index))
+            index += 1
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCT, ch, index))
+            index += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", index)
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string literal with ``''`` escaping."""
+    index = start + 1
+    pieces: list[str] = []
+    length = len(sql)
+    while index < length:
+        ch = sql[index]
+        if ch == "'":
+            if index + 1 < length and sql[index + 1] == "'":
+                pieces.append("'")
+                index += 2
+                continue
+            return "".join(pieces), index + 1
+        pieces.append(ch)
+        index += 1
+    raise SqlSyntaxError("unterminated string literal", start)
+
+
+def _read_number(sql: str, start: int) -> tuple[str, int]:
+    index = start
+    length = len(sql)
+    seen_dot = False
+    seen_exp = False
+    while index < length:
+        ch = sql[index]
+        if ch.isdigit():
+            index += 1
+            continue
+        if ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            index += 1
+            continue
+        if ch in "eE" and not seen_exp and index > start:
+            lookahead = index + 1
+            if lookahead < length and sql[lookahead] in "+-":
+                lookahead += 1
+            if lookahead < length and sql[lookahead].isdigit():
+                seen_exp = True
+                index = lookahead
+                continue
+        break
+    return sql[start:index], index

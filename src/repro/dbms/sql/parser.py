@@ -1,0 +1,539 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (informal):
+
+    statement   := select | create_table | create_view | insert | delete
+                 | drop_table | drop_view
+    select      := SELECT [DISTINCT-less] item ("," item)*
+                   [FROM source ("," source)* join*]
+                   [WHERE expr] [GROUP BY expr ("," expr)*] [HAVING expr]
+                   [ORDER BY expr [ASC|DESC] ("," ...)*] [LIMIT n]
+    source      := name [alias] | "(" select ")" alias
+    join        := (CROSS JOIN source) | ([INNER] JOIN source ON expr)
+    expr        := boolean expression with the usual precedence:
+                   OR < AND < NOT < comparison/IS/IN/BETWEEN/LIKE
+                   < additive < multiplicative (incl. MOD) < unary < primary
+
+The parser is pure syntax: names are not resolved against the catalog
+here (the planner does that), matching how a DBMS separates parse from
+bind.
+"""
+
+from __future__ import annotations
+
+from repro.dbms.sql import ast
+from repro.dbms.sql.lexer import Token, TokenType, tokenize
+from repro.errors import SqlSyntaxError
+
+_COMPARISON_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+def parse_statement(sql: str) -> ast.Statement:
+    """Parse a single SQL statement (a trailing ``;`` is allowed)."""
+    statements = parse_statements(sql)
+    if len(statements) != 1:
+        raise SqlSyntaxError(
+            f"expected exactly one statement, found {len(statements)}"
+        )
+    return statements[0]
+
+
+def parse_statements(sql: str) -> list[ast.Statement]:
+    """Parse a ``;``-separated script into a list of statements."""
+    parser = _Parser(tokenize(sql))
+    statements: list[ast.Statement] = []
+    while not parser.at_end():
+        statements.append(parser.parse_statement())
+        while parser.accept_punct(";"):
+            pass
+    return statements
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------- primitives
+    def peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type is not TokenType.END:
+            self._index += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self.peek().type is TokenType.END
+
+    def error(self, message: str) -> SqlSyntaxError:
+        token = self.peek()
+        near = token.text or "end of input"
+        return SqlSyntaxError(f"{message}, near {near!r}", token.position)
+
+    def accept_keyword(self, *names: str) -> Token | None:
+        if self.peek().is_keyword(*names):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, name: str) -> Token:
+        token = self.accept_keyword(name)
+        if token is None:
+            raise self.error(f"expected {name}")
+        return token
+
+    def accept_punct(self, text: str) -> bool:
+        token = self.peek()
+        if token.type is TokenType.PUNCT and token.text == text:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, text: str) -> None:
+        if not self.accept_punct(text):
+            raise self.error(f"expected {text!r}")
+
+    def accept_operator(self, *texts: str) -> Token | None:
+        token = self.peek()
+        if token.type is TokenType.OPERATOR and token.text in texts:
+            return self.advance()
+        return None
+
+    def expect_identifier(self, what: str = "identifier") -> str:
+        token = self.peek()
+        if token.type is TokenType.IDENTIFIER:
+            self.advance()
+            return token.text
+        raise self.error(f"expected {what}")
+
+    # ------------------------------------------------------------- statements
+    def parse_statement(self) -> ast.Statement:
+        token = self.peek()
+        if token.is_keyword("SELECT"):
+            return self.parse_select()
+        if token.is_keyword("CREATE"):
+            return self._parse_create()
+        if token.is_keyword("INSERT"):
+            return self._parse_insert()
+        if token.is_keyword("DELETE"):
+            return self._parse_delete()
+        if token.is_keyword("UPDATE"):
+            return self._parse_update()
+        if token.is_keyword("DROP"):
+            return self._parse_drop()
+        raise self.error("expected a statement")
+
+    def parse_select(self) -> ast.Select:
+        self.expect_keyword("SELECT")
+        items = [self._parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self._parse_select_item())
+
+        from_sources: list[ast.FromSource] = []
+        joins: list[ast.JoinClause] = []
+        if self.accept_keyword("FROM"):
+            from_sources.append(self._parse_from_source())
+            while True:
+                if self.accept_punct(","):
+                    from_sources.append(self._parse_from_source())
+                    continue
+                if self.accept_keyword("CROSS"):
+                    self.expect_keyword("JOIN")
+                    joins.append(ast.JoinClause(self._parse_from_source()))
+                    continue
+                if self.peek().is_keyword("INNER", "JOIN", "LEFT"):
+                    outer = False
+                    if self.accept_keyword("LEFT"):
+                        self.accept_keyword("OUTER")
+                        outer = True
+                    else:
+                        self.accept_keyword("INNER")
+                    self.expect_keyword("JOIN")
+                    source = self._parse_from_source()
+                    self.expect_keyword("ON")
+                    condition = self.parse_expression()
+                    joins.append(ast.JoinClause(source, condition, outer))
+                    continue
+                break
+
+        where = self.parse_expression() if self.accept_keyword("WHERE") else None
+
+        group_by: list[ast.Expression] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expression())
+            while self.accept_punct(","):
+                group_by.append(self.parse_expression())
+
+        having = self.parse_expression() if self.accept_keyword("HAVING") else None
+
+        order_by: list[tuple[ast.Expression, bool]] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self.accept_punct(","):
+                order_by.append(self._parse_order_item())
+
+        limit: int | None = None
+        if self.accept_keyword("LIMIT"):
+            token = self.peek()
+            if token.type is not TokenType.NUMBER:
+                raise self.error("expected a number after LIMIT")
+            self.advance()
+            limit = int(float(token.text))
+
+        return ast.Select(
+            items=tuple(items),
+            from_sources=tuple(from_sources),
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def _parse_order_item(self) -> tuple[ast.Expression, bool]:
+        expression = self.parse_expression()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        return expression, ascending
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        token = self.peek()
+        if token.type is TokenType.OPERATOR and token.text == "*":
+            self.advance()
+            return ast.SelectItem(ast.Star())
+        # alias.* form
+        if (
+            token.type is TokenType.IDENTIFIER
+            and self.peek(1).type is TokenType.PUNCT
+            and self.peek(1).text == "."
+            and self.peek(2).type is TokenType.OPERATOR
+            and self.peek(2).text == "*"
+        ):
+            self.advance()
+            self.advance()
+            self.advance()
+            return ast.SelectItem(ast.Star(table=token.text))
+        expression = self.parse_expression()
+        alias: str | None = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier("alias")
+        elif self.peek().type is TokenType.IDENTIFIER:
+            alias = self.advance().text
+        return ast.SelectItem(expression, alias)
+
+    def _parse_from_source(self) -> ast.FromSource:
+        if self.accept_punct("("):
+            select = self.parse_select()
+            self.expect_punct(")")
+            self.accept_keyword("AS")
+            alias = self.expect_identifier("derived-table alias")
+            return ast.DerivedTable(select, alias)
+        name = self.expect_identifier("table name")
+        alias: str | None = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier("alias")
+        elif self.peek().type is TokenType.IDENTIFIER:
+            alias = self.advance().text
+        return ast.TableName(name, alias)
+
+    # --------------------------------------------------------------------- DDL
+    def _parse_create(self) -> ast.Statement:
+        self.expect_keyword("CREATE")
+        or_replace = False
+        if self.accept_keyword("OR"):
+            self.expect_keyword("REPLACE")
+            or_replace = True
+        if self.accept_keyword("VIEW"):
+            name = self.expect_identifier("view name")
+            self.expect_keyword("AS")
+            select = self.parse_select()
+            return ast.CreateView(name, select, or_replace)
+        if or_replace:
+            raise self.error("OR REPLACE is only supported for views")
+        self.expect_keyword("TABLE")
+        if_not_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self.expect_identifier("table name")
+        self.expect_punct("(")
+        columns: list[ast.ColumnDef] = []
+        primary_key: str | None = None
+        while True:
+            if self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                self.expect_punct("(")
+                primary_key = self.expect_identifier("primary key column")
+                self.expect_punct(")")
+            else:
+                column_name = self.expect_identifier("column name")
+                type_name = self._parse_type_name()
+                not_null = False
+                is_pk = False
+                while True:
+                    if self.accept_keyword("NOT"):
+                        self.expect_keyword("NULL")
+                        not_null = True
+                        continue
+                    if self.accept_keyword("PRIMARY"):
+                        self.expect_keyword("KEY")
+                        is_pk = True
+                        not_null = True
+                        continue
+                    break
+                columns.append(
+                    ast.ColumnDef(column_name, type_name, not_null, is_pk)
+                )
+                if is_pk:
+                    primary_key = column_name
+            if self.accept_punct(","):
+                continue
+            self.expect_punct(")")
+            break
+        return ast.CreateTable(name, tuple(columns), primary_key, if_not_exists)
+
+    def _parse_type_name(self) -> str:
+        token = self.peek()
+        if token.type not in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            raise self.error("expected a type name")
+        self.advance()
+        name = token.text
+        # "DOUBLE PRECISION" is the only two-word type we accept.
+        if name.upper() == "DOUBLE" and self.peek().type is TokenType.IDENTIFIER:
+            if self.peek().text.upper() == "PRECISION":
+                self.advance()
+                name = "DOUBLE PRECISION"
+        # Swallow an optional length, e.g. VARCHAR(20).
+        if self.accept_punct("("):
+            while not self.accept_punct(")"):
+                self.advance()
+        return name
+
+    def _parse_insert(self) -> ast.Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_identifier("table name")
+        columns: list[str] = []
+        if self.accept_punct("("):
+            columns.append(self.expect_identifier("column name"))
+            while self.accept_punct(","):
+                columns.append(self.expect_identifier("column name"))
+            self.expect_punct(")")
+        if self.peek().is_keyword("SELECT"):
+            return ast.Insert(table, tuple(columns), select=self.parse_select())
+        self.expect_keyword("VALUES")
+        rows: list[tuple[ast.Expression, ...]] = []
+        while True:
+            self.expect_punct("(")
+            row = [self.parse_expression()]
+            while self.accept_punct(","):
+                row.append(self.parse_expression())
+            self.expect_punct(")")
+            rows.append(tuple(row))
+            if not self.accept_punct(","):
+                break
+        return ast.Insert(table, tuple(columns), tuple(rows))
+
+    def _parse_delete(self) -> ast.Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_identifier("table name")
+        where = self.parse_expression() if self.accept_keyword("WHERE") else None
+        return ast.Delete(table, where)
+
+    def _parse_update(self) -> ast.Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_identifier("table name")
+        self.expect_keyword("SET")
+        assignments: list[tuple[str, ast.Expression]] = []
+        while True:
+            column = self.expect_identifier("column name")
+            if self.accept_operator("=") is None:
+                raise self.error("expected '=' in SET clause")
+            assignments.append((column, self.parse_expression()))
+            if not self.accept_punct(","):
+                break
+        where = self.parse_expression() if self.accept_keyword("WHERE") else None
+        return ast.Update(table, tuple(assignments), where)
+
+    def _parse_drop(self) -> ast.Statement:
+        self.expect_keyword("DROP")
+        if self.accept_keyword("VIEW"):
+            if_exists = self._accept_if_exists()
+            return ast.DropView(self.expect_identifier("view name"), if_exists)
+        self.expect_keyword("TABLE")
+        if_exists = self._accept_if_exists()
+        return ast.DropTable(self.expect_identifier("table name"), if_exists)
+
+    def _accept_if_exists(self) -> bool:
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            return True
+        return False
+
+    # ------------------------------------------------------------ expressions
+    def parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_and()
+        while self.accept_keyword("OR"):
+            left = ast.Binary("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_not()
+        while self.accept_keyword("AND"):
+            left = ast.Binary("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expression:
+        if self.accept_keyword("NOT"):
+            return ast.Unary("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expression:
+        left = self._parse_additive()
+        token = self.accept_operator(*_COMPARISON_OPS)
+        if token is not None:
+            op = "<>" if token.text == "!=" else token.text
+            return ast.Binary(op, left, self._parse_additive())
+        if self.accept_keyword("IS"):
+            negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return ast.IsNull(left, negated)
+        negated = bool(self.accept_keyword("NOT"))
+        if self.accept_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self.expect_keyword("AND")
+            high = self._parse_additive()
+            between = ast.Binary(
+                "AND",
+                ast.Binary(">=", left, low),
+                ast.Binary("<=", left, high),
+            )
+            return ast.Unary("NOT", between) if negated else between
+        if self.accept_keyword("IN"):
+            self.expect_punct("(")
+            items = [self.parse_expression()]
+            while self.accept_punct(","):
+                items.append(self.parse_expression())
+            self.expect_punct(")")
+            return ast.InList(left, tuple(items), negated)
+        if self.accept_keyword("LIKE"):
+            pattern = self._parse_additive()
+            like = ast.FuncCall("like", (left, pattern))
+            return ast.Unary("NOT", like) if negated else like
+        if negated:
+            raise self.error("expected BETWEEN, IN or LIKE after NOT")
+        return left
+
+    def _parse_additive(self) -> ast.Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self.accept_operator("+", "-")
+            if token is None and self.peek().type is TokenType.OPERATOR \
+                    and self.peek().text == "||":
+                self.advance()
+                left = ast.FuncCall("concat", (left, self._parse_multiplicative()))
+                continue
+            if token is None:
+                return left
+            left = ast.Binary(token.text, left, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> ast.Expression:
+        left = self._parse_unary()
+        while True:
+            token = self.accept_operator("*", "/", "%")
+            if token is not None:
+                op = "MOD" if token.text == "%" else token.text
+                left = ast.Binary(op, left, self._parse_unary())
+                continue
+            if self.accept_keyword("MOD"):
+                left = ast.Binary("MOD", left, self._parse_unary())
+                continue
+            return left
+
+    def _parse_unary(self) -> ast.Expression:
+        token = self.accept_operator("-", "+")
+        if token is not None:
+            operand = self._parse_unary()
+            if token.text == "+":
+                return operand
+            if isinstance(operand, ast.Literal) and isinstance(
+                operand.value, (int, float)
+            ):
+                return ast.Literal(-operand.value)
+            return ast.Unary("-", operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self.peek()
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            text = token.text
+            if "." in text or "e" in text or "E" in text:
+                return ast.Literal(float(text))
+            return ast.Literal(int(text))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return ast.Literal(token.text)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if self.accept_punct("("):
+            expression = self.parse_expression()
+            self.expect_punct(")")
+            return expression
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_identifier_expression()
+        raise self.error("expected an expression")
+
+    def _parse_case(self) -> ast.Expression:
+        self.expect_keyword("CASE")
+        whens: list[tuple[ast.Expression, ast.Expression]] = []
+        while self.accept_keyword("WHEN"):
+            condition = self.parse_expression()
+            self.expect_keyword("THEN")
+            result = self.parse_expression()
+            whens.append((condition, result))
+        if not whens:
+            raise self.error("CASE requires at least one WHEN")
+        else_result: ast.Expression | None = None
+        if self.accept_keyword("ELSE"):
+            else_result = self.parse_expression()
+        self.expect_keyword("END")
+        return ast.Case(tuple(whens), else_result)
+
+    def _parse_identifier_expression(self) -> ast.Expression:
+        name = self.advance().text
+        # function call
+        if self.accept_punct("("):
+            distinct = bool(self.accept_keyword("DISTINCT"))
+            args: list[ast.Expression] = []
+            if not self.accept_punct(")"):
+                token = self.peek()
+                if token.type is TokenType.OPERATOR and token.text == "*":
+                    self.advance()
+                    args.append(ast.Star())
+                else:
+                    args.append(self.parse_expression())
+                while self.accept_punct(","):
+                    args.append(self.parse_expression())
+                self.expect_punct(")")
+            return ast.FuncCall(name.lower(), tuple(args), distinct)
+        # qualified column: alias.column
+        if self.accept_punct("."):
+            column = self.expect_identifier("column name")
+            return ast.ColumnRef(column, table=name)
+        return ast.ColumnRef(name)

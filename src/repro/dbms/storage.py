@@ -1,0 +1,243 @@
+"""Horizontally partitioned table storage.
+
+Tables are split into partitions the way Teradata hashes rows across
+AMPs: each partition is owned by one (simulated) parallel worker, scans
+process partitions independently, and aggregate UDFs accumulate one
+partial state per partition before a final merge (the paper's step 3,
+"partial result aggregation").
+
+Data is stored column-wise inside each partition so the aggregate-UDF
+fast path can hand numpy blocks to vectorized accumulators without
+changing the per-row semantics.
+
+A table may carry a *row scale*: benchmarks store ``n / scale`` physical
+rows but the cost model charges for ``n`` (every per-row charge is
+linear, so the accounting is exact).  Numeric results always describe the
+physical rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.dbms.schema import TableSchema
+from repro.dbms.types import coerce_value
+from repro.errors import ConstraintViolation, SchemaError
+
+
+class Partition:
+    """One horizontal partition: parallel per-column value lists."""
+
+    def __init__(self, width: int) -> None:
+        self._columns: list[list[Any]] = [[] for _ in range(width)]
+        self._rows = 0
+
+    @property
+    def row_count(self) -> int:
+        return self._rows
+
+    def append(self, row: Sequence[Any]) -> None:
+        for column, value in zip(self._columns, row):
+            column.append(value)
+        self._rows += 1
+
+    def extend_columns(self, columns: Sequence[Sequence[Any]]) -> None:
+        """Bulk-append column-oriented data (all columns same length)."""
+        added = len(columns[0]) if columns else 0
+        for target, source in zip(self._columns, columns):
+            target.extend(source)
+        self._rows += added
+
+    def column(self, position: int) -> list[Any]:
+        return self._columns[position]
+
+    def rows(self) -> Iterator[tuple[Any, ...]]:
+        return zip(*self._columns) if self._rows else iter(())
+
+    def numeric_matrix(self, positions: Sequence[int]) -> np.ndarray:
+        """The selected columns as a float matrix (NULL becomes NaN).
+
+        Shape is ``(rows, len(positions))``; used by the vectorized
+        aggregate-UDF path, which must produce bit-identical state to the
+        per-row reference path.
+        """
+        if self._rows == 0:
+            return np.empty((0, len(positions)))
+        stacked = np.empty((self._rows, len(positions)))
+        for out_index, position in enumerate(positions):
+            column = self._columns[position]
+            stacked[:, out_index] = np.asarray(
+                [np.nan if v is None else v for v in column], dtype=float
+            )
+        return stacked
+
+
+class Table:
+    """A partitioned, typed relation."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: TableSchema,
+        partitions: int = 20,
+        row_scale: float = 1.0,
+    ) -> None:
+        if partitions < 1:
+            raise SchemaError(f"partition count must be >= 1, got {partitions}")
+        if row_scale < 1.0:
+            raise SchemaError(f"row scale must be >= 1, got {row_scale}")
+        self.name = name
+        self.schema = schema
+        self.row_scale = row_scale
+        self._partitions = [Partition(len(schema)) for _ in range(partitions)]
+        self._pk_position = (
+            schema.position_of(schema.primary_key)
+            if schema.primary_key is not None
+            else None
+        )
+        self._pk_values: set[Any] = set()
+        self._next_partition = 0
+
+    # ------------------------------------------------------------- properties
+    @property
+    def partitions(self) -> list[Partition]:
+        return self._partitions
+
+    @property
+    def partition_count(self) -> int:
+        return len(self._partitions)
+
+    @property
+    def row_count(self) -> int:
+        """Physical rows actually stored."""
+        return sum(partition.row_count for partition in self._partitions)
+
+    @property
+    def nominal_rows(self) -> float:
+        """Rows the cost model charges for (physical × row scale)."""
+        return self.row_count * self.row_scale
+
+    @property
+    def width(self) -> int:
+        return len(self.schema)
+
+    # ---------------------------------------------------------------- inserts
+    def _partition_for(self, row: Sequence[Any]) -> Partition:
+        """Pick the owning partition: hash the primary key when there is
+        one (Teradata's hash distribution), round-robin otherwise."""
+        if self._pk_position is not None:
+            key = row[self._pk_position]
+            index = hash(key) % len(self._partitions)
+        else:
+            index = self._next_partition
+            self._next_partition = (self._next_partition + 1) % len(self._partitions)
+        return self._partitions[index]
+
+    def _check_row(self, row: Sequence[Any]) -> tuple[Any, ...]:
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"row has {len(row)} values, table {self.name!r} has "
+                f"{len(self.schema)} columns"
+            )
+        coerced = tuple(
+            coerce_value(value, column.sql_type)
+            for value, column in zip(row, self.schema.columns)
+        )
+        for value, column in zip(coerced, self.schema.columns):
+            if value is None and not column.nullable:
+                raise ConstraintViolation(
+                    f"NULL in NOT NULL column {column.name!r} of {self.name!r}"
+                )
+        if self._pk_position is not None:
+            key = coerced[self._pk_position]
+            if key in self._pk_values:
+                raise ConstraintViolation(
+                    f"duplicate primary key {key!r} in {self.name!r}"
+                )
+            self._pk_values.add(key)
+        return coerced
+
+    def insert(self, row: Sequence[Any]) -> None:
+        coerced = self._check_row(row)
+        self._partition_for(coerced).append(coerced)
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def bulk_load_arrays(self, columns: dict[str, np.ndarray | Sequence[Any]]) -> int:
+        """Fast bulk load from column arrays (the workload-generator path).
+
+        All schema columns must be supplied and be the same length.  Rows
+        are striped across partitions in contiguous blocks — equivalent,
+        for scan and aggregation purposes, to hash distribution of a
+        uniformly random key.
+        """
+        missing = [c.name for c in self.schema.columns if c.name not in columns]
+        if missing:
+            raise SchemaError(f"bulk load missing columns: {missing}")
+        ordered = [np.asarray(columns[c.name]) for c in self.schema.columns]
+        lengths = {len(col) for col in ordered}
+        if len(lengths) != 1:
+            raise SchemaError(f"bulk load columns differ in length: {lengths}")
+        (total,) = lengths
+        if total == 0:
+            return 0
+        if self._pk_position is not None:
+            keys = ordered[self._pk_position].tolist()
+            key_set = set(keys)
+            if len(key_set) != len(keys) or key_set & self._pk_values:
+                raise ConstraintViolation(
+                    f"duplicate primary key values in bulk load into {self.name!r}"
+                )
+            self._pk_values.update(key_set)
+        bounds = np.linspace(0, total, len(self._partitions) + 1).astype(int)
+        for index, partition in enumerate(self._partitions):
+            start, stop = bounds[index], bounds[index + 1]
+            if start == stop:
+                continue
+            partition.extend_columns(
+                [col[start:stop].tolist() for col in ordered]
+            )
+        return total
+
+    # ------------------------------------------------------------------ scans
+    def scan(self) -> Iterator[tuple[Any, ...]]:
+        """All rows, partition by partition."""
+        for partition in self._partitions:
+            yield from partition.rows()
+
+    def rows(self) -> list[tuple[Any, ...]]:
+        return list(self.scan())
+
+    def column_values(self, name: str) -> list[Any]:
+        position = self.schema.position_of(name)
+        values: list[Any] = []
+        for partition in self._partitions:
+            values.extend(partition.column(position))
+        return values
+
+    def numeric_matrix(self, columns: Sequence[str]) -> np.ndarray:
+        """All physical rows of the named numeric columns as a matrix."""
+        positions = [self.schema.position_of(name) for name in columns]
+        blocks = [
+            partition.numeric_matrix(positions)
+            for partition in self._partitions
+            if partition.row_count
+        ]
+        if not blocks:
+            return np.empty((0, len(columns)))
+        return np.vstack(blocks)
+
+    def truncate(self) -> None:
+        """Remove all rows, keeping the schema and partition layout."""
+        self._partitions = [
+            Partition(len(self.schema)) for _ in self._partitions
+        ]
+        self._pk_values.clear()
+        self._next_partition = 0

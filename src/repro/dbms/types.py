@@ -1,0 +1,143 @@
+"""SQL data types and value coercion.
+
+The engine supports the small set of types the paper's workload needs:
+integers, double-precision floats, and variable-length strings.  NULL is
+represented by Python ``None`` and follows SQL three-valued logic in the
+expression evaluator (see :mod:`repro.dbms.expressions`).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any
+
+from repro.errors import TypeMismatchError
+
+
+class SqlType(enum.Enum):
+    """The SQL types understood by the engine."""
+
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    VARCHAR = "VARCHAR"
+
+    @classmethod
+    def from_name(cls, name: str) -> "SqlType":
+        """Resolve a type name as written in DDL (case-insensitive).
+
+        Accepts the common aliases a user would write: ``INT``,
+        ``BIGINT``, ``DOUBLE``, ``DOUBLE PRECISION``, ``REAL``,
+        ``NUMERIC``, ``TEXT``, ``CHAR``.
+        """
+        normalized = " ".join(name.upper().split())
+        aliases = {
+            "INT": cls.INTEGER,
+            "INTEGER": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "SMALLINT": cls.INTEGER,
+            "FLOAT": cls.FLOAT,
+            "DOUBLE": cls.FLOAT,
+            "DOUBLE PRECISION": cls.FLOAT,
+            "REAL": cls.FLOAT,
+            "NUMERIC": cls.FLOAT,
+            "DECIMAL": cls.FLOAT,
+            "VARCHAR": cls.VARCHAR,
+            "CHAR": cls.VARCHAR,
+            "TEXT": cls.VARCHAR,
+            "STRING": cls.VARCHAR,
+        }
+        if normalized not in aliases:
+            raise TypeMismatchError(f"unknown SQL type: {name!r}")
+        return aliases[normalized]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (SqlType.INTEGER, SqlType.FLOAT)
+
+
+def coerce_value(value: Any, sql_type: SqlType) -> Any:
+    """Coerce a Python value to the storage representation of *sql_type*.
+
+    ``None`` always passes through (SQL NULL is type-agnostic).  Numeric
+    coercion is strict about strings: inserting ``"abc"`` into a FLOAT
+    column raises :class:`TypeMismatchError` rather than storing garbage.
+    """
+    if value is None:
+        return None
+    if sql_type is SqlType.INTEGER:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float):
+            if math.isnan(value) or math.isinf(value):
+                raise TypeMismatchError(f"cannot store {value!r} in INTEGER")
+            if not value.is_integer():
+                raise TypeMismatchError(
+                    f"cannot store non-integral {value!r} in INTEGER"
+                )
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError as exc:
+                raise TypeMismatchError(
+                    f"cannot coerce {value!r} to INTEGER"
+                ) from exc
+        raise TypeMismatchError(f"cannot coerce {type(value).__name__} to INTEGER")
+    if sql_type is SqlType.FLOAT:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError as exc:
+                raise TypeMismatchError(
+                    f"cannot coerce {value!r} to FLOAT"
+                ) from exc
+        raise TypeMismatchError(f"cannot coerce {type(value).__name__} to FLOAT")
+    if sql_type is SqlType.VARCHAR:
+        if isinstance(value, str):
+            return value
+        if isinstance(value, (int, float)):
+            return repr(value)
+        raise TypeMismatchError(f"cannot coerce {type(value).__name__} to VARCHAR")
+    raise TypeMismatchError(f"unhandled SQL type {sql_type}")
+
+
+def infer_type(value: Any) -> SqlType:
+    """Infer the SQL type of a Python literal (used for derived columns)."""
+    if isinstance(value, bool):
+        return SqlType.INTEGER
+    if isinstance(value, int):
+        return SqlType.INTEGER
+    if isinstance(value, float):
+        return SqlType.FLOAT
+    if isinstance(value, str):
+        return SqlType.VARCHAR
+    if value is None:
+        return SqlType.FLOAT
+    raise TypeMismatchError(f"cannot infer SQL type for {type(value).__name__}")
+
+
+def common_numeric_type(left: SqlType, right: SqlType) -> SqlType:
+    """The result type of an arithmetic operation on *left* and *right*."""
+    if not (left.is_numeric and right.is_numeric):
+        raise TypeMismatchError(
+            f"arithmetic requires numeric operands, got {left.value} and {right.value}"
+        )
+    if SqlType.FLOAT in (left, right):
+        return SqlType.FLOAT
+    return SqlType.INTEGER
+
+
+VALUE_WIDTH_BYTES = 8
+"""Storage width of one numeric value.
+
+Both INTEGER and FLOAT are stored as 8-byte machine words, matching the
+double-precision arithmetic the paper's UDF struct uses.  The cost model
+and the 64 KB aggregate-heap check both measure state in these units.
+"""

@@ -1,0 +1,108 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  The DBMS substrate mirrors the
+error categories a real relational engine reports: syntax errors from the
+parser, semantic errors from the planner (unknown tables/columns, type
+mismatches), runtime errors from the executor, and UDF-specific errors
+that model the constraints the paper describes for Teradata's C UDF API
+(no arrays, bounded heap segment, static MAX_d).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class DatabaseError(ReproError):
+    """Base class for errors raised by the DBMS substrate."""
+
+
+class SqlSyntaxError(DatabaseError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the offending position so error messages can point at the
+    token, the way a DBMS parser reports ``Syntax error at or near ...``.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(DatabaseError):
+    """A catalog object (table, view, UDF) is missing or duplicated."""
+
+
+class SchemaError(DatabaseError):
+    """A table schema is invalid (duplicate columns, bad types, ...)."""
+
+
+class PlanningError(DatabaseError):
+    """The statement parsed but cannot be planned.
+
+    Examples: unknown column, aggregate nested in aggregate, GROUP BY
+    referencing a missing expression.
+    """
+
+
+class ExecutionError(DatabaseError):
+    """A runtime failure while executing a plan (division by zero on a
+    non-null path, bad cast, arity mismatch in a function call)."""
+
+
+class TypeMismatchError(ExecutionError):
+    """A value could not be coerced to the declared SQL type."""
+
+
+class ConstraintViolation(DatabaseError):
+    """A primary-key or not-null constraint was violated on insert."""
+
+
+class UdfError(DatabaseError):
+    """Base class for errors in user-defined function handling."""
+
+
+class UdfRegistrationError(UdfError):
+    """The UDF definition itself is invalid (bad arity, name clash)."""
+
+
+class UdfArgumentError(UdfError):
+    """A UDF was invoked with arguments it cannot accept.
+
+    This mirrors the paper's constraint that Teradata UDF parameters may
+    only be simple types — never arrays or result sets.
+    """
+
+
+class UdfMemoryError(UdfError):
+    """Aggregate UDF state outgrew its allocated heap segment.
+
+    The paper notes the aggregate heap is limited to one 64 KB segment on
+    Unix/Windows; exceeding it is an error at allocation time, and the
+    static ``MAX_d`` struct layout exists precisely to respect it.
+    """
+
+
+class PackingError(ReproError):
+    """A packed-string payload (vector or (n, L, Q) result) is malformed."""
+
+
+class ModelError(ReproError):
+    """A statistical model cannot be built or applied.
+
+    Examples: singular X·Xᵀ in regression, k > d in PCA, scoring a data
+    set whose dimensionality does not match the model.
+    """
+
+
+class ExportError(ReproError):
+    """The ODBC export simulator failed (bad path, unsupported type)."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload specification is invalid."""

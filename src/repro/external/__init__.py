@@ -1,0 +1,11 @@
+"""The external workstation toolchain: the paper's C++ comparison point."""
+
+from repro.external.cpp_tool import CppAnalysisTool, NlqScanReport
+from repro.external.workstation import WorkstationCostModel, model_build_seconds
+
+__all__ = [
+    "CppAnalysisTool",
+    "NlqScanReport",
+    "WorkstationCostModel",
+    "model_build_seconds",
+]

@@ -1,0 +1,107 @@
+"""The external "C++" analysis tool.
+
+Simulates the workstation program of the paper's experiments: it reads a
+flat CSV file (produced by the ODBC export simulator), computes
+(n, L, Q) in a single pass keeping both matrices in memory, and builds
+models from the summary.  The scan is performed for real — chunked so
+memory stays bounded, with per-chunk summaries merged exactly like the
+UDF's partial states — while *time* comes from the workstation cost
+model, charged for the nominal row count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.summary import MatrixType, SummaryStatistics
+from repro.errors import ExportError
+from repro.external.workstation import WorkstationCostModel
+
+
+@dataclass(frozen=True)
+class NlqScanReport:
+    """Result of one flat-file (n, L, Q) pass."""
+
+    stats: SummaryStatistics
+    physical_rows: int
+    nominal_rows: float
+    simulated_seconds: float
+
+
+class CppAnalysisTool:
+    """One-pass flat-file analytics with workstation timing."""
+
+    def __init__(
+        self,
+        workstation: WorkstationCostModel | None = None,
+        chunk_rows: int = 8192,
+    ) -> None:
+        self.workstation = workstation or WorkstationCostModel()
+        self.chunk_rows = chunk_rows
+
+    def compute_nlq(
+        self,
+        path: "str | Path",
+        columns: "list[str] | None" = None,
+        matrix_type: MatrixType = MatrixType.TRIANGULAR,
+        row_scale: float = 1.0,
+    ) -> NlqScanReport:
+        """Scan the CSV at *path* once and return (n, L, Q).
+
+        *columns* selects which header columns are the dimensions
+        (default: every column except one named ``i``, the point id).
+        *row_scale* is the bench scale factor: time is charged for
+        ``physical rows × scale``.
+        """
+        path = Path(path)
+        try:
+            with path.open() as handle:
+                header = handle.readline().strip()
+                if not header:
+                    raise ExportError(f"{path} is empty")
+                names = header.split(",")
+                if columns is None:
+                    positions = [
+                        index
+                        for index, name in enumerate(names)
+                        if name.lower() != "i"
+                    ]
+                else:
+                    missing = [c for c in columns if c not in names]
+                    if missing:
+                        raise ExportError(
+                            f"{path} lacks columns {missing}; header has {names}"
+                        )
+                    positions = [names.index(c) for c in columns]
+                d = len(positions)
+                stats = SummaryStatistics.zeros(d, matrix_type)
+                physical = 0
+                chunk: list[list[float]] = []
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    pieces = line.split(",")
+                    chunk.append([float(pieces[p]) for p in positions])
+                    physical += 1
+                    if len(chunk) >= self.chunk_rows:
+                        stats = stats.merge(
+                            SummaryStatistics.from_matrix(
+                                np.asarray(chunk), matrix_type
+                            )
+                        )
+                        chunk = []
+                if chunk:
+                    stats = stats.merge(
+                        SummaryStatistics.from_matrix(np.asarray(chunk), matrix_type)
+                    )
+        except OSError as exc:
+            raise ExportError(f"cannot read {path}: {exc}") from exc
+        except ValueError as exc:
+            raise ExportError(f"malformed value in {path}: {exc}") from exc
+        nominal = physical * row_scale
+        seconds = self.workstation.nlq_scan_seconds(nominal, d, matrix_type)
+        return NlqScanReport(stats, physical, nominal, seconds)

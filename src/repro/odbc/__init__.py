@@ -1,0 +1,5 @@
+"""The ODBC export simulator: the data path out of the DBMS."""
+
+from repro.odbc.export import ExportReport, OdbcExporter
+
+__all__ = ["ExportReport", "OdbcExporter"]

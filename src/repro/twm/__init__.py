@@ -1,0 +1,5 @@
+"""The Warehouse-Miner-style client: the library's high-level API."""
+
+from repro.twm.miner import WarehouseMiner
+
+__all__ = ["WarehouseMiner"]

@@ -1,0 +1,383 @@
+"""A Teradata-Warehouse-Miner-style client.
+
+TWM, in the paper, is the client program that "automatically generates
+SQL code based on user-specified parameters" and combines SQL queries,
+UDFs and mathematical libraries.  :class:`WarehouseMiner` plays that
+role here: it owns (or attaches to) a :class:`~repro.dbms.Database`,
+registers the UDFs, generates the summary/scoring SQL, and builds the
+four statistical models from the summaries — the complete build-and-
+score workflow of the paper in a few method calls.
+
+    miner = WarehouseMiner()
+    miner.load_synthetic("x", n=10_000, d=8)
+    model = miner.kmeans("x", k=4)
+    scores = miner.scorer("x").score_clustering(4)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.blockwise import NlqBlockUdf, compute_nlq_blockwise
+from repro.core.models.correlation import CorrelationModel
+from repro.core.models.em_mixture import GaussianMixtureModel
+from repro.core.models.factor_analysis import FactorAnalysisModel
+from repro.core.models.kmeans import KMeansModel, _plus_plus_init
+from repro.core.models.pca import PCAModel
+from repro.core.models.regression import LinearRegressionModel
+from repro.core.nlq_udf import (
+    DEFAULT_MAX_D,
+    compute_nlq_udf,
+    compute_nlq_udf_groups,
+    register_nlq_udfs,
+)
+from repro.core.scoring.scorer import ModelScorer
+from repro.core.scoring.udfs import register_scoring_udfs
+from repro.core.sqlgen import NlqSqlGenerator
+from repro.core.summary import AugmentedSummary, MatrixType, SummaryStatistics
+from repro.dbms.database import Database
+from repro.errors import ModelError
+from repro.workloads.generator import DatasetSample, MixtureSpec, load_dataset
+
+
+class WarehouseMiner:
+    """High-level build-and-score client over the DBMS substrate."""
+
+    def __init__(self, db: Database | None = None, amps: int = 20) -> None:
+        self.db = db or Database(amps=amps)
+        register_nlq_udfs(self.db)
+        register_scoring_udfs(self.db)
+        self.db.register_udf(NlqBlockUdf())
+
+    # ----------------------------------------------------------------- data
+    def load_synthetic(
+        self,
+        name: str,
+        n: int,
+        d: int,
+        with_y: bool = False,
+        row_scale: float = 1.0,
+        **spec_overrides: float,
+    ) -> DatasetSample:
+        """Create and load the paper's synthetic mixture data set."""
+        spec = MixtureSpec(d=d, **spec_overrides)
+        return load_dataset(self.db, name, n, spec, with_y, row_scale)
+
+    def dimensions_of(self, table: str) -> list[str]:
+        """The dimension columns of a data-set table: numeric columns
+        excluding the point id and a dependent variable ``y``."""
+        schema = self.db.table(table).schema
+        excluded = {"y"}
+        if schema.primary_key is not None:
+            excluded.add(schema.primary_key.lower())
+        return [
+            name
+            for name in schema.numeric_columns()
+            if name.lower() not in excluded
+        ]
+
+    # ------------------------------------------------------------- summaries
+    def summarize(
+        self,
+        table: str,
+        dimensions: Sequence[str] | None = None,
+        matrix_type: MatrixType = MatrixType.TRIANGULAR,
+        method: str = "udf",
+        passing: str = "list",
+    ) -> SummaryStatistics:
+        """One-scan (n, L, Q) via the aggregate UDF (default) or SQL.
+
+        Dimensionality beyond the UDF's MAX_d automatically switches to
+        the block-partitioned route of Table 6.
+        """
+        dims = list(dimensions) if dimensions is not None \
+            else self.dimensions_of(table)
+        if method == "sql":
+            return NlqSqlGenerator(table, dims).compute(self.db, matrix_type)
+        if method != "udf":
+            raise ModelError(f"unknown summary method {method!r}")
+        if len(dims) > DEFAULT_MAX_D:
+            return compute_nlq_blockwise(self.db, table, dims)
+        return compute_nlq_udf(self.db, table, dims, matrix_type, passing)
+
+    def summarize_groups(
+        self,
+        table: str,
+        group_by: str,
+        dimensions: Sequence[str] | None = None,
+        matrix_type: MatrixType = MatrixType.DIAGONAL,
+    ) -> "dict[object, SummaryStatistics]":
+        """Per-group (n, L, Q) — the paper's sub-model query (Table 5):
+        one GROUP BY aggregate scan yields a separate summary per value
+        of *group_by* (a column or expression)."""
+        dims = list(dimensions) if dimensions is not None \
+            else self.dimensions_of(table)
+        return compute_nlq_udf_groups(self.db, table, dims, group_by, matrix_type)
+
+    def sub_models(
+        self,
+        table: str,
+        group_by: str,
+        technique: str = "correlation",
+        dimensions: Sequence[str] | None = None,
+        **model_kwargs,
+    ) -> "dict[object, object]":
+        """One model per group from a single GROUP BY scan.
+
+        The paper motivates the GROUP BY aggregate UDF with "get several
+        sub-models from the same data set based on different grouping
+        columns"; this is that workflow.  *technique* is ``correlation``
+        or ``pca`` (both need only a group's (n, L, Q)); groups whose
+        summaries cannot support the model (too few rows, zero variance)
+        are skipped rather than failing the whole batch.
+        """
+        if technique not in ("correlation", "pca"):
+            raise ModelError(
+                f"unsupported sub-model technique {technique!r} "
+                "(correlation, pca)"
+            )
+        dims = list(dimensions) if dimensions is not None \
+            else self.dimensions_of(table)
+        groups = self.summarize_groups(
+            table, group_by, dims, MatrixType.TRIANGULAR
+        )
+        models: dict[object, object] = {}
+        for key, stats in groups.items():
+            try:
+                if technique == "correlation":
+                    models[key] = CorrelationModel.from_summary(stats, dims)
+                else:
+                    models[key] = PCAModel.from_summary(
+                        stats, **{"k": min(2, stats.d), **model_kwargs}
+                    )
+            except ModelError:
+                continue
+        return models
+
+    def profile(
+        self, table: str, dimensions: Sequence[str] | None = None
+    ) -> "dict[str, object]":
+        """Per-dimension mean/variance/extrema from one scan (the UDF's
+        min/max tracking, used for outliers and histograms)."""
+        from repro.core.profiling import profile_table
+
+        dims = list(dimensions) if dimensions is not None \
+            else self.dimensions_of(table)
+        return profile_table(self.db, table, dims)
+
+    # ---------------------------------------------------------------- models
+    def correlation(
+        self, table: str, dimensions: Sequence[str] | None = None, **kwargs
+    ) -> CorrelationModel:
+        dims = list(dimensions) if dimensions is not None \
+            else self.dimensions_of(table)
+        stats = self.summarize(table, dims, **kwargs)
+        return CorrelationModel.from_summary(stats, dims)
+
+    def linear_regression(
+        self,
+        table: str,
+        target: str = "y",
+        dimensions: Sequence[str] | None = None,
+        method: str = "udf",
+    ) -> LinearRegressionModel:
+        """Fit Y = βᵀX + β₀ from one scan over Z = (1, X, Y).
+
+        The constant dimension is passed as the literal ``1.0`` in the
+        generated query, so Q′ = Z Zᵀ comes out of the same aggregate.
+        """
+        dims = list(dimensions) if dimensions is not None \
+            else self.dimensions_of(table)
+        augmented_dims = ["1.0", *dims, target]
+        if method == "sql":
+            stats = NlqSqlGenerator(table, augmented_dims).compute(
+                self.db, MatrixType.TRIANGULAR
+            )
+        else:
+            stats = compute_nlq_udf(self.db, table, augmented_dims)
+        return LinearRegressionModel.from_summary(AugmentedSummary(stats))
+
+    def pca(
+        self,
+        table: str,
+        k: int,
+        dimensions: Sequence[str] | None = None,
+        use_correlation: bool = True,
+        **kwargs,
+    ) -> PCAModel:
+        stats = self.summarize(table, dimensions, **kwargs)
+        return PCAModel.from_summary(stats, k, use_correlation)
+
+    def factor_analysis(
+        self,
+        table: str,
+        k: int,
+        dimensions: Sequence[str] | None = None,
+        **kwargs,
+    ) -> FactorAnalysisModel:
+        stats = self.summarize(table, dimensions, **kwargs)
+        return FactorAnalysisModel.from_summary(stats, k)
+
+    def kmeans(
+        self,
+        table: str,
+        k: int,
+        dimensions: Sequence[str] | None = None,
+        max_iterations: int = 10,
+        tolerance: float = 1e-4,
+        seed: int = 0,
+        method: str = "udf",
+    ) -> KMeansModel:
+        """K-means driven entirely through the DBMS.
+
+        Each iteration is one GROUP BY aggregate query: rows are grouped
+        by their nearest current centroid (inlined as literals, the way
+        a generated scoring query embeds the model) and per-cluster
+        (N_j, L_j, Q_j) come back in one scan, from which C, R, W are
+        recomputed.
+
+        *method* selects the assignment/summary machinery:
+
+        * ``"udf"`` — group by ``clusterscore(kmeansdistance(...), ...)``
+          and aggregate with the diagonal nLQ UDF;
+        * ``"sql"`` — no UDFs at all: the nearest centroid is a generated
+          CASE over inline distance expressions and the summaries come
+          from the plain-SQL GROUP BY query (the route of the author's
+          SQL K-means work, reference [15] of the paper).
+        """
+        if method not in ("udf", "sql"):
+            raise ModelError(f"unknown kmeans method {method!r}")
+        dims = list(dimensions) if dimensions is not None \
+            else self.dimensions_of(table)
+        matrix = self.db.table(table).numeric_matrix(dims)
+        if matrix.shape[0] < k:
+            raise ModelError(
+                f"table {table!r} has {matrix.shape[0]} rows; need >= k={k}"
+            )
+        sample_rows = min(matrix.shape[0], max(50 * k, 500))
+        centroids = _plus_plus_init(
+            matrix[:sample_rows], k, np.random.default_rng(seed)
+        )
+        model = KMeansModel(centroids, np.zeros_like(centroids), np.zeros(k))
+        for iteration in range(1, max_iterations + 1):
+            if method == "udf":
+                group_expr = self._assignment_expression(dims, model.centroids)
+                groups = compute_nlq_udf_groups(
+                    self.db, table, dims, group_expr, MatrixType.DIAGONAL
+                )
+            else:
+                group_expr = self._assignment_case_expression(
+                    dims, model.centroids
+                )
+                groups = NlqSqlGenerator(table, dims).compute_groups(
+                    self.db, group_expr, MatrixType.DIAGONAL
+                )
+            previous = model.centroids.copy()
+            model = KMeansModel.from_group_summaries(groups, k, previous)
+            model.iterations = iteration
+            shift = float(np.max(np.abs(model.centroids - previous)))
+            if shift <= tolerance:
+                break
+        return model
+
+    def naive_bayes(
+        self,
+        table: str,
+        label: str = "label",
+        dimensions: Sequence[str] | None = None,
+    ) -> "NaiveBayesModel":
+        """Gaussian Naive Bayes from one GROUP BY aggregate query.
+
+        *label* is the integer class column; per-class (N, L, Q-diag)
+        summaries are gathered with the diagonal nLQ UDF grouped by it —
+        the sufficient-statistics classification route of [9].
+        """
+        from repro.core.models.naive_bayes import NaiveBayesModel
+
+        dims = list(dimensions) if dimensions is not None \
+            else [d for d in self.dimensions_of(table) if d != label]
+        groups = compute_nlq_udf_groups(
+            self.db, table, dims, label, MatrixType.DIAGONAL
+        )
+        summaries = {int(key): stats for key, stats in groups.items()}
+        return NaiveBayesModel.from_class_summaries(summaries)
+
+    def lda(
+        self,
+        table: str,
+        label: str = "label",
+        dimensions: Sequence[str] | None = None,
+    ) -> "LdaModel":
+        """Linear discriminant analysis from one GROUP BY query with a
+        triangular Q (the pooled covariance needs cross-products)."""
+        from repro.core.models.lda import LdaModel
+
+        dims = list(dimensions) if dimensions is not None \
+            else [d for d in self.dimensions_of(table) if d != label]
+        groups = compute_nlq_udf_groups(
+            self.db, table, dims, label, MatrixType.TRIANGULAR
+        )
+        summaries = {int(key): stats for key, stats in groups.items()}
+        return LdaModel.from_class_summaries(summaries)
+
+    def gaussian_mixture(
+        self,
+        table: str,
+        k: int,
+        dimensions: Sequence[str] | None = None,
+        **kwargs,
+    ) -> GaussianMixtureModel:
+        """EM clustering on the table's points (in-memory E step; the M
+        step consumes weighted sufficient statistics — see the module)."""
+        dims = list(dimensions) if dimensions is not None \
+            else self.dimensions_of(table)
+        matrix = self.db.table(table).numeric_matrix(dims)
+        return GaussianMixtureModel.fit_matrix(matrix, k, **kwargs)
+
+    # --------------------------------------------------------------- scoring
+    def scorer(
+        self, table: str, dimensions: Sequence[str] | None = None
+    ) -> ModelScorer:
+        dims = list(dimensions) if dimensions is not None \
+            else self.dimensions_of(table)
+        id_column = self.db.table(table).schema.primary_key or "i"
+        return ModelScorer(self.db, table, dims, id_column)
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _assignment_expression(
+        dimensions: Sequence[str], centroids: np.ndarray
+    ) -> str:
+        distances = []
+        xs = ", ".join(dimensions)
+        for centroid in centroids:
+            cs = ", ".join(repr(float(value)) for value in centroid)
+            distances.append(f"kmeansdistance({xs}, {cs})")
+        return f"clusterscore({', '.join(distances)})"
+
+    @staticmethod
+    def _assignment_case_expression(
+        dimensions: Sequence[str], centroids: np.ndarray
+    ) -> str:
+        """Nearest-centroid subscript as pure SQL arithmetic: inline
+        squared-distance expressions compared pairwise inside a CASE."""
+        distance_exprs = []
+        for centroid in centroids:
+            terms = [
+                f"({dim} - {float(value)!r}) * ({dim} - {float(value)!r})"
+                for dim, value in zip(dimensions, centroid)
+            ]
+            distance_exprs.append("(" + " + ".join(terms) + ")")
+        k = len(distance_exprs)
+        whens = []
+        for j in range(k):
+            conditions = [
+                f"{distance_exprs[j]} <= {distance_exprs[other]}"
+                for other in range(k)
+                if other != j
+            ]
+            condition = " AND ".join(conditions) if conditions else "1 = 1"
+            whens.append(f"WHEN {condition} THEN {j + 1}")
+        return f"CASE {' '.join(whens)} END"

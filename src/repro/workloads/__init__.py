@@ -1,0 +1,15 @@
+"""Synthetic workloads matching the paper's experimental data sets."""
+
+from repro.workloads.generator import (
+    DatasetSample,
+    MixtureSpec,
+    SyntheticDataGenerator,
+    load_dataset,
+)
+
+__all__ = [
+    "DatasetSample",
+    "MixtureSpec",
+    "SyntheticDataGenerator",
+    "load_dataset",
+]

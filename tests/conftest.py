@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.nlq_udf import register_nlq_udfs
+from repro.core.scoring.udfs import register_scoring_udfs
+from repro.dbms.database import Database
+from repro.dbms.schema import dataset_schema, dimension_names
+
+
+@pytest.fixture
+def db() -> Database:
+    """A small-parallelism database (4 AMPs keeps partitions non-trivial
+    without hiding per-partition bugs behind a single chunk)."""
+    return Database(amps=4)
+
+
+@pytest.fixture
+def loaded_db(db: Database) -> tuple[Database, np.ndarray, np.ndarray]:
+    """A database with table ``x(i, x1..x4, y)`` holding 200 seeded rows.
+
+    Returns (db, X matrix, y vector); the nLQ and scoring UDFs are
+    registered.
+    """
+    rng = np.random.default_rng(7)
+    n, d = 200, 4
+    X = rng.normal(50.0, 10.0, size=(n, d))
+    y = 2.0 + X @ np.asarray([1.0, -2.0, 0.5, 3.0]) + rng.normal(0, 0.1, n)
+    db.create_table("x", dataset_schema(d, with_y=True))
+    columns = {"i": np.arange(1, n + 1), "y": y}
+    for index, name in enumerate(dimension_names(d)):
+        columns[name] = X[:, index]
+    db.load_columns("x", columns)
+    register_nlq_udfs(db)
+    register_scoring_udfs(db)
+    return db, X, y

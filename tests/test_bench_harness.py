@@ -1,0 +1,102 @@
+"""The benchmark harness itself (not the full sweeps)."""
+
+import pytest
+
+from repro.bench.calibration import within_factor
+from repro.bench.harness import (
+    ExperimentResult,
+    format_table,
+    nlq_sql_seconds,
+    nlq_udf_seconds,
+    run_experiment,
+    scaled_dataset,
+)
+from repro.core.summary import MatrixType
+
+
+class TestScaledDataset:
+    def test_nominal_vs_physical(self):
+        data = scaled_dataset(100_000.0, 4, physical_rows=100)
+        assert data.db.table("x").row_count == 100
+        assert data.db.table("x").nominal_rows == pytest.approx(100_000.0)
+        assert data.nominal_rows == 100_000.0
+
+    def test_physical_capped_at_n(self):
+        data = scaled_dataset(50.0, 2, physical_rows=320)
+        assert data.db.table("x").row_count == 50
+
+    def test_clock_reset_after_load(self):
+        data = scaled_dataset(10_000.0, 3)
+        assert data.db.simulated_time == 0.0
+
+    def test_udfs_ready(self):
+        data = scaled_dataset(1_000.0, 2)
+        assert data.db.catalog.aggregate_udf("nlq_tri") is not None
+
+
+class TestTimedActions:
+    def test_udf_seconds_scale_invariant(self):
+        """Simulated time must not depend on the physical sample size."""
+        small = nlq_udf_seconds(scaled_dataset(200_000.0, 4, physical_rows=64))
+        large = nlq_udf_seconds(scaled_dataset(200_000.0, 4, physical_rows=512))
+        assert small == pytest.approx(large, rel=1e-9)
+
+    def test_sql_seconds_scale_invariant(self):
+        small = nlq_sql_seconds(scaled_dataset(200_000.0, 4, physical_rows=64))
+        large = nlq_sql_seconds(scaled_dataset(200_000.0, 4, physical_rows=512))
+        assert small == pytest.approx(large, rel=1e-9)
+
+    def test_matrix_type_ordering(self):
+        data = scaled_dataset(400_000.0, 8)
+        diag = nlq_udf_seconds(data, MatrixType.DIAGONAL)
+        tri = nlq_udf_seconds(data, MatrixType.TRIANGULAR)
+        full = nlq_udf_seconds(data, MatrixType.FULL)
+        assert diag < tri < full
+
+
+class TestHarnessPlumbing:
+    def test_format_table(self):
+        result = ExperimentResult(
+            "t", "demo", ["a", "b"], [(1, 2.5), (10, 20.0)], notes="hi"
+        )
+        text = format_table(result)
+        assert "demo" in text and "2.5" in text and "note: hi" in text
+
+    def test_column_accessor(self):
+        result = ExperimentResult("t", "demo", ["a", "b"], [(1, 2), (3, 4)])
+        assert result.column("b") == [2, 4]
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("table99")
+
+    def test_within_factor(self):
+        assert within_factor(10, 10, 1.1)
+        assert within_factor(5, 10, 2.0)
+        assert not within_factor(4, 10, 2.0)
+        assert not within_factor(0, 10, 2.0)
+
+    def test_registry_complete(self):
+        from repro.bench.experiments import EXPERIMENTS
+
+        expected = {f"table{i}" for i in range(1, 7)} | {
+            f"figure{i}" for i in range(1, 7)
+        }
+        assert set(EXPERIMENTS) == expected
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table1" in output and "figure6" in output
+
+    def test_run_with_csv(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["run", "table3", "--csv", str(tmp_path)]) == 0
+        csv_text = (tmp_path / "table3.csv").read_text()
+        assert csv_text.splitlines()[0].startswith("d,correlation")
+        assert "table3" in capsys.readouterr().out

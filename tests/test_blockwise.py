@@ -1,0 +1,125 @@
+"""Block-partitioned (n, L, Q) for d beyond MAX_d (Table 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.blockwise import (
+    NlqBlockUdf,
+    blockwise_call_count,
+    blockwise_sql,
+    compute_nlq_blockwise,
+    dimension_blocks,
+)
+from repro.core.summary import SummaryStatistics
+from repro.dbms.database import Database
+from repro.dbms.schema import dataset_schema, dimension_names
+from repro.errors import UdfArgumentError
+
+
+def make_db(n=60, d=10, amps=3, seed=9):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    db = Database(amps=amps)
+    db.create_table("x", dataset_schema(d))
+    columns = {"i": np.arange(1, n + 1)}
+    for index, name in enumerate(dimension_names(d)):
+        columns[name] = X[:, index]
+    db.load_columns("x", columns)
+    db.register_udf(NlqBlockUdf())
+    return db, X
+
+
+class TestPartitioning:
+    def test_dimension_blocks(self):
+        blocks = dimension_blocks(10, block=4)
+        assert [list(b) for b in blocks] == [
+            [0, 1, 2, 3], [4, 5, 6, 7], [8, 9],
+        ]
+
+    def test_call_counts_match_paper(self):
+        assert blockwise_call_count(64) == 1
+        assert blockwise_call_count(128) == 4
+        assert blockwise_call_count(256) == 16
+        assert blockwise_call_count(512) == 64
+        assert blockwise_call_count(1024) == 256
+
+    def test_invalid_d(self):
+        with pytest.raises(UdfArgumentError):
+            dimension_blocks(0)
+
+    def test_sql_is_single_statement(self):
+        sql = blockwise_sql("x", dimension_names(10), block=4)
+        assert sql.count("SELECT") == 1
+        assert sql.count("nlq_block(") == 9
+
+
+class TestCorrectness:
+    def test_assembles_full_summary(self):
+        db, X = make_db(d=10)
+        stats = compute_nlq_blockwise(db, "x", dimension_names(10), block=4)
+        reference = SummaryStatistics.from_matrix(X)
+        assert stats.n == reference.n
+        assert np.allclose(stats.L, reference.L)
+        assert np.allclose(stats.Q, reference.Q)
+
+    def test_single_block_case(self):
+        db, X = make_db(d=3)
+        stats = compute_nlq_blockwise(db, "x", dimension_names(3), block=64)
+        assert stats.allclose(SummaryStatistics.from_matrix(X))
+
+    def test_uneven_blocks(self):
+        db, X = make_db(d=7)
+        stats = compute_nlq_blockwise(db, "x", dimension_names(7), block=3)
+        assert np.allclose(stats.Q, X.T @ X)
+
+    def test_empty_table(self):
+        db = Database(amps=2)
+        db.create_table("e", dataset_schema(5))
+        db.register_udf(NlqBlockUdf())
+        stats = compute_nlq_blockwise(db, "e", dimension_names(5), block=2)
+        assert stats.n == 0
+
+
+class TestBlockUdf:
+    def test_row_block_equivalence(self):
+        rng = np.random.default_rng(2)
+        Xa, Xb = rng.normal(size=(20, 3)), rng.normal(size=(20, 2))
+        udf = NlqBlockUdf()
+        row_state = udf.initialize()
+        for a_row, b_row in zip(Xa, Xb):
+            row_state = udf.accumulate(
+                row_state, (3, 2, *a_row.tolist(), *b_row.tolist())
+            )
+        block = np.column_stack([np.full(20, 3.0), np.full(20, 2.0), Xa, Xb])
+        block_state = udf.accumulate_block(udf.initialize(), block)
+        assert np.allclose(row_state.Qab, block_state.Qab)
+        assert np.allclose(row_state.La, block_state.La)
+        assert row_state.n == block_state.n
+
+    def test_bad_arity(self):
+        udf = NlqBlockUdf()
+        with pytest.raises(UdfArgumentError):
+            udf.accumulate(udf.initialize(), (2, 2, 1.0, 2.0, 3.0))
+
+    def test_block_too_large(self):
+        udf = NlqBlockUdf(max_d=2)
+        with pytest.raises(UdfArgumentError, match="MAX_d"):
+            udf.accumulate(udf.initialize(), (3, 1, 1.0, 2.0, 3.0, 4.0))
+
+    def test_empty_finalize(self):
+        udf = NlqBlockUdf()
+        assert udf.finalize(udf.initialize()) is None
+
+
+class TestTiming:
+    def test_time_proportional_to_calls(self):
+        """The Table 6 claim at miniature scale: one statement, cost
+        proportional to the number of block calls."""
+        db, _X = make_db(d=8)
+        db.reset_clock()
+        db.execute(blockwise_sql("x", dimension_names(8), block=8))  # 1 call
+        one_call = db.simulated_time
+        db.reset_clock()
+        db.execute(blockwise_sql("x", dimension_names(8), block=4))  # 4 calls
+        four_calls = db.simulated_time
+        assert 2.5 < four_calls / one_call < 5.5

@@ -1,0 +1,130 @@
+"""The system catalog: direct API coverage."""
+
+import pytest
+
+from repro.dbms.catalog import Catalog
+from repro.dbms.schema import dataset_schema
+from repro.dbms.sql.parser import parse_statement
+from repro.dbms.udf import AggregateUdf, scalar_udf
+from repro.errors import CatalogError, UdfRegistrationError
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    return Catalog(default_partitions=4)
+
+
+class _DummyAggregate(AggregateUdf):
+    def initialize(self):
+        return 0
+
+    def accumulate(self, state, args):
+        return state
+
+    def merge(self, state, other):
+        return state
+
+    def finalize(self, state):
+        return state
+
+
+class TestTables:
+    def test_create_and_lookup_case_insensitive(self, catalog):
+        catalog.create_table("Customers", dataset_schema(2))
+        assert catalog.has_table("CUSTOMERS")
+        assert catalog.table("customers").name == "Customers"
+
+    def test_default_partitions(self, catalog):
+        table = catalog.create_table("t", dataset_schema(1))
+        assert table.partition_count == 4
+
+    def test_partition_override(self, catalog):
+        table = catalog.create_table("t", dataset_schema(1), partitions=7)
+        assert table.partition_count == 7
+
+    def test_duplicate_rejected(self, catalog):
+        catalog.create_table("t", dataset_schema(1))
+        with pytest.raises(CatalogError):
+            catalog.create_table("T", dataset_schema(1))
+
+    def test_if_not_exists_returns_existing(self, catalog):
+        first = catalog.create_table("t", dataset_schema(1))
+        second = catalog.create_table(
+            "t", dataset_schema(1), if_not_exists=True
+        )
+        assert first is second
+
+    def test_drop(self, catalog):
+        catalog.create_table("t", dataset_schema(1))
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        with pytest.raises(CatalogError):
+            catalog.drop_table("t")
+        catalog.drop_table("t", if_exists=True)
+
+    def test_table_names_sorted(self, catalog):
+        catalog.create_table("zeta", dataset_schema(1))
+        catalog.create_table("alpha", dataset_schema(1))
+        assert catalog.table_names() == ["alpha", "zeta"]
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(CatalogError, match="unknown table"):
+            catalog.table("ghost")
+
+
+class TestViews:
+    def _select(self):
+        return parse_statement("SELECT 1")
+
+    def test_create_and_read(self, catalog):
+        catalog.create_view("v", self._select())
+        assert catalog.has_view("v")
+        assert catalog.view("V") is not None
+
+    def test_view_cannot_shadow_table(self, catalog):
+        catalog.create_table("t", dataset_schema(1))
+        with pytest.raises(CatalogError):
+            catalog.create_view("t", self._select())
+
+    def test_replace_requires_flag(self, catalog):
+        catalog.create_view("v", self._select())
+        with pytest.raises(CatalogError):
+            catalog.create_view("v", self._select())
+        catalog.create_view("v", self._select(), or_replace=True)
+
+    def test_drop_view(self, catalog):
+        catalog.create_view("v", self._select())
+        catalog.drop_view("v")
+        assert not catalog.has_view("v")
+        with pytest.raises(CatalogError):
+            catalog.drop_view("v")
+        catalog.drop_view("v", if_exists=True)
+
+    def test_table_cannot_shadow_view(self, catalog):
+        catalog.create_view("v", self._select())
+        with pytest.raises(CatalogError):
+            catalog.create_table("v", dataset_schema(1))
+
+
+class TestUdfRegistry:
+    def test_scalar_and_aggregate_lookup(self, catalog):
+        catalog.register_scalar_udf(scalar_udf("f", lambda v: v))
+        catalog.register_aggregate_udf(_DummyAggregate("g"))
+        assert catalog.scalar_udf("F") is not None
+        assert catalog.aggregate_udf("G") is not None
+        assert catalog.is_scalar_function("f")
+        assert catalog.is_aggregate("g")
+        assert not catalog.is_aggregate("f")
+
+    def test_builtins_recognized(self, catalog):
+        assert catalog.is_aggregate("SUM")
+        assert catalog.is_scalar_function("sqrt")
+
+    def test_cross_kind_collision(self, catalog):
+        catalog.register_scalar_udf(scalar_udf("mine", lambda v: v))
+        with pytest.raises(UdfRegistrationError):
+            catalog.register_aggregate_udf(_DummyAggregate("mine"))
+
+    def test_missing_lookup_returns_none(self, catalog):
+        assert catalog.scalar_udf("nope") is None
+        assert catalog.aggregate_udf("nope") is None

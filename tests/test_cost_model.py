@@ -1,0 +1,138 @@
+"""The simulated clock and cost model."""
+
+import pytest
+
+from repro.dbms.cost import CostModel, CostParameters, SimulatedClock
+from repro.dbms.database import Database
+from repro.dbms.schema import dataset_schema
+
+
+class TestClock:
+    def test_accumulates(self):
+        clock = SimulatedClock()
+        clock.charge(1.5)
+        clock.charge(0.5)
+        assert clock.elapsed == 2.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().charge(-1.0)
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.charge(1.0)
+        clock.reset()
+        assert clock.elapsed == 0.0
+
+    def test_span(self):
+        clock = SimulatedClock()
+        clock.charge(1.0)
+        with clock.span() as span:
+            clock.charge(2.5)
+        assert span.seconds == 2.5
+        clock.charge(1.0)
+        assert span.seconds == 2.5  # frozen at exit
+
+
+class TestCharges:
+    def test_scan_divides_across_amps(self):
+        one = CostModel(params=CostParameters(amps=1))
+        twenty = CostModel(params=CostParameters(amps=20))
+        one.charge_scan(1000, 8)
+        twenty.charge_scan(1000, 8)
+        assert one.clock.elapsed == pytest.approx(20 * twenty.clock.elapsed)
+
+    def test_scan_linear_in_rows(self):
+        model = CostModel()
+        model.charge_scan(100, 4)
+        t1 = model.clock.elapsed
+        model.clock.reset()
+        model.charge_scan(1000, 4)
+        assert model.clock.elapsed == pytest.approx(10 * t1)
+
+    def test_sql_statement_cost_grows_with_terms(self):
+        model = CostModel()
+        model.charge_sql_statement(1)
+        small = model.clock.elapsed
+        model.clock.reset()
+        model.charge_sql_statement(1000)
+        assert model.clock.elapsed > small
+
+    def test_udf_row_components(self):
+        base = CostModel()
+        base.charge_udf_rows(1000)
+        baseline = base.clock.elapsed
+        with_params = CostModel()
+        with_params.charge_udf_rows(1000, list_params=10)
+        assert with_params.clock.elapsed > baseline
+        with_string = CostModel()
+        with_string.charge_udf_rows(1000, string_chars=100)
+        assert with_string.clock.elapsed > baseline
+
+    def test_string_transfer_charge(self):
+        model = CostModel()
+        model.charge_udf_string_transfer(1000, 152)
+        assert model.clock.elapsed == pytest.approx(
+            1000 * 152 * model.params.udf_string_char / model.params.amps
+        )
+
+    def test_spool_result_per_column(self):
+        narrow = CostModel()
+        wide = CostModel()
+        narrow.charge_spool_result(1, 10)
+        wide.charge_spool_result(1, 1000)
+        # The wide one-row result is what hurts SQL at high d.
+        assert wide.clock.elapsed == pytest.approx(100 * narrow.clock.elapsed)
+
+    def test_sort_empty_is_free(self):
+        model = CostModel()
+        model.charge_sort(1)
+        assert model.clock.elapsed == 0.0
+
+
+class TestSpillMultiplier:
+    def test_graded_levels(self):
+        model = CostModel()
+        segment = model.params.heap_segment_bytes
+        state = 2048  # ~ the diagonal d=32 struct
+        # Well under half the segment: near 1.
+        low = model.groupby_spill_multiplier(4, state)
+        assert 1.0 <= low < 1.1
+        # Between half and the whole segment: the pressure factor.
+        assert model.groupby_spill_multiplier(
+            segment // (2 * state) + 1, state
+        ) == model.params.groupby_pressure_factor
+        # Over the segment: the spill factor.
+        assert model.groupby_spill_multiplier(
+            segment // state + 1, state
+        ) == model.params.groupby_spill_factor
+
+    def test_monotone_in_groups(self):
+        model = CostModel()
+        values = [model.groupby_spill_multiplier(k, 2072) for k in (1, 8, 16, 32)]
+        assert values == sorted(values)
+
+
+class TestRowScaleExactness:
+    """The bench scaling mechanism: per-row charges must be exactly
+    linear, so 10x physical rows at scale 1 equals 1x rows at scale 10."""
+
+    def _query_time(self, physical: int, scale: float) -> float:
+        db = Database(amps=4)
+        db.create_table("t", dataset_schema(2), row_scale=scale)
+        db.insert_rows(
+            "t", [(i, float(i), float(i) * 2) for i in range(physical)]
+        )
+        db.reset_clock()
+        return db.execute("SELECT sum(x1), sum(x2 * x2) FROM t").simulated_seconds
+
+    def test_scaled_equals_unscaled(self):
+        big = self._query_time(physical=200, scale=1.0)
+        small = self._query_time(physical=20, scale=10.0)
+        assert small == pytest.approx(big, rel=1e-9)
+
+    def test_parameters_scaled_copy(self):
+        params = CostParameters()
+        copy = params.scaled(amps=5)
+        assert copy.amps == 5 and params.amps == 20
+        assert copy.scan_row == params.scan_row

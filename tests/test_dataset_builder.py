@@ -1,0 +1,137 @@
+"""The dataset builder: deriving X from normalized tables (§3.6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset_builder import DatasetBuilder
+from repro.core.nlq_udf import compute_nlq_udf, register_nlq_udfs
+from repro.core.summary import SummaryStatistics
+from repro.dbms.database import Database
+from repro.errors import PlanningError
+
+
+@pytest.fixture
+def warehouse(db: Database) -> Database:
+    db.execute("CREATE TABLE customers (i INTEGER PRIMARY KEY, age FLOAT)")
+    db.execute(
+        "INSERT INTO customers VALUES (1, 30.0), (2, 45.0), (3, 61.0), (4, 25.0)"
+    )
+    db.execute(
+        "CREATE TABLE txn (tid INTEGER PRIMARY KEY, cust INTEGER, "
+        "amount FLOAT, kind VARCHAR)"
+    )
+    db.execute(
+        "INSERT INTO txn VALUES "
+        "(1, 1, 10.0, 'buy'), (2, 1, 20.0, 'buy'), (3, 1, 0.0, 'complaint'), "
+        "(4, 2, 50.0, 'buy'), (5, 4, 0.0, 'complaint')"
+    )
+    db.execute("CREATE TABLE premium (i INTEGER PRIMARY KEY, level FLOAT)")
+    db.execute("INSERT INTO premium VALUES (2, 2.0)")
+    return db
+
+
+def standard_builder() -> DatasetBuilder:
+    builder = DatasetBuilder("customers", "i")
+    builder.add_property("age", "customers", "age")
+    builder.add_property("level", "premium", "level", default=0.0)
+    builder.add_metric("spend", "txn", "sum", "amount",
+                       condition="kind = 'buy'", join_column="cust")
+    builder.add_metric("purchases", "txn", "count", "amount",
+                       condition="kind = 'buy'", join_column="cust")
+    builder.add_flag("complained", "txn", "kind = 'complaint'",
+                     join_column="cust")
+    return builder
+
+
+EXPECTED = {
+    # i: (age, level, spend, purchases, complained)
+    1: (30.0, 0.0, 30.0, 3.0, 1.0),
+    2: (45.0, 2.0, 50.0, 1.0, 0.0),
+    3: (61.0, 0.0, 0.0, 0.0, 0.0),   # no transactions at all
+    4: (25.0, 0.0, 0.0, 1.0, 1.0),   # only a complaint
+}
+
+
+class TestDeclaration:
+    def test_feature_order(self):
+        builder = standard_builder()
+        assert builder.feature_names == [
+            "age", "level", "spend", "purchases", "complained",
+        ]
+
+    def test_duplicate_name_rejected(self):
+        builder = DatasetBuilder("customers")
+        builder.add_property("age", "customers", "age")
+        with pytest.raises(PlanningError, match="duplicate"):
+            builder.add_flag("age", "txn", "1 = 1")
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(PlanningError, match="no features"):
+            DatasetBuilder("customers").build_sql()
+
+    def test_bad_aggregate_rejected(self):
+        with pytest.raises(PlanningError, match="aggregate"):
+            DatasetBuilder("customers").add_metric("m", "txn", "median")
+
+
+class TestGeneratedSql:
+    def test_uses_left_joins(self):
+        sql = standard_builder().build_sql()
+        assert "LEFT JOIN" in sql
+        assert sql.count("LEFT JOIN") == 3  # premium + txn subquery + customers prop
+
+    def test_detail_table_scanned_once(self):
+        """All txn metrics and flags share one pre-aggregated subquery —
+        the group-by-before-join shape."""
+        sql = standard_builder().build_sql()
+        assert sql.count("FROM txn") == 1
+
+    def test_case_for_conditional_metric(self):
+        sql = standard_builder().build_sql()
+        assert "CASE WHEN kind = 'buy' THEN amount ELSE 0.0 END" in sql
+
+
+class TestMaterialization:
+    def test_values(self, warehouse):
+        builder = standard_builder()
+        names = builder.materialize(warehouse, "x")
+        rows = {
+            row[0]: row[1:]
+            for row in warehouse.execute("SELECT * FROM x").rows
+        }
+        assert names == builder.feature_names
+        for i, expected in EXPECTED.items():
+            assert rows[i] == pytest.approx(expected), f"customer {i}"
+
+    def test_view_route_matches_table_route(self, warehouse):
+        builder = standard_builder()
+        builder.materialize(warehouse, "x_table")
+        builder.create_view(warehouse, "x_view")
+        table_rows = sorted(warehouse.execute("SELECT * FROM x_table").rows)
+        view_rows = sorted(warehouse.execute("SELECT * FROM x_view").rows)
+        assert table_rows == view_rows
+
+    def test_universe_preserved(self, warehouse):
+        """Every reference point appears exactly once, even with no
+        detail rows (the paper's left-outer-join requirement)."""
+        standard_builder().materialize(warehouse, "x")
+        ids = warehouse.execute("SELECT i FROM x ORDER BY i").column("i")
+        assert ids == [1, 2, 3, 4]
+
+    def test_rematerialize_replaces(self, warehouse):
+        builder = standard_builder()
+        builder.materialize(warehouse, "x")
+        builder.materialize(warehouse, "x")
+        assert warehouse.table("x").row_count == 4
+
+    def test_feeds_the_nlq_udf(self, warehouse):
+        """The end-to-end point: the derived table is a valid X for the
+        summary pipeline."""
+        builder = standard_builder()
+        names = builder.materialize(warehouse, "x")
+        register_nlq_udfs(warehouse)
+        stats = compute_nlq_udf(warehouse, "x", names)
+        reference = SummaryStatistics.from_matrix(
+            np.asarray([EXPECTED[i] for i in (1, 2, 3, 4)])
+        )
+        assert stats.allclose(reference)

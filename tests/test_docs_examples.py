@@ -1,0 +1,76 @@
+"""Code shown in docs/ must actually work."""
+
+import math
+
+import pytest
+
+from repro.dbms.database import Database
+from repro.dbms.udf import AggregateUdf, scalar_udf
+
+
+class GeometricMean(AggregateUdf):
+    """The aggregate UDF example from docs/udf_guide.md, verbatim."""
+
+    arity = 1
+
+    def initialize(self):
+        return [0.0, 0]
+
+    def accumulate(self, state, args):
+        state[0] += math.log(args[0])
+        state[1] += 1
+        return state
+
+    def merge(self, state, other):
+        state[0] += other[0]
+        state[1] += other[1]
+        return state
+
+    def finalize(self, state):
+        return math.exp(state[0] / state[1]) if state[1] else None
+
+
+class TestUdfGuide:
+    def test_geometric_mean_in_sql(self, db: Database):
+        db.register_udf(GeometricMean("geomean"))
+        db.execute("CREATE TABLE t (v FLOAT)")
+        db.execute("INSERT INTO t VALUES (2.0), (8.0)")
+        assert db.execute("SELECT geomean(v) FROM t").scalar() == pytest.approx(4.0)
+
+    def test_geometric_mean_empty(self, db: Database):
+        db.register_udf(GeometricMean("geomean"))
+        db.execute("CREATE TABLE t (v FLOAT)")
+        assert db.execute("SELECT geomean(v) FROM t").scalar() is None
+
+    def test_geometric_mean_merge_invariant(self):
+        """Any split of the rows merges to the whole-data result — the
+        property the guide tells authors to test."""
+        values = [1.0, 2.0, 4.0, 8.0, 16.0]
+        aggregate = GeometricMean("g")
+        whole = aggregate.initialize()
+        for value in values:
+            whole = aggregate.accumulate(whole, (value,))
+        for split in range(len(values) + 1):
+            left = aggregate.initialize()
+            for value in values[:split]:
+                left = aggregate.accumulate(left, (value,))
+            right = aggregate.initialize()
+            for value in values[split:]:
+                right = aggregate.accumulate(right, (value,))
+            merged = aggregate.merge(left, right)
+            assert aggregate.finalize(merged) == pytest.approx(
+                math.exp(sum(math.log(v) for v in values) / len(values))
+            )
+
+    def test_celsius_scalar_example(self, db: Database):
+        db.register_udf(
+            scalar_udf(
+                "celsius",
+                lambda f: None if f is None else (f - 32) / 1.8,
+                arity=1,
+            )
+        )
+        db.execute("CREATE TABLE readings (temp_f FLOAT)")
+        db.execute("INSERT INTO readings VALUES (212.0), (NULL)")
+        result = db.execute("SELECT celsius(temp_f) FROM readings ORDER BY 1")
+        assert result.rows == [(100.0,), (None,)]

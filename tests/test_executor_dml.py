@@ -1,0 +1,145 @@
+"""DDL and DML execution: CREATE/DROP/INSERT/DELETE and views."""
+
+import pytest
+
+from repro.dbms.database import Database
+from repro.errors import (
+    CatalogError,
+    ConstraintViolation,
+    ExecutionError,
+    SqlSyntaxError,
+)
+
+
+class TestCreateDrop:
+    def test_create_and_drop_table(self, db: Database):
+        db.execute("CREATE TABLE t (i INT PRIMARY KEY, v FLOAT)")
+        assert db.catalog.has_table("t")
+        db.execute("DROP TABLE t")
+        assert not db.catalog.has_table("t")
+
+    def test_create_duplicate_rejected(self, db):
+        db.execute("CREATE TABLE t (i INT)")
+        with pytest.raises(CatalogError, match="already exists"):
+            db.execute("CREATE TABLE t (i INT)")
+
+    def test_if_not_exists(self, db):
+        db.execute("CREATE TABLE t (i INT)")
+        db.execute("CREATE TABLE IF NOT EXISTS t (i INT)")  # no error
+
+    def test_drop_missing(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("DROP TABLE nope")
+        db.execute("DROP TABLE IF EXISTS nope")  # no error
+
+    def test_create_view_and_drop(self, db):
+        db.execute("CREATE TABLE t (i INT)")
+        db.execute("CREATE VIEW v AS SELECT i FROM t")
+        assert db.catalog.has_view("v")
+        db.execute("DROP VIEW v")
+        assert not db.catalog.has_view("v")
+
+    def test_replace_view(self, db):
+        db.execute("CREATE TABLE t (i INT)")
+        db.execute("CREATE VIEW v AS SELECT i FROM t")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE VIEW v AS SELECT i FROM t")
+        db.execute("CREATE OR REPLACE VIEW v AS SELECT i + 1 AS j FROM t")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert db.execute("SELECT j FROM v").scalar() == 2
+
+    def test_view_name_cannot_shadow_table(self, db):
+        db.execute("CREATE TABLE t (i INT)")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE VIEW t AS SELECT 1")
+
+
+class TestInsert:
+    def test_values_with_expressions(self, db):
+        db.execute("CREATE TABLE t (i INT PRIMARY KEY, v FLOAT)")
+        db.execute("INSERT INTO t VALUES (1, 2.0 * 3), (2, -1)")
+        assert sorted(db.execute("SELECT v FROM t").column("v")) == [-1.0, 6.0]
+
+    def test_named_columns_fill_nulls(self, db):
+        db.execute("CREATE TABLE t (i INT PRIMARY KEY, a FLOAT, b FLOAT)")
+        db.execute("INSERT INTO t (b, i) VALUES (9.0, 1)")
+        assert db.execute("SELECT i, a, b FROM t").rows == [(1, None, 9.0)]
+
+    def test_arity_mismatch(self, db):
+        db.execute("CREATE TABLE t (i INT, a FLOAT)")
+        with pytest.raises(ExecutionError, match="values"):
+            db.execute("INSERT INTO t (i) VALUES (1, 2)")
+
+    def test_insert_select(self, db):
+        db.execute("CREATE TABLE src (i INT PRIMARY KEY, v FLOAT)")
+        db.execute("INSERT INTO src VALUES (1, 1.5), (2, 2.5)")
+        db.execute("CREATE TABLE dst (i INT PRIMARY KEY, v FLOAT)")
+        db.execute("INSERT INTO dst SELECT i, v * 10 FROM src")
+        assert sorted(db.execute("SELECT v FROM dst").column("v")) == [15.0, 25.0]
+
+    def test_pk_violation_via_sql(self, db):
+        db.execute("CREATE TABLE t (i INT PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(ConstraintViolation):
+            db.execute("INSERT INTO t VALUES (1)")
+
+
+class TestDelete:
+    def test_delete_where(self, db):
+        db.execute("CREATE TABLE t (i INT PRIMARY KEY, v FLOAT)")
+        db.execute("INSERT INTO t VALUES (1, 1.0), (2, 2.0), (3, 3.0)")
+        db.execute("DELETE FROM t WHERE v >= 2.0")
+        assert db.execute("SELECT count(*) FROM t").scalar() == 1
+
+    def test_delete_all(self, db):
+        db.execute("CREATE TABLE t (i INT PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        db.execute("DELETE FROM t")
+        assert db.execute("SELECT count(*) FROM t").scalar() == 0
+        db.execute("INSERT INTO t VALUES (1)")  # PK set reset
+
+    def test_delete_null_predicate_keeps_row(self, db):
+        db.execute("CREATE TABLE t (i INT PRIMARY KEY, v FLOAT)")
+        db.execute("INSERT INTO t VALUES (1, NULL), (2, 5.0)")
+        db.execute("DELETE FROM t WHERE v > 1")
+        assert db.execute("SELECT i FROM t").column("i") == [1]
+
+
+class TestScripts:
+    def test_multi_statement_script(self, db):
+        result = db.execute(
+            "CREATE TABLE t (i INT); INSERT INTO t VALUES (1), (2); "
+            "SELECT sum(i) FROM t;"
+        )
+        assert result.scalar() == 3
+
+    def test_empty_script_rejected(self, db):
+        with pytest.raises((ValueError, SqlSyntaxError)):
+            db.execute("   ")
+
+
+class TestQueryResult:
+    def test_scalar_requires_1x1(self, db):
+        db.execute("CREATE TABLE t (i INT)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        with pytest.raises(ValueError):
+            db.execute("SELECT i FROM t").scalar()
+
+    def test_first_on_empty(self, db):
+        db.execute("CREATE TABLE t (i INT)")
+        with pytest.raises(ValueError):
+            db.execute("SELECT i FROM t").first()
+
+    def test_column_accessors(self, db):
+        db.execute("CREATE TABLE t (i INT)")
+        db.execute("INSERT INTO t VALUES (5)")
+        result = db.execute("SELECT i AS num FROM t")
+        assert result.column("NUM") == [5]
+        with pytest.raises(KeyError):
+            result.column("other")
+        assert result.as_dicts() == [{"num": 5}]
+
+    def test_simulated_seconds_positive(self, db):
+        db.execute("CREATE TABLE t (i INT)")
+        result = db.execute("SELECT count(*) FROM t")
+        assert result.simulated_seconds > 0

@@ -1,0 +1,190 @@
+"""SELECT execution: projection, filters, joins, views, ordering."""
+
+import pytest
+
+from repro.dbms.database import Database
+from repro.errors import CatalogError, PlanningError
+
+
+@pytest.fixture
+def people(db: Database) -> Database:
+    db.execute(
+        "CREATE TABLE people (id INTEGER PRIMARY KEY, name VARCHAR, "
+        "age INTEGER, city VARCHAR)"
+    )
+    db.execute(
+        "INSERT INTO people VALUES "
+        "(1, 'ada', 36, 'london'), (2, 'bob', 25, 'paris'), "
+        "(3, 'cy', 61, 'london'), (4, 'dee', 47, NULL)"
+    )
+    return db
+
+
+class TestProjection:
+    def test_select_columns(self, people):
+        result = people.execute("SELECT name, age FROM people ORDER BY id")
+        assert result.columns == ["name", "age"]
+        assert result.rows[0] == ("ada", 36)
+
+    def test_select_star(self, people):
+        result = people.execute("SELECT * FROM people ORDER BY id LIMIT 1")
+        assert result.rows == [(1, "ada", 36, "london")]
+
+    def test_expressions_and_aliases(self, people):
+        result = people.execute(
+            "SELECT age * 2 AS doubled, name FROM people WHERE id = 2"
+        )
+        assert result.columns == ["doubled", "name"]
+        assert result.rows == [(50, "bob")]
+
+    def test_case_expression(self, people):
+        result = people.execute(
+            "SELECT name, CASE WHEN age >= 40 THEN 'senior' ELSE 'junior' END "
+            "FROM people ORDER BY id"
+        )
+        assert [row[1] for row in result.rows] == [
+            "junior", "junior", "senior", "senior",
+        ]
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 1 + 1, 'x'").rows == [(2, "x")]
+
+    def test_column_name_defaults(self, people):
+        result = people.execute("SELECT age, age + 1 FROM people LIMIT 1")
+        assert result.columns == ["age", "col2"]
+
+
+class TestWhere:
+    def test_filter(self, people):
+        result = people.execute("SELECT id FROM people WHERE age > 30 ORDER BY id")
+        assert result.column("id") == [1, 3, 4]
+
+    def test_null_is_not_true(self, people):
+        # city IS NULL for dee; comparison with NULL excludes the row.
+        result = people.execute("SELECT id FROM people WHERE city = 'london'")
+        assert sorted(result.column("id")) == [1, 3]
+
+    def test_is_null_predicate(self, people):
+        result = people.execute("SELECT id FROM people WHERE city IS NULL")
+        assert result.column("id") == [4]
+
+    def test_in_and_between(self, people):
+        result = people.execute(
+            "SELECT id FROM people WHERE age BETWEEN 25 AND 40 "
+            "AND name IN ('ada', 'bob') ORDER BY id"
+        )
+        assert result.column("id") == [1, 2]
+
+    def test_like(self, people):
+        result = people.execute("SELECT name FROM people WHERE name LIKE '%a%'")
+        assert sorted(result.column("name")) == ["ada"]
+
+
+class TestOrderLimit:
+    def test_order_desc(self, people):
+        result = people.execute("SELECT name FROM people ORDER BY age DESC")
+        assert result.column("name") == ["cy", "dee", "ada", "bob"]
+
+    def test_order_by_position(self, people):
+        result = people.execute("SELECT name, age FROM people ORDER BY 2")
+        assert result.column("age") == [25, 36, 47, 61]
+
+    def test_order_by_position_out_of_range(self, people):
+        with pytest.raises(PlanningError, match="out of range"):
+            people.execute("SELECT name FROM people ORDER BY 3")
+
+    def test_nulls_sort_last_ascending(self, people):
+        result = people.execute("SELECT city FROM people ORDER BY city")
+        assert result.column("city")[-1] is None
+
+    def test_multi_key_order(self, people):
+        result = people.execute(
+            "SELECT city, name FROM people ORDER BY city, name DESC"
+        )
+        london = [row for row in result.rows if row[0] == "london"]
+        assert [r[1] for r in london] == ["cy", "ada"]
+
+    def test_limit(self, people):
+        assert len(people.execute("SELECT id FROM people LIMIT 2")) == 2
+        assert len(people.execute("SELECT id FROM people LIMIT 0")) == 0
+
+
+class TestJoins:
+    @pytest.fixture
+    def with_orders(self, people):
+        people.execute(
+            "CREATE TABLE orders (oid INTEGER PRIMARY KEY, pid INTEGER, "
+            "total FLOAT)"
+        )
+        people.execute(
+            "INSERT INTO orders VALUES (10, 1, 5.0), (11, 1, 7.5), (12, 3, 2.0)"
+        )
+        return people
+
+    def test_inner_join(self, with_orders):
+        result = with_orders.execute(
+            "SELECT p.name, o.total FROM people p JOIN orders o "
+            "ON o.pid = p.id ORDER BY o.oid"
+        )
+        assert result.rows == [("ada", 5.0), ("ada", 7.5), ("cy", 2.0)]
+
+    def test_cross_join(self, with_orders):
+        result = with_orders.execute(
+            "SELECT count(*) FROM people CROSS JOIN orders"
+        )
+        assert result.scalar() == 12
+
+    def test_comma_join_with_where(self, with_orders):
+        result = with_orders.execute(
+            "SELECT p.name FROM people p, orders o WHERE o.pid = p.id "
+            "AND o.total > 4 ORDER BY o.oid"
+        )
+        assert result.column("name") == ["ada", "ada"]
+
+    def test_self_join_aliases(self, people):
+        result = people.execute(
+            "SELECT a.name, b.name FROM people a JOIN people b "
+            "ON b.id = a.id + 1 WHERE a.id = 1"
+        )
+        assert result.rows == [("ada", "bob")]
+
+    def test_ambiguous_column(self, people):
+        with pytest.raises(PlanningError, match="ambiguous"):
+            people.execute("SELECT name FROM people a, people b")
+
+    def test_unknown_alias_star(self, people):
+        with pytest.raises(PlanningError, match="unknown table alias"):
+            people.execute("SELECT z.* FROM people p")
+
+
+class TestDerivedAndViews:
+    def test_derived_table(self, people):
+        result = people.execute(
+            "SELECT s.grown FROM (SELECT age + 1 AS grown FROM people) s "
+            "ORDER BY 1"
+        )
+        assert result.column("grown") == [26, 37, 48, 62]
+
+    def test_view(self, people):
+        people.execute("CREATE VIEW adults AS SELECT * FROM people WHERE age >= 30")
+        result = people.execute("SELECT count(*) FROM adults")
+        assert result.scalar() == 3
+
+    def test_view_with_alias(self, people):
+        people.execute("CREATE VIEW v AS SELECT id, age FROM people")
+        result = people.execute("SELECT a.age FROM v a WHERE a.id = 1")
+        assert result.scalar() == 36
+
+    def test_view_sees_new_rows(self, people):
+        people.execute("CREATE VIEW v AS SELECT count(*) AS c FROM people")
+        assert people.execute("SELECT c FROM v").scalar() == 4
+        people.execute("INSERT INTO people VALUES (5, 'ed', 30, 'rome')")
+        assert people.execute("SELECT c FROM v").scalar() == 5
+
+    def test_unknown_table(self, db):
+        with pytest.raises(CatalogError, match="unknown table"):
+            db.execute("SELECT 1 FROM nope")
+
+    def test_unknown_column(self, people):
+        with pytest.raises(PlanningError, match="unknown column"):
+            people.execute("SELECT nope FROM people")

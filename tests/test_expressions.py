@@ -1,0 +1,213 @@
+"""Expression evaluation: three-valued logic, arithmetic, and row/vector
+path equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbms.expressions import (
+    builtin_scalar_registry,
+    compile_row_expression,
+    compile_vector_expression,
+    referenced_columns,
+)
+from repro.dbms.sql import ast
+from repro.dbms.sql.parser import parse_statement
+from repro.errors import ExecutionError, PlanningError
+
+
+def parse_expr(sql):
+    return parse_statement(f"SELECT {sql}").items[0].expression
+
+
+def evaluate(sql, **env):
+    names = sorted(env)
+    expression = parse_expr(sql)
+
+    def resolver(ref: ast.ColumnRef) -> int:
+        return names.index(ref.name.lower())
+
+    fn = compile_row_expression(expression, resolver, builtin_scalar_registry)
+    return fn(tuple(env[name] for name in names))
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert evaluate("1 + 2 * 3") == 7
+        assert evaluate("(1 + 2) * 3") == 9
+        assert evaluate("7 / 2") == 3.5
+        assert evaluate("-a", a=4) == -4
+
+    def test_mod(self):
+        assert evaluate("7 MOD 3") == 1
+        assert evaluate("7.5 MOD 2") == 1.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError, match="division by zero"):
+            evaluate("1 / 0")
+
+    def test_mod_by_zero(self):
+        with pytest.raises(ExecutionError, match="MOD by zero"):
+            evaluate("1 MOD 0")
+
+    def test_null_propagates(self):
+        assert evaluate("a + 1", a=None) is None
+        assert evaluate("a * 0", a=None) is None
+        assert evaluate("-a", a=None) is None
+        assert evaluate("a / 0", a=None) is None  # NULL short-circuits
+
+
+class TestComparisons:
+    def test_basic(self):
+        assert evaluate("2 > 1") is True
+        assert evaluate("1 >= 2") is False
+        assert evaluate("'a' < 'b'") is True
+
+    def test_null_comparison_is_unknown(self):
+        assert evaluate("a = 1", a=None) is None
+        assert evaluate("a <> a", a=None) is None
+
+
+class TestKleeneLogic:
+    def test_and(self):
+        assert evaluate("1 = 1 AND 2 = 2") is True
+        assert evaluate("1 = 1 AND a = 1", a=None) is None
+        assert evaluate("1 = 2 AND a = 1", a=None) is False
+
+    def test_or(self):
+        assert evaluate("1 = 2 OR a = 1", a=None) is None
+        assert evaluate("1 = 1 OR a = 1", a=None) is True
+
+    def test_not(self):
+        assert evaluate("NOT 1 = 2") is True
+        assert evaluate("NOT a = 1", a=None) is None
+
+
+class TestCase:
+    def test_first_match_wins(self):
+        sql = "CASE WHEN a > 10 THEN 'big' WHEN a > 0 THEN 'small' ELSE 'neg' END"
+        assert evaluate(sql, a=20) == "big"
+        assert evaluate(sql, a=5) == "small"
+        assert evaluate(sql, a=-1) == "neg"
+
+    def test_no_else_yields_null(self):
+        assert evaluate("CASE WHEN 1 = 2 THEN 'x' END") is None
+
+    def test_unknown_condition_skipped(self):
+        assert evaluate("CASE WHEN a > 0 THEN 'x' ELSE 'y' END", a=None) == "y"
+
+
+class TestNullPredicates:
+    def test_is_null(self):
+        assert evaluate("a IS NULL", a=None) is True
+        assert evaluate("a IS NOT NULL", a=None) is False
+
+    def test_in_list(self):
+        assert evaluate("2 IN (1, 2, 3)") is True
+        assert evaluate("5 IN (1, 2)") is False
+        assert evaluate("5 NOT IN (1, 2)") is True
+
+    def test_in_list_null_semantics(self):
+        assert evaluate("a IN (1, 2)", a=None) is None
+        assert evaluate("5 IN (1, NULL)") is None  # unknown, not false
+        assert evaluate("1 IN (1, NULL)") is True
+
+
+class TestFunctions:
+    def test_known_functions(self):
+        assert evaluate("sqrt(9)") == 3
+        assert evaluate("abs(-2)") == 2
+        assert evaluate("coalesce(a, 5)", a=None) == 5
+
+    def test_unknown_function(self):
+        with pytest.raises(PlanningError, match="unknown function"):
+            evaluate("frobnicate(1)")
+
+    def test_star_invalid_in_expression(self):
+        with pytest.raises(PlanningError):
+            compile_row_expression(ast.Star(), lambda ref: 0)
+
+
+class TestReferencedColumns:
+    def test_dedupes_and_orders(self):
+        expression = parse_expr("a + b * a + t.c")
+        refs = referenced_columns(expression)
+        assert [(r.table, r.name) for r in refs] == [
+            (None, "a"), (None, "b"), ("t", "c"),
+        ]
+
+
+class TestVectorPath:
+    def _both(self, sql, columns):
+        """Evaluate via both paths over a column block; returns (row, vec)."""
+        expression = parse_expr(sql)
+        names = sorted(columns)
+
+        def resolver(ref: ast.ColumnRef) -> int:
+            return names.index(ref.name.lower())
+
+        row_fn = compile_row_expression(expression, resolver)
+        vector_fn = compile_vector_expression(expression, resolver)
+        assert vector_fn is not None, f"{sql} should vectorize"
+        block = np.column_stack([np.asarray(columns[n], float) for n in names])
+        row_values = [
+            row_fn(tuple(block[i])) for i in range(block.shape[0])
+        ]
+        return np.asarray(row_values, float), vector_fn(block)
+
+    def test_arithmetic_matches(self):
+        rows, vectors = self._both(
+            "a * b + 2.0 - a / b", {"a": [1.0, 2.0, 3.0], "b": [4.0, 5.0, 6.0]}
+        )
+        assert np.allclose(rows, vectors)
+
+    def test_functions_match(self):
+        rows, vectors = self._both(
+            "sqrt(abs(a)) + exp(b / 10)", {"a": [-4.0, 9.0], "b": [1.0, 2.0]}
+        )
+        assert np.allclose(rows, vectors)
+
+    def test_mod_matches(self):
+        rows, vectors = self._both("a MOD 3.0", {"a": [7.0, 8.0, 9.0]})
+        assert np.allclose(rows, vectors)
+
+    def test_unary_minus(self):
+        rows, vectors = self._both("-a", {"a": [1.0, -2.0]})
+        assert np.allclose(rows, vectors)
+
+    def test_unsupported_returns_none(self):
+        expression = parse_expr("CASE WHEN a > 0 THEN 1 ELSE 0 END")
+        assert compile_vector_expression(expression, lambda r: 0) is None
+
+    def test_string_literal_not_vectorized(self):
+        assert compile_vector_expression(ast.Literal("s"), lambda r: 0) is None
+
+    def test_division_by_zero_raises(self):
+        expression = parse_expr("a / b")
+
+        def resolver(ref):
+            return {"a": 0, "b": 1}[ref.name]
+
+        fn = compile_vector_expression(expression, resolver)
+        with pytest.raises(ExecutionError):
+            fn(np.asarray([[1.0, 0.0]]))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(0.5, 100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_row_vector_agree(self, pairs):
+        columns = {
+            "a": [p[0] for p in pairs],
+            "b": [p[1] for p in pairs],
+        }
+        rows, vectors = self._both("a * a - b / 2.0 + a * b", columns)
+        assert np.allclose(rows, vectors)

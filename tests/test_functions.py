@@ -1,0 +1,233 @@
+"""Builtin scalar and aggregate SQL functions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbms.functions import (
+    AGGREGATE_BUILTINS,
+    SCALAR_BUILTINS,
+    AggregateFunction,
+)
+from repro.errors import ExecutionError
+
+finite_floats = st.floats(-1e6, 1e6, allow_nan=False)
+
+
+class TestScalarBuiltins:
+    def test_math(self):
+        assert SCALAR_BUILTINS["sqrt"](16.0) == 4.0
+        assert SCALAR_BUILTINS["abs"](-3) == 3
+        assert SCALAR_BUILTINS["power"](2, 10) == 1024.0
+        assert SCALAR_BUILTINS["floor"](2.7) == 2.0
+        assert SCALAR_BUILTINS["ceil"](2.1) == 3.0
+        assert SCALAR_BUILTINS["round"](2.456, 1) == 2.5
+        assert SCALAR_BUILTINS["sign"](-5) == -1.0
+        assert SCALAR_BUILTINS["exp"](0.0) == 1.0
+        assert SCALAR_BUILTINS["ln"](math.e) == pytest.approx(1.0)
+
+    def test_sqrt_negative(self):
+        with pytest.raises(ExecutionError):
+            SCALAR_BUILTINS["sqrt"](-1.0)
+
+    def test_ln_nonpositive(self):
+        with pytest.raises(ExecutionError):
+            SCALAR_BUILTINS["ln"](0.0)
+
+    def test_least_greatest(self):
+        assert SCALAR_BUILTINS["least"](3, 1, 2) == 1
+        assert SCALAR_BUILTINS["greatest"](3, 1, 2) == 3
+
+    def test_coalesce(self):
+        assert SCALAR_BUILTINS["coalesce"](None, None, 7) == 7
+        assert SCALAR_BUILTINS["coalesce"](None, None) is None
+
+    def test_nullif(self):
+        assert SCALAR_BUILTINS["nullif"](1, 1) is None
+        assert SCALAR_BUILTINS["nullif"](1, 2) == 1
+        assert SCALAR_BUILTINS["nullif"](None, 2) is None
+
+    def test_like(self):
+        like = SCALAR_BUILTINS["like"]
+        assert like("hello", "he%")
+        assert like("hello", "h_llo")
+        assert not like("hello", "H%")
+        assert like("50%", "50%")  # literal text matches its own prefix
+
+    def test_strings(self):
+        assert SCALAR_BUILTINS["upper"]("ab") == "AB"
+        assert SCALAR_BUILTINS["lower"]("AB") == "ab"
+        assert SCALAR_BUILTINS["length"]("abc") == 3
+        assert SCALAR_BUILTINS["substr"]("hello", 2, 3) == "ell"
+        assert SCALAR_BUILTINS["substr"]("hello", 2) == "ello"
+        assert SCALAR_BUILTINS["concat"]("a", "b") == "ab"
+
+    def test_null_propagation(self):
+        for name in ("sqrt", "abs", "upper", "length", "like"):
+            args = (None,) if name != "like" else (None, "%")
+            assert SCALAR_BUILTINS[name](*args) is None
+
+
+def run_aggregate(name, values, merge_split=None):
+    """Drive the four-phase protocol, optionally splitting accumulation
+    into two partial states merged at the end (the AMP simulation)."""
+    factory = AGGREGATE_BUILTINS[name]
+    aggregate = factory()
+    if merge_split is None:
+        state = aggregate.initialize()
+        for value in values:
+            args = value if isinstance(value, tuple) else (value,)
+            if aggregate.skips_nulls and any(a is None for a in args):
+                continue
+            state = aggregate.accumulate(state, args)
+        return aggregate.finalize(state)
+    first, second = values[:merge_split], values[merge_split:]
+    state_a = aggregate.initialize()
+    for value in first:
+        state_a = aggregate.accumulate(
+            state_a, value if isinstance(value, tuple) else (value,)
+        )
+    state_b = aggregate.initialize()
+    for value in second:
+        state_b = aggregate.accumulate(
+            state_b, value if isinstance(value, tuple) else (value,)
+        )
+    return aggregate.finalize(aggregate.merge(state_a, state_b))
+
+
+class TestAggregates:
+    def test_sum(self):
+        assert run_aggregate("sum", [1.0, 2.0, 3.0]) == 6.0
+
+    def test_sum_empty_is_null(self):
+        assert run_aggregate("sum", []) is None
+
+    def test_count_skips_nulls(self):
+        assert run_aggregate("count", [1, None, 3]) == 2
+
+    def test_avg(self):
+        assert run_aggregate("avg", [2.0, 4.0]) == 3.0
+        assert run_aggregate("avg", []) is None
+
+    def test_min_max(self):
+        assert run_aggregate("min", [3.0, 1.0, 2.0]) == 1.0
+        assert run_aggregate("max", [3.0, 1.0, 2.0]) == 3.0
+        assert run_aggregate("min", []) is None
+
+    def test_variance_matches_numpy(self):
+        values = [1.0, 4.0, 2.0, 8.0, 5.0]
+        assert run_aggregate("var_pop", values) == pytest.approx(
+            np.var(values)
+        )
+        assert run_aggregate("var_samp", values) == pytest.approx(
+            np.var(values, ddof=1)
+        )
+        assert run_aggregate("stddev_pop", values) == pytest.approx(
+            np.std(values)
+        )
+
+    def test_variance_single_sample(self):
+        assert run_aggregate("var_samp", [1.0]) is None
+        assert run_aggregate("var_pop", [1.0]) == 0.0
+
+    def test_corr_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=50)
+        y = 2 * x + rng.normal(size=50)
+        pairs = list(zip(x.tolist(), y.tolist()))
+        assert run_aggregate("corr", pairs) == pytest.approx(
+            np.corrcoef(x, y)[0, 1]
+        )
+
+    def test_corr_degenerate(self):
+        assert run_aggregate("corr", [(1.0, 1.0), (1.0, 2.0)]) is None
+
+    def test_regr_slope_intercept_match_lstsq(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=40)
+        y = 3.0 * x + 1.5 + rng.normal(scale=0.1, size=40)
+        pairs = list(zip(y.tolist(), x.tolist()))  # (dependent, independent)
+        slope, intercept = np.polyfit(x, y, 1)
+        assert run_aggregate("regr_slope", pairs) == pytest.approx(slope)
+        assert run_aggregate("regr_intercept", pairs) == pytest.approx(intercept)
+
+    @pytest.mark.parametrize("name", ["sum", "avg", "min", "max", "var_pop"])
+    def test_merge_equals_sequential(self, name):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0]
+        whole = run_aggregate(name, values)
+        split = run_aggregate(name, values, merge_split=3)
+        assert whole == pytest.approx(split)
+
+    def test_merge_with_empty_partial(self):
+        assert run_aggregate("sum", [1.0, 2.0], merge_split=0) == 3.0
+        assert run_aggregate("min", [5.0], merge_split=1) == 5.0
+
+
+class TestAggregateVectorPaths:
+    @pytest.mark.parametrize(
+        "name", ["sum", "avg", "min", "max", "var_pop", "var_samp"]
+    )
+    def test_vector_equals_row(self, name):
+        values = [1.0, float("nan"), 2.5, -4.0, 0.0]
+        clean = [None if np.isnan(v) else v for v in values]
+        aggregate = AGGREGATE_BUILTINS[name]()
+        vec_state = aggregate.accumulate_vector(
+            aggregate.initialize(), [np.asarray(values)], len(values)
+        )
+        assert vec_state is not NotImplemented
+        row_result = run_aggregate(name, clean)
+        assert aggregate.finalize(vec_state) == pytest.approx(row_result)
+
+    def test_count_star_vector(self):
+        aggregate = AGGREGATE_BUILTINS["count"]()
+        state = aggregate.accumulate_vector(aggregate.initialize(), [], 7)
+        assert aggregate.finalize(state) == 7
+
+    def test_corr_vector_equals_row(self):
+        rng = np.random.default_rng(2)
+        x, y = rng.normal(size=30), rng.normal(size=30)
+        aggregate = AGGREGATE_BUILTINS["corr"]()
+        state = aggregate.accumulate_vector(
+            aggregate.initialize(), [x, y], 30
+        )
+        row = run_aggregate("corr", list(zip(x.tolist(), y.tolist())))
+        assert aggregate.finalize(state) == pytest.approx(row)
+
+    def test_base_class_vector_unsupported(self):
+        class Dummy(AggregateFunction):
+            def initialize(self):
+                return 0
+
+            def accumulate(self, state, args):
+                return state
+
+            def merge(self, state, other):
+                return state
+
+            def finalize(self, state):
+                return state
+
+        assert Dummy().accumulate_vector(0, [], 0) is NotImplemented
+
+    @given(st.lists(finite_floats, min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_property_sum_vector_row_agree(self, values):
+        aggregate = AGGREGATE_BUILTINS["sum"]()
+        vec_state = aggregate.accumulate_vector(
+            aggregate.initialize(), [np.asarray(values)], len(values)
+        )
+        assert aggregate.finalize(vec_state) == pytest.approx(
+            run_aggregate("sum", values), rel=1e-9, abs=1e-6
+        )
+
+    @given(st.lists(finite_floats, min_size=2, max_size=60), st.integers(0, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_property_merge_associative(self, values, split):
+        split = min(split, len(values))
+        assert run_aggregate("var_pop", values) == pytest.approx(
+            run_aggregate("var_pop", values, merge_split=split),
+            rel=1e-6, abs=1e-9,
+        )

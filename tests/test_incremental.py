@@ -1,0 +1,157 @@
+"""Incremental maintenance of (n, L, Q)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.incremental import IncrementalSummary
+from repro.core.summary import MatrixType, SummaryStatistics
+from repro.dbms.database import Database
+from repro.dbms.schema import dataset_schema, dimension_names
+from repro.errors import ModelError
+
+
+def make_db(d=3, amps=3):
+    db = Database(amps=amps)
+    db.create_table("x", dataset_schema(d))
+    return db
+
+
+def insert_batch(db, start, count, d=3, seed=None):
+    rng = np.random.default_rng(seed if seed is not None else start)
+    rows = [
+        (start + offset, *rng.normal(size=d).tolist())
+        for offset in range(count)
+    ]
+    db.insert_rows("x", rows)
+    return np.asarray([row[1:] for row in rows])
+
+
+class TestRefresh:
+    def test_initial_refresh_covers_existing_rows(self):
+        db = make_db()
+        data = insert_batch(db, 1, 50)
+        summary = IncrementalSummary(db, "x", dimension_names(3))
+        stats = summary.refresh()
+        assert stats.n == 50
+        assert np.allclose(np.sort(stats.L), np.sort(data.sum(axis=0)))
+
+    def test_incremental_equals_full_recompute(self):
+        db = make_db()
+        summary = IncrementalSummary(db, "x", dimension_names(3))
+        all_rows = []
+        for batch in range(5):
+            block = insert_batch(db, 1 + batch * 20, 20)
+            all_rows.append(block)
+            summary.refresh()
+        whole = SummaryStatistics.from_matrix(np.vstack(all_rows))
+        assert summary.stats.allclose(whole)
+
+    def test_noop_refresh(self):
+        db = make_db()
+        insert_batch(db, 1, 10)
+        summary = IncrementalSummary(db, "x", dimension_names(3))
+        first = summary.refresh()
+        second = summary.refresh()
+        assert first.allclose(second, rtol=0)
+        assert summary.refresh_count == 2
+
+    def test_pending_and_fresh(self):
+        db = make_db()
+        summary = IncrementalSummary(db, "x", dimension_names(3))
+        assert summary.is_fresh()
+        insert_batch(db, 1, 7)
+        assert summary.pending_rows() == 7
+        summary.refresh()
+        assert summary.is_fresh()
+
+    def test_null_rows_skipped_like_the_udf(self):
+        db = make_db()
+        db.insert_rows("x", [(1, 1.0, 2.0, 3.0), (2, None, 1.0, 1.0)])
+        summary = IncrementalSummary(db, "x", dimension_names(3))
+        stats = summary.refresh()
+        assert stats.n == 1
+
+    def test_diagonal_mode(self):
+        db = make_db()
+        data = insert_batch(db, 1, 30)
+        summary = IncrementalSummary(
+            db, "x", dimension_names(3), MatrixType.DIAGONAL
+        )
+        stats = summary.refresh()
+        assert np.allclose(
+            np.sort(np.diag(stats.Q)), np.sort((data * data).sum(axis=0))
+        )
+        assert stats.Q[0, 1] == 0.0
+
+    def test_matches_udf_route(self):
+        from repro.core.nlq_udf import compute_nlq_udf, register_nlq_udfs
+
+        db = make_db()
+        insert_batch(db, 1, 40)
+        register_nlq_udfs(db)
+        summary = IncrementalSummary(db, "x", dimension_names(3))
+        incremental = summary.refresh()
+        via_udf = compute_nlq_udf(db, "x", dimension_names(3))
+        assert incremental.allclose(via_udf)
+
+    @given(st.lists(st.integers(1, 25), min_size=1, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_any_batch_split_converges(self, batch_sizes):
+        db = make_db()
+        summary = IncrementalSummary(db, "x", dimension_names(3))
+        blocks = []
+        next_id = 1
+        for size in batch_sizes:
+            blocks.append(insert_batch(db, next_id, size, seed=next_id))
+            next_id += size
+            summary.refresh()
+        whole = SummaryStatistics.from_matrix(np.vstack(blocks))
+        assert summary.stats.allclose(whole, rtol=1e-9)
+
+
+class TestCostAccounting:
+    def test_refresh_charges_only_new_rows(self):
+        db = make_db()
+        insert_batch(db, 1, 100)
+        summary = IncrementalSummary(db, "x", dimension_names(3))
+        db.reset_clock()
+        summary.refresh()
+        full_cost = db.simulated_time
+        insert_batch(db, 101, 10)
+        db.reset_clock()
+        summary.refresh()
+        delta_cost = db.simulated_time
+        assert delta_cost < 0.2 * full_cost
+
+    def test_noop_refresh_is_free(self):
+        db = make_db()
+        insert_batch(db, 1, 10)
+        summary = IncrementalSummary(db, "x", dimension_names(3))
+        summary.refresh()
+        db.reset_clock()
+        summary.refresh()
+        assert db.simulated_time == 0.0
+
+
+class TestInvalidation:
+    def test_shrunk_table_detected(self):
+        db = make_db()
+        insert_batch(db, 1, 10)
+        summary = IncrementalSummary(db, "x", dimension_names(3))
+        summary.refresh()
+        db.execute("DELETE FROM x WHERE i <= 5")
+        with pytest.raises(ModelError, match="shrank|rebuilt"):
+            summary.refresh()
+
+    def test_reset(self):
+        db = make_db()
+        insert_batch(db, 1, 10)
+        summary = IncrementalSummary(db, "x", dimension_names(3))
+        summary.refresh()
+        summary.reset()
+        assert summary.stats.n == 0
+        assert summary.pending_rows() == 10
+        stats = summary.refresh()
+        assert stats.n == 10

@@ -1,0 +1,125 @@
+"""LEFT OUTER JOIN semantics (the paper's star-join construction)."""
+
+import pytest
+
+from repro.dbms.database import Database
+from repro.dbms.sql import ast
+from repro.dbms.sql.parser import parse_statement
+
+
+@pytest.fixture
+def star(db: Database) -> Database:
+    db.execute("CREATE TABLE ref (i INTEGER PRIMARY KEY)")
+    db.execute("INSERT INTO ref VALUES (1), (2), (3)")
+    db.execute("CREATE TABLE detail (did INTEGER PRIMARY KEY, i INTEGER, v FLOAT)")
+    db.execute("INSERT INTO detail VALUES (10, 1, 5.0), (11, 1, 7.0), (12, 3, 2.0)")
+    return db
+
+
+class TestParsing:
+    def test_left_join_parsed(self):
+        select = parse_statement("SELECT 1 FROM a LEFT JOIN b ON b.i = a.i")
+        assert select.joins[0].outer is True
+
+    def test_left_outer_join_parsed(self):
+        select = parse_statement("SELECT 1 FROM a LEFT OUTER JOIN b ON b.i = a.i")
+        assert select.joins[0].outer is True
+
+    def test_inner_join_not_outer(self):
+        select = parse_statement("SELECT 1 FROM a JOIN b ON b.i = a.i")
+        assert select.joins[0].outer is False
+
+    def test_render_round_trip(self):
+        sql = "SELECT r.i FROM ref r LEFT JOIN d ON d.i = r.i"
+        first = parse_statement(sql)
+        assert parse_statement(ast.render(first)) == first
+
+
+class TestSemantics:
+    def test_unmatched_rows_null_padded(self, star):
+        result = star.execute(
+            "SELECT r.i, d.v FROM ref r LEFT JOIN detail d ON d.i = r.i "
+            "ORDER BY r.i, d.v"
+        )
+        assert result.rows == [(1, 5.0), (1, 7.0), (2, None), (3, 2.0)]
+
+    def test_inner_join_drops_unmatched(self, star):
+        result = star.execute(
+            "SELECT r.i FROM ref r JOIN detail d ON d.i = r.i GROUP BY r.i"
+        )
+        assert sorted(result.column("i")) == [1, 3]
+
+    def test_aggregate_over_left_join(self, star):
+        """The paper's metric pattern: every reference point appears,
+        missing details aggregate to NULL → coalesce to 0."""
+        result = star.execute(
+            "SELECT r.i, coalesce(sum(d.v), 0.0) AS total FROM ref r "
+            "LEFT JOIN detail d ON d.i = r.i GROUP BY r.i ORDER BY r.i"
+        )
+        assert result.rows == [(1, 12.0), (2, 0.0), (3, 2.0)]
+
+    def test_count_ignores_padding_nulls(self, star):
+        result = star.execute(
+            "SELECT r.i, count(d.v) FROM ref r LEFT JOIN detail d "
+            "ON d.i = r.i GROUP BY r.i ORDER BY r.i"
+        )
+        assert result.rows == [(1, 2), (2, 0), (3, 1)]
+
+    def test_left_join_derived_table(self, star):
+        result = star.execute(
+            "SELECT r.i, s.total FROM ref r LEFT JOIN "
+            "(SELECT i AS k, sum(v) AS total FROM detail GROUP BY i) s "
+            "ON s.k = r.i ORDER BY r.i"
+        )
+        assert result.rows == [(1, 12.0), (2, None), (3, 2.0)]
+
+    def test_chained_left_joins(self, star):
+        star.execute("CREATE TABLE extra (i INTEGER PRIMARY KEY, w FLOAT)")
+        star.execute("INSERT INTO extra VALUES (2, 9.0)")
+        result = star.execute(
+            "SELECT r.i, d.v, e.w FROM ref r "
+            "LEFT JOIN detail d ON d.i = r.i "
+            "LEFT JOIN extra e ON e.i = r.i ORDER BY r.i, d.v"
+        )
+        assert (2, None, 9.0) in result.rows
+        assert (1, 5.0, None) in result.rows
+
+
+class TestOptimizerInteraction:
+    def test_unused_left_join_on_pk_eliminated(self, star):
+        from repro.dbms.sql.optimizer import QueryOptimizer
+
+        star.execute("CREATE TABLE props (i INTEGER PRIMARY KEY, p FLOAT)")
+        report = QueryOptimizer(star.catalog).optimize(
+            parse_statement(
+                "SELECT r.i FROM ref r LEFT JOIN props p ON p.i = r.i"
+            )
+        )
+        assert report.eliminated_joins == ["p"]
+
+    def test_used_left_join_kept(self, star):
+        from repro.dbms.sql.optimizer import QueryOptimizer
+
+        report = QueryOptimizer(star.catalog).optimize(
+            parse_statement(
+                "SELECT r.i, d.v FROM ref r LEFT JOIN detail d ON d.i = r.i"
+            )
+        )
+        assert report.eliminated_joins == []
+
+    def test_left_join_on_non_pk_kept(self, star):
+        # detail.i is NOT the primary key: multiple matches can
+        # duplicate rows, so elimination is unsafe even when unused.
+        from repro.dbms.sql.optimizer import QueryOptimizer
+
+        report = QueryOptimizer(star.catalog).optimize(
+            parse_statement(
+                "SELECT r.i FROM ref r LEFT JOIN detail d ON d.i = r.i"
+            )
+        )
+        assert report.eliminated_joins == []
+
+    def test_eliminated_left_join_same_results(self, star):
+        star.execute("CREATE TABLE props (i INTEGER PRIMARY KEY, p FLOAT)")
+        sql = "SELECT r.i FROM ref r LEFT JOIN props p ON p.i = r.i ORDER BY r.i"
+        assert star.execute(sql).rows == star.execute_optimized(sql).rows

@@ -1,0 +1,91 @@
+"""SQL tokenizer."""
+
+import pytest
+
+from repro.dbms.sql.lexer import TokenType, tokenize
+from repro.errors import SqlSyntaxError
+
+
+def kinds(sql):
+    return [(t.type, t.text) for t in tokenize(sql)[:-1]]
+
+
+class TestTokens:
+    def test_simple_select(self):
+        tokens = kinds("SELECT x1 FROM t")
+        assert tokens == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.IDENTIFIER, "x1"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.IDENTIFIER, "t"),
+        ]
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("select")[0].type is TokenType.KEYWORD
+
+    def test_numbers(self):
+        texts = [t.text for t in tokenize("1 2.5 .5 1e3 1.5E-2 2e+10")[:-1]]
+        assert texts == ["1", "2.5", ".5", "1e3", "1.5E-2", "2e+10"]
+
+    def test_number_followed_by_dot_call(self):
+        # "1.5.foo" style input should not swallow the second dot.
+        tokens = kinds("t.x1")
+        assert tokens == [
+            (TokenType.IDENTIFIER, "t"),
+            (TokenType.PUNCT, "."),
+            (TokenType.IDENTIFIER, "x1"),
+        ]
+
+    def test_e_not_exponent_without_digits(self):
+        texts = [t.text for t in tokenize("1e")[:-1]]
+        assert texts == ["1", "e"]
+
+    def test_string_literal_with_escape(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated string"):
+            tokenize("'abc")
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"Group"')
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].text == "Group"
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize('"abc')
+
+    def test_operators(self):
+        texts = [t.text for t in tokenize("a <> b <= c >= d != e || f")[:-1]]
+        assert "<>" in texts and "<=" in texts and ">=" in texts
+        assert "!=" in texts and "||" in texts
+
+    def test_line_comment(self):
+        tokens = kinds("SELECT 1 -- trailing comment\n")
+        assert tokens[-1] == (TokenType.NUMBER, "1")
+
+    def test_block_comment(self):
+        tokens = kinds("SELECT /* hi */ 1")
+        assert tokens == [(TokenType.KEYWORD, "SELECT"), (TokenType.NUMBER, "1")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SqlSyntaxError, match="block comment"):
+            tokenize("SELECT /* oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("SELECT @x")
+
+    def test_end_token(self):
+        assert tokenize("")[-1].type is TokenType.END
+
+    def test_position_reported(self):
+        try:
+            tokenize("SELECT ?")
+        except SqlSyntaxError as exc:
+            assert exc.position == 7
+        else:  # pragma: no cover
+            raise AssertionError("expected SqlSyntaxError")

@@ -1,0 +1,70 @@
+"""Model-table persistence helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.models.base import (
+    load_matrix,
+    load_vector,
+    store_matrix,
+    store_vector,
+)
+from repro.errors import ModelError
+
+
+class TestVectorTables:
+    def test_round_trip(self, db):
+        values = np.asarray([1.5, -2.0, 3.25])
+        store_vector(db, "v", values)
+        assert np.array_equal(load_vector(db, "v"), values)
+
+    def test_custom_names(self, db):
+        store_vector(db, "beta", np.asarray([0.5, 1.0]), ["b0", "b1"])
+        assert db.table("beta").schema.column_names == ("b0", "b1")
+
+    def test_name_count_mismatch(self, db):
+        with pytest.raises(ModelError):
+            store_vector(db, "v", np.zeros(3), ["a"])
+
+    def test_replace(self, db):
+        store_vector(db, "v", np.asarray([1.0]))
+        store_vector(db, "v", np.asarray([2.0, 3.0]))
+        assert np.array_equal(load_vector(db, "v"), [2.0, 3.0])
+
+    def test_load_requires_single_row(self, db):
+        db.execute("CREATE TABLE multi (x1 FLOAT)")
+        db.execute("INSERT INTO multi VALUES (1.0), (2.0)")
+        with pytest.raises(ModelError, match="rows"):
+            load_vector(db, "multi")
+
+
+class TestMatrixTables:
+    def test_round_trip_ordered_by_j(self, db):
+        matrix = np.asarray([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        store_matrix(db, "m", matrix)
+        assert np.array_equal(load_matrix(db, "m"), matrix)
+        assert db.table("m").schema.primary_key == "j"
+
+    def test_j_is_one_based(self, db):
+        store_matrix(db, "m", np.asarray([[9.0]]))
+        assert db.table("m").rows() == [(1, 9.0)]
+
+    def test_wrong_shape(self, db):
+        with pytest.raises(ModelError):
+            store_matrix(db, "m", np.zeros(3))
+
+    def test_name_count_mismatch(self, db):
+        with pytest.raises(ModelError):
+            store_matrix(db, "m", np.zeros((2, 3)), ["a", "b"])
+
+    def test_empty_load_rejected(self, db):
+        db.execute("CREATE TABLE empty (j INTEGER, x1 FLOAT)")
+        with pytest.raises(ModelError, match="empty"):
+            load_matrix(db, "empty")
+
+    def test_queryable_via_sql(self, db):
+        """Stored models are ordinary tables — the whole point of
+        keeping them in the DBMS."""
+        store_matrix(db, "c", np.asarray([[1.0, 2.0], [3.0, 4.0]]))
+        result = db.execute("SELECT x2 FROM c WHERE j = 2")
+        assert result.scalar() == 4.0

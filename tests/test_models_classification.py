@@ -1,0 +1,176 @@
+"""Classification from per-class summaries: Naive Bayes and LDA."""
+
+import numpy as np
+import pytest
+
+from repro.core.models.lda import LdaModel
+from repro.core.models.naive_bayes import NaiveBayesModel
+from repro.core.summary import MatrixType, SummaryStatistics
+from repro.dbms.schema import dimension_names
+from repro.errors import ModelError
+from repro.twm.miner import WarehouseMiner
+
+
+@pytest.fixture(scope="module")
+def labeled_data():
+    """Two Gaussian classes with different means and scales."""
+    rng = np.random.default_rng(71)
+    n_per = 400
+    class1 = rng.normal([0.0, 0.0, 0.0], [1.0, 2.0, 1.0], size=(n_per, 3))
+    class2 = rng.normal([4.0, 1.0, -3.0], [1.5, 1.0, 1.0], size=(n_per, 3))
+    X = np.vstack([class1, class2])
+    labels = np.concatenate([np.ones(n_per, int), np.full(n_per, 2)])
+    shuffle = rng.permutation(len(X))
+    return X[shuffle], labels[shuffle]
+
+
+class TestNaiveBayes:
+    def test_parameters_match_per_class_stats(self, labeled_data):
+        X, labels = labeled_data
+        model = NaiveBayesModel.fit_matrix(X, labels)
+        for index, label in enumerate(model.classes):
+            members = X[labels == label]
+            assert np.allclose(model.means[index], members.mean(axis=0))
+            assert np.allclose(model.variances[index], members.var(axis=0))
+            assert model.priors[index] == pytest.approx(0.5)
+
+    def test_separable_classes_high_accuracy(self, labeled_data):
+        X, labels = labeled_data
+        model = NaiveBayesModel.fit_matrix(X, labels)
+        assert model.accuracy(X, labels) > 0.97
+
+    def test_posterior_probabilities_normalized(self, labeled_data):
+        X, labels = labeled_data
+        model = NaiveBayesModel.fit_matrix(X, labels)
+        proba = model.predict_proba(X[:50])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_priors_reflect_imbalance(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack(
+            [rng.normal(0, 1, (300, 2)), rng.normal(5, 1, (100, 2))]
+        )
+        labels = np.concatenate([np.ones(300, int), np.full(100, 2)])
+        model = NaiveBayesModel.fit_matrix(X, labels)
+        assert model.priors[0] == pytest.approx(0.75)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            NaiveBayesModel.from_class_summaries({})
+
+    def test_singleton_class_rejected(self):
+        summaries = {
+            1: SummaryStatistics.from_matrix(np.ones((1, 2))),
+            2: SummaryStatistics.from_matrix(np.zeros((5, 2))),
+        }
+        with pytest.raises(ModelError, match="need >= 2"):
+            NaiveBayesModel.from_class_summaries(summaries)
+
+    def test_dimension_mismatch_rejected(self):
+        summaries = {
+            1: SummaryStatistics.from_matrix(np.zeros((5, 2))),
+            2: SummaryStatistics.from_matrix(np.zeros((5, 3))),
+        }
+        with pytest.raises(ModelError):
+            NaiveBayesModel.from_class_summaries(summaries)
+
+    def test_predict_dimension_check(self, labeled_data):
+        X, labels = labeled_data
+        model = NaiveBayesModel.fit_matrix(X, labels)
+        with pytest.raises(ModelError):
+            model.predict(np.zeros((2, 7)))
+
+
+class TestLda:
+    def test_pooled_covariance_matches_definition(self, labeled_data):
+        X, labels = labeled_data
+        model = LdaModel.fit_matrix(X, labels, regularization=0.0)
+        scatter = np.zeros((3, 3))
+        for label in (1, 2):
+            members = X[labels == label]
+            centered = members - members.mean(axis=0)
+            scatter += centered.T @ centered
+        expected = scatter / (len(X) - 2)
+        assert np.allclose(model.pooled_covariance, expected)
+
+    def test_separable_classes_high_accuracy(self, labeled_data):
+        X, labels = labeled_data
+        model = LdaModel.fit_matrix(X, labels)
+        assert model.accuracy(X, labels) > 0.97
+
+    def test_boundary_normal_separates_means(self, labeled_data):
+        X, labels = labeled_data
+        model = LdaModel.fit_matrix(X, labels)
+        normal = model.decision_boundary_normal(1, 2)
+        mean_gap = model.means[0] - model.means[1]
+        # The normal points from class 2's mean toward class 1's.
+        assert normal @ mean_gap > 0
+
+    def test_diagonal_summaries_rejected(self, labeled_data):
+        X, labels = labeled_data
+        summaries = {
+            int(label): SummaryStatistics.from_matrix(
+                X[labels == label], MatrixType.DIAGONAL
+            )
+            for label in (1, 2)
+        }
+        with pytest.raises(ModelError, match="cross-products"):
+            LdaModel.from_class_summaries(summaries)
+
+    def test_agrees_with_naive_bayes_on_isotropic_data(self):
+        """With equal isotropic class covariances NB and LDA converge to
+        near-identical decision rules."""
+        rng = np.random.default_rng(5)
+        X = np.vstack(
+            [rng.normal(0, 1, (500, 2)), rng.normal(3, 1, (500, 2))]
+        )
+        labels = np.concatenate([np.ones(500, int), np.full(500, 2)])
+        nb = NaiveBayesModel.fit_matrix(X, labels)
+        lda = LdaModel.fit_matrix(X, labels)
+        agreement = np.mean(nb.predict(X) == lda.predict(X))
+        assert agreement > 0.99
+
+
+class TestInDatabaseRoute:
+    """The miner's GROUP BY route must equal the matrix route exactly."""
+
+    @pytest.fixture(scope="class")
+    def miner_with_labels(self, labeled_data):
+        X, labels = labeled_data
+        miner = WarehouseMiner(amps=4)
+        db = miner.db
+        db.execute(
+            "CREATE TABLE train (i INTEGER PRIMARY KEY, x1 FLOAT, x2 FLOAT, "
+            "x3 FLOAT, label INTEGER)"
+        )
+        db.load_columns(
+            "train",
+            {
+                "i": np.arange(1, len(X) + 1),
+                "x1": X[:, 0], "x2": X[:, 1], "x3": X[:, 2],
+                "label": labels,
+            },
+        )
+        return miner, X, labels
+
+    def test_naive_bayes_matches_matrix_fit(self, miner_with_labels):
+        miner, X, labels = miner_with_labels
+        db_model = miner.naive_bayes("train", "label", dimension_names(3))
+        ref_model = NaiveBayesModel.fit_matrix(X, labels)
+        assert db_model.classes == ref_model.classes
+        assert np.allclose(db_model.means, ref_model.means)
+        assert np.allclose(db_model.variances, ref_model.variances)
+        assert np.allclose(db_model.priors, ref_model.priors)
+
+    def test_lda_matches_matrix_fit(self, miner_with_labels):
+        miner, X, labels = miner_with_labels
+        db_model = miner.lda("train", "label", dimension_names(3))
+        ref_model = LdaModel.fit_matrix(X, labels)
+        assert np.allclose(db_model.weights, ref_model.weights)
+        assert np.allclose(db_model.biases, ref_model.biases)
+
+    def test_label_excluded_from_default_dimensions(self, miner_with_labels):
+        miner, X, labels = miner_with_labels
+        model = miner.naive_bayes("train", "label")
+        assert model.d == 3  # i and label excluded

@@ -1,0 +1,102 @@
+"""Correlation analysis from the summary matrices."""
+
+import numpy as np
+import pytest
+
+from repro.core.models.correlation import CorrelationModel
+from repro.core.summary import SummaryStatistics
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def model_and_x():
+    rng = np.random.default_rng(3)
+    n = 300
+    base = rng.normal(size=n)
+    X = np.column_stack(
+        [
+            base,
+            base * 2 + rng.normal(scale=0.1, size=n),   # strongly correlated
+            -base + rng.normal(scale=0.5, size=n),      # negatively correlated
+            rng.normal(size=n),                          # independent
+        ]
+    )
+    stats = SummaryStatistics.from_matrix(X)
+    names = ["a", "b", "c", "noise"]
+    return CorrelationModel.from_summary(stats, names), X
+
+
+class TestBuild:
+    def test_matches_numpy(self, model_and_x):
+        model, X = model_and_x
+        assert np.allclose(model.rho, np.corrcoef(X.T))
+
+    def test_diagonal_is_one(self, model_and_x):
+        model, _X = model_and_x
+        assert np.allclose(np.diag(model.rho), 1.0)
+
+    def test_symmetric(self, model_and_x):
+        model, _X = model_and_x
+        assert np.allclose(model.rho, model.rho.T)
+
+    def test_name_count_checked(self):
+        stats = SummaryStatistics.from_matrix(
+            np.random.default_rng(0).normal(size=(10, 3))
+        )
+        with pytest.raises(ModelError, match="names"):
+            CorrelationModel.from_summary(stats, ["a", "b"])
+
+
+class TestQueries:
+    def test_coefficient_by_name_and_index(self, model_and_x):
+        model, _X = model_and_x
+        assert model.coefficient("a", "b") == model.coefficient(0, 1)
+        assert model.coefficient("a", "b") > 0.99
+        assert model.coefficient("a", "c") < -0.8
+
+    def test_unknown_name(self, model_and_x):
+        model, _X = model_and_x
+        with pytest.raises(ModelError, match="unknown dimension"):
+            model.coefficient("a", "zz")
+
+    def test_index_out_of_range(self, model_and_x):
+        model, _X = model_and_x
+        with pytest.raises(ModelError):
+            model.coefficient(0, 9)
+
+    def test_nameless_model_rejects_names(self):
+        stats = SummaryStatistics.from_matrix(
+            np.random.default_rng(0).normal(size=(10, 2))
+        )
+        model = CorrelationModel.from_summary(stats)
+        with pytest.raises(ModelError, match="without dimension names"):
+            model.coefficient("a", "b")
+
+    def test_strongest_pairs(self, model_and_x):
+        model, _X = model_and_x
+        pairs = model.strongest_pairs(top=2)
+        assert pairs[0][:2] == (1, 0)  # a-b is the strongest pair
+        assert abs(pairs[0][2]) >= abs(pairs[1][2])
+
+    def test_t_statistic_significance(self, model_and_x):
+        model, _X = model_and_x
+        assert abs(model.t_statistic("a", "b")) > 10
+        assert abs(model.t_statistic("a", "noise")) < 3
+
+    def test_significant_pairs_excludes_noise(self, model_and_x):
+        model, _X = model_and_x
+        significant = {(a, b) for a, b, _ in model.significant_pairs(threshold=4.0)}
+        assert (1, 0) in significant
+        assert (3, 0) not in significant
+
+    def test_t_statistic_needs_samples(self):
+        stats = SummaryStatistics.from_matrix(np.asarray([[1.0, 2.0], [2.0, 1.0]]))
+        model = CorrelationModel.from_summary(stats)
+        with pytest.raises(ModelError, match="n > 2"):
+            model.t_statistic(0, 1)
+
+    def test_perfect_correlation_infinite_t(self):
+        x = np.arange(10.0)
+        stats = SummaryStatistics.from_matrix(np.column_stack([x, 2 * x]))
+        model = CorrelationModel.from_summary(stats)
+        assert model.t_statistic(0, 1) == np.inf

@@ -1,0 +1,120 @@
+"""EM clustering: mixtures of diagonal Gaussians."""
+
+import numpy as np
+import pytest
+
+from repro.core.models.em_mixture import GaussianMixtureModel
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def mixture_data():
+    rng = np.random.default_rng(51)
+    means = np.asarray([[0.0, 0.0], [15.0, 5.0]])
+    sigmas = np.asarray([[1.0, 2.0], [2.0, 1.0]])
+    X = np.vstack(
+        [
+            means[0] + rng.normal(size=(300, 2)) * sigmas[0],
+            means[1] + rng.normal(size=(200, 2)) * sigmas[1],
+        ]
+    )
+    return X, means, sigmas
+
+
+class TestFit:
+    def test_recovers_means(self, mixture_data):
+        X, means, _sigmas = mixture_data
+        model = GaussianMixtureModel.fit_matrix(
+            X, k=2, seed=3, tolerance=1e-12, max_iterations=500
+        )
+        found = model.means[np.argsort(model.means[:, 0])]
+        assert np.allclose(found, means, atol=0.5)
+
+    def test_recovers_variances(self, mixture_data):
+        X, _means, sigmas = mixture_data
+        model = GaussianMixtureModel.fit_matrix(
+            X, k=2, seed=3, tolerance=1e-12, max_iterations=500
+        )
+        order = np.argsort(model.means[:, 0])
+        assert np.allclose(model.variances[order], sigmas**2, rtol=0.4)
+
+    def test_recovers_weights(self, mixture_data):
+        X, _means, _sigmas = mixture_data
+        model = GaussianMixtureModel.fit_matrix(X, k=2, seed=3)
+        assert model.weights.sum() == pytest.approx(1.0)
+        assert np.allclose(sorted(model.weights), [0.4, 0.6], atol=0.05)
+
+    def test_log_likelihood_monotone_over_iterations(self, mixture_data):
+        """EM's defining property: the likelihood never decreases."""
+        X, _means, _sigmas = mixture_data
+        previous = -np.inf
+        for iterations in (1, 2, 5, 20):
+            model = GaussianMixtureModel.fit_matrix(
+                X, k=2, max_iterations=iterations, tolerance=0.0, seed=3
+            )
+            assert model.log_likelihood >= previous - 1e-6
+            previous = model.log_likelihood
+
+    def test_more_components_fit_better(self, mixture_data):
+        X, _means, _sigmas = mixture_data
+        one = GaussianMixtureModel.fit_matrix(X, k=1, seed=3)
+        two = GaussianMixtureModel.fit_matrix(X, k=2, seed=3)
+        assert two.log_likelihood > one.log_likelihood
+
+    def test_k_bounds(self, mixture_data):
+        X, _means, _sigmas = mixture_data
+        with pytest.raises(ModelError):
+            GaussianMixtureModel.fit_matrix(X, k=0)
+
+    def test_variance_floor_applied(self):
+        # Duplicate points would collapse a variance to zero without the floor.
+        X = np.tile(np.asarray([[1.0, 2.0]]), (30, 1))
+        X[::2] += 1.0
+        model = GaussianMixtureModel.fit_matrix(X, k=2, seed=0)
+        assert np.all(model.variances > 0)
+
+
+class TestScoring:
+    def test_responsibilities_are_distributions(self, mixture_data):
+        X, _means, _sigmas = mixture_data
+        model = GaussianMixtureModel.fit_matrix(X, k=2, seed=3)
+        responsibilities = model.responsibilities(X)
+        assert responsibilities.shape == (len(X), 2)
+        assert np.allclose(responsibilities.sum(axis=1), 1.0)
+        assert np.all(responsibilities >= 0)
+
+    def test_predict_separates_components(self, mixture_data):
+        X, _means, _sigmas = mixture_data
+        model = GaussianMixtureModel.fit_matrix(X, k=2, seed=3)
+        labels = model.predict(X)
+        assert set(labels) == {1, 2}
+        first = labels[:300]
+        accuracy = max(
+            (first == 1).mean(), (first == 2).mean()
+        )
+        assert accuracy > 0.97
+
+    def test_score_is_total_log_likelihood(self, mixture_data):
+        X, _means, _sigmas = mixture_data
+        model = GaussianMixtureModel.fit_matrix(X, k=2, seed=3)
+        assert model.score(X) == pytest.approx(model.log_likelihood, rel=1e-6)
+
+    def test_dimension_check(self, mixture_data):
+        X, _means, _sigmas = mixture_data
+        model = GaussianMixtureModel.fit_matrix(X, k=2, seed=3)
+        with pytest.raises(ModelError):
+            model.predict(np.zeros((3, 5)))
+
+    def test_kmeans_agreement_on_separated_data(self, mixture_data):
+        """On well-separated blobs EM and K-means agree almost everywhere
+        (the paper treats them as two drivers of the same statistics)."""
+        from repro.core.models.kmeans import KMeansModel
+
+        X, _means, _sigmas = mixture_data
+        em_labels = GaussianMixtureModel.fit_matrix(X, k=2, seed=3).predict(X)
+        km_labels = KMeansModel.fit_matrix(X, k=2, seed=3).assign(X)
+        agreement = max(
+            (em_labels == km_labels).mean(),
+            (em_labels != km_labels).mean(),  # label permutation
+        )
+        assert agreement > 0.95

@@ -1,0 +1,96 @@
+"""Maximum-likelihood factor analysis via EM on the covariance matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.models.factor_analysis import FactorAnalysisModel
+from repro.core.summary import SummaryStatistics
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def factor_data():
+    """Data generated from a true 2-factor model: x = Λf + µ + ε."""
+    rng = np.random.default_rng(31)
+    n, d, k = 800, 6, 2
+    loadings = rng.normal(scale=2.0, size=(d, k))
+    noise_sd = rng.uniform(0.3, 0.6, size=d)
+    factors = rng.normal(size=(n, k))
+    X = 5.0 + factors @ loadings.T + rng.normal(size=(n, d)) * noise_sd
+    return X, SummaryStatistics.from_matrix(X), loadings, noise_sd
+
+
+class TestFit:
+    def test_implied_covariance_close_to_sample(self, factor_data):
+        X, stats, _L, _psi = factor_data
+        model = FactorAnalysisModel.from_summary(stats, k=2)
+        S = np.cov(X.T, bias=True)
+        implied = model.implied_covariance()
+        relative = np.linalg.norm(implied - S) / np.linalg.norm(S)
+        assert relative < 0.05
+
+    def test_noise_variance_recovered(self, factor_data):
+        _X, stats, _L, noise_sd = factor_data
+        model = FactorAnalysisModel.from_summary(stats, k=2)
+        assert np.allclose(model.noise_variance, noise_sd**2, rtol=0.6)
+        assert np.all(model.noise_variance > 0)
+
+    def test_log_likelihood_improves_with_right_k(self, factor_data):
+        _X, stats, _L, _psi = factor_data
+        weak = FactorAnalysisModel.from_summary(stats, k=1)
+        right = FactorAnalysisModel.from_summary(stats, k=2)
+        assert right.log_likelihood > weak.log_likelihood
+
+    def test_converges(self, factor_data):
+        _X, stats, _L, _psi = factor_data
+        model = FactorAnalysisModel.from_summary(stats, k=2, max_iterations=500)
+        assert model.iterations < 500
+
+    def test_seed_determinism(self, factor_data):
+        _X, stats, _L, _psi = factor_data
+        a = FactorAnalysisModel.from_summary(stats, k=2, seed=1)
+        b = FactorAnalysisModel.from_summary(stats, k=2, seed=1)
+        assert np.array_equal(a.loadings, b.loadings)
+
+    def test_k_bounds(self, factor_data):
+        _X, stats, _L, _psi = factor_data
+        with pytest.raises(ModelError):
+            FactorAnalysisModel.from_summary(stats, k=0)
+        with pytest.raises(ModelError):
+            FactorAnalysisModel.from_summary(stats, k=6)  # k must be < d
+
+    def test_zero_variance_rejected(self):
+        X = np.column_stack([np.ones(30), np.random.default_rng(0).normal(size=30)])
+        stats = SummaryStatistics.from_matrix(X)
+        with pytest.raises(ModelError):
+            FactorAnalysisModel.from_summary(stats, k=1)
+
+
+class TestTransform:
+    def test_factor_scores_shape_and_scale(self, factor_data):
+        X, stats, _L, _psi = factor_data
+        model = FactorAnalysisModel.from_summary(stats, k=2)
+        scores = model.transform(X)
+        assert scores.shape == (X.shape[0], 2)
+        # Posterior-mean scores are shrunk versions of N(0, 1) factors.
+        assert np.all(np.abs(scores.mean(axis=0)) < 0.15)
+        assert np.all(scores.var(axis=0) < 1.2)
+
+    def test_single_point(self, factor_data):
+        X, stats, _L, _psi = factor_data
+        model = FactorAnalysisModel.from_summary(stats, k=2)
+        assert model.transform(X[0]).shape == (1, 2)
+
+    def test_dimension_check(self, factor_data):
+        _X, stats, _L, _psi = factor_data
+        model = FactorAnalysisModel.from_summary(stats, k=2)
+        with pytest.raises(ModelError):
+            model.transform(np.zeros((3, 9)))
+
+    def test_communalities_bounded_by_variances(self, factor_data):
+        X, stats, _L, _psi = factor_data
+        model = FactorAnalysisModel.from_summary(stats, k=2)
+        communalities = model.communalities()
+        total_variances = X.var(axis=0)
+        assert np.all(communalities > 0)
+        assert np.all(communalities <= total_variances * 1.05)

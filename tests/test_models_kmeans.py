@@ -1,0 +1,151 @@
+"""K-means clustering on per-cluster summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.models.kmeans import KMeansModel
+from repro.core.summary import MatrixType, SummaryStatistics
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def blobs():
+    """Three well-separated clusters."""
+    rng = np.random.default_rng(41)
+    centers = np.asarray([[0.0, 0.0], [20.0, 0.0], [0.0, 20.0]])
+    X = np.vstack(
+        [center + rng.normal(scale=1.0, size=(100, 2)) for center in centers]
+    )
+    return X, centers
+
+
+class TestFitMatrix:
+    def test_recovers_centers(self, blobs):
+        X, centers = blobs
+        model = KMeansModel.fit_matrix(X, k=3, seed=0)
+        # Match each true center to its nearest recovered centroid.
+        for center in centers:
+            nearest = np.min(
+                np.linalg.norm(model.centroids - center, axis=1)
+            )
+            assert nearest < 1.0
+
+    def test_weights_sum_to_one(self, blobs):
+        X, _ = blobs
+        model = KMeansModel.fit_matrix(X, k=3, seed=0)
+        assert model.weights.sum() == pytest.approx(1.0)
+        assert np.allclose(model.weights, 1 / 3, atol=0.05)
+
+    def test_radii_match_cluster_variances(self, blobs):
+        X, _ = blobs
+        model = KMeansModel.fit_matrix(X, k=3, seed=0)
+        labels = model.assign(X)
+        for j in range(1, 4):
+            members = X[labels == j]
+            assert np.allclose(
+                model.radii[j - 1], members.var(axis=0), rtol=0.05
+            )
+
+    def test_inertia_decreases_with_k(self, blobs):
+        X, _ = blobs
+        coarse = KMeansModel.fit_matrix(X, k=2, seed=0)
+        fine = KMeansModel.fit_matrix(X, k=3, seed=0)
+        assert fine.within_cluster_sse(X) < coarse.within_cluster_sse(X)
+
+    def test_k_bounds(self, blobs):
+        X, _ = blobs
+        with pytest.raises(ModelError):
+            KMeansModel.fit_matrix(X, k=0)
+        with pytest.raises(ModelError):
+            KMeansModel.fit_matrix(X, k=len(X) + 1)
+
+    def test_k_equals_one(self, blobs):
+        X, _ = blobs
+        model = KMeansModel.fit_matrix(X, k=1)
+        assert np.allclose(model.centroids[0], X.mean(axis=0), atol=1e-6)
+
+
+class TestFromGroupSummaries:
+    def test_equations(self, blobs):
+        """C_j = L_j/N_j, R_j = Q_j/N_j − (L_j/N_j)², W_j = N_j/n."""
+        X, _ = blobs
+        labels = KMeansModel.fit_matrix(X, k=3, seed=0).assign(X)
+        groups = {
+            j: SummaryStatistics.from_matrix(X[labels == j], MatrixType.DIAGONAL)
+            for j in (1, 2, 3)
+        }
+        model = KMeansModel.from_group_summaries(groups, k=3)
+        for j in (1, 2, 3):
+            members = X[labels == j]
+            assert np.allclose(model.centroids[j - 1], members.mean(axis=0))
+            assert np.allclose(model.radii[j - 1], members.var(axis=0))
+            assert model.weights[j - 1] == pytest.approx(len(members) / len(X))
+
+    def test_empty_cluster_keeps_previous_centroid(self, blobs):
+        X, _ = blobs
+        groups = {1: SummaryStatistics.from_matrix(X, MatrixType.DIAGONAL)}
+        previous = np.asarray([[0.0, 0.0], [99.0, 99.0]])
+        model = KMeansModel.from_group_summaries(groups, k=2, previous_centroids=previous)
+        assert np.array_equal(model.centroids[1], previous[1])
+        assert model.weights[1] == 0.0
+
+    def test_empty_cluster_without_fallback_rejected(self, blobs):
+        X, _ = blobs
+        groups = {1: SummaryStatistics.from_matrix(X, MatrixType.DIAGONAL)}
+        with pytest.raises(ModelError, match="empty"):
+            KMeansModel.from_group_summaries(groups, k=2)
+
+    def test_no_groups_no_fallback(self):
+        with pytest.raises(ModelError):
+            KMeansModel.from_group_summaries({}, k=2)
+
+
+class TestIncremental:
+    def test_one_pass_reasonable(self, blobs):
+        """The incremental one-scan variant gets a good (if suboptimal)
+        solution, as the paper's discussion assumes."""
+        X, _ = blobs
+        rng = np.random.default_rng(0)
+        shuffled = X[rng.permutation(len(X))]
+        full = KMeansModel.fit_matrix(shuffled, k=3, seed=0)
+        one_pass = KMeansModel.fit_incremental(shuffled, k=3, seed=0)
+        assert one_pass.iterations == 1
+        assert one_pass.within_cluster_sse(shuffled) < 3.0 * full.within_cluster_sse(
+            shuffled
+        )
+
+    def test_weights_normalized(self, blobs):
+        X, _ = blobs
+        model = KMeansModel.fit_incremental(X, k=3, seed=1)
+        assert model.weights.sum() == pytest.approx(1.0)
+
+
+class TestScoring:
+    def test_distances_shape_and_nonnegative(self, blobs):
+        X, _ = blobs
+        model = KMeansModel.fit_matrix(X, k=3, seed=0)
+        distances = model.distances(X)
+        assert distances.shape == (len(X), 3)
+        assert np.all(distances >= 0)
+
+    def test_assign_is_one_based_argmin(self, blobs):
+        X, _ = blobs
+        model = KMeansModel.fit_matrix(X, k=3, seed=0)
+        labels = model.assign(X)
+        assert labels.min() >= 1 and labels.max() <= 3
+        assert np.array_equal(labels, np.argmin(model.distances(X), axis=1) + 1)
+
+    def test_assignment_accuracy(self, blobs):
+        X, _ = blobs
+        model = KMeansModel.fit_matrix(X, k=3, seed=0)
+        labels = model.assign(X)
+        # Well-separated blobs: each block of 100 rows gets one label.
+        for start in (0, 100, 200):
+            block = labels[start : start + 100]
+            assert (block == np.bincount(block).argmax()).mean() > 0.95
+
+    def test_dimension_check(self, blobs):
+        X, _ = blobs
+        model = KMeansModel.fit_matrix(X, k=2, seed=0)
+        with pytest.raises(ModelError):
+            model.distances(np.zeros((2, 5)))

@@ -1,0 +1,139 @@
+"""PCA from the summary matrices."""
+
+import numpy as np
+import pytest
+
+from repro.core.models.pca import PCAModel
+from repro.core.summary import SummaryStatistics
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def anisotropic():
+    """Data with one dominant direction so components are identifiable."""
+    rng = np.random.default_rng(23)
+    n = 500
+    t = rng.normal(size=n)
+    X = np.column_stack(
+        [
+            5.0 * t + rng.normal(scale=0.2, size=n),
+            -3.0 * t + rng.normal(scale=0.2, size=n),
+            rng.normal(scale=0.5, size=n),
+        ]
+    )
+    return X, SummaryStatistics.from_matrix(X)
+
+
+class TestBuild:
+    def test_orthogonality(self, anisotropic):
+        _X, stats = anisotropic
+        model = PCAModel.from_summary(stats, k=3)
+        assert model.orthogonality_error() < 1e-10
+
+    def test_eigenvalues_descending(self, anisotropic):
+        _X, stats = anisotropic
+        model = PCAModel.from_summary(stats, k=3)
+        assert list(model.eigenvalues) == sorted(model.eigenvalues, reverse=True)
+
+    def test_matches_numpy_eigh_on_correlation(self, anisotropic):
+        X, stats = anisotropic
+        model = PCAModel.from_summary(stats, k=3)
+        reference = np.linalg.eigvalsh(np.corrcoef(X.T))[::-1]
+        assert np.allclose(model.eigenvalues, reference)
+
+    def test_covariance_mode(self, anisotropic):
+        X, stats = anisotropic
+        model = PCAModel.from_summary(stats, k=2, use_correlation=False)
+        assert model.scale is None
+        reference = np.linalg.eigvalsh(np.cov(X.T, bias=True))[::-1][:2]
+        assert np.allclose(model.eigenvalues, reference)
+
+    def test_k_bounds(self, anisotropic):
+        _X, stats = anisotropic
+        with pytest.raises(ModelError):
+            PCAModel.from_summary(stats, k=0)
+        with pytest.raises(ModelError):
+            PCAModel.from_summary(stats, k=4)
+
+    def test_deterministic_signs(self, anisotropic):
+        _X, stats = anisotropic
+        a = PCAModel.from_summary(stats, k=2)
+        b = PCAModel.from_summary(stats, k=2)
+        assert np.array_equal(a.components, b.components)
+
+    def test_zero_variance_rejected(self):
+        X = np.column_stack([np.ones(20), np.arange(20.0)])
+        stats = SummaryStatistics.from_matrix(X)
+        with pytest.raises(ModelError):
+            PCAModel.from_summary(stats, k=1)
+
+
+class TestTransform:
+    def test_shape(self, anisotropic):
+        X, stats = anisotropic
+        model = PCAModel.from_summary(stats, k=2)
+        assert model.transform(X).shape == (X.shape[0], 2)
+        assert model.transform(X[0]).shape == (1, 2)
+
+    def test_scores_are_decorrelated(self, anisotropic):
+        X, stats = anisotropic
+        model = PCAModel.from_summary(stats, k=3)
+        scores = model.transform(X)
+        score_corr = np.corrcoef(scores.T)
+        off_diagonal = score_corr - np.diag(np.diag(score_corr))
+        assert np.max(np.abs(off_diagonal)) < 1e-8
+
+    def test_score_variances_equal_eigenvalues(self, anisotropic):
+        X, stats = anisotropic
+        model = PCAModel.from_summary(stats, k=3)
+        scores = model.transform(X)
+        assert np.allclose(scores.var(axis=0), model.eigenvalues, rtol=1e-6)
+
+    def test_inverse_transform_round_trip(self, anisotropic):
+        X, stats = anisotropic
+        model = PCAModel.from_summary(stats, k=3)  # full rank: lossless
+        restored = model.inverse_transform(model.transform(X))
+        assert np.allclose(restored, X, atol=1e-8)
+
+    def test_reduction_preserves_dominant_structure(self, anisotropic):
+        X, stats = anisotropic
+        model = PCAModel.from_summary(stats, k=1)
+        restored = model.inverse_transform(model.transform(X))
+        # One component carries most of the (standardized) variance.
+        relative_error = np.linalg.norm(X - restored) / np.linalg.norm(
+            X - X.mean(axis=0)
+        )
+        assert relative_error < 0.35
+
+    def test_dimension_checks(self, anisotropic):
+        X, stats = anisotropic
+        model = PCAModel.from_summary(stats, k=2)
+        with pytest.raises(ModelError):
+            model.transform(np.zeros((5, 7)))
+        with pytest.raises(ModelError):
+            model.inverse_transform(np.zeros((5, 3)))
+
+
+class TestVarianceAccounting:
+    def test_explained_ratio_sums_to_one_full_rank(self, anisotropic):
+        _X, stats = anisotropic
+        model = PCAModel.from_summary(stats, k=3)
+        assert model.explained_variance_ratio().sum() == pytest.approx(1.0)
+
+    def test_dominant_component_share(self, anisotropic):
+        _X, stats = anisotropic
+        model = PCAModel.from_summary(stats, k=3)
+        assert model.explained_variance_ratio()[0] > 0.6
+
+    def test_correlation_mode_partial_spectrum(self, anisotropic):
+        _X, stats = anisotropic
+        model = PCAModel.from_summary(stats, k=2)
+        ratios = model.explained_variance_ratio()
+        assert ratios.shape == (2,)
+        assert ratios.sum() < 1.0
+
+    def test_covariance_mode_partial_spectrum_rejected(self, anisotropic):
+        _X, stats = anisotropic
+        model = PCAModel.from_summary(stats, k=2, use_correlation=False)
+        with pytest.raises(ModelError):
+            model.explained_variance_ratio()

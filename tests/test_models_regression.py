@@ -1,0 +1,169 @@
+"""Linear regression from the augmented summary Q′."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.models.regression import LinearRegressionModel, stepwise_select
+from repro.core.summary import AugmentedSummary, SummaryStatistics, MatrixType
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def xy():
+    rng = np.random.default_rng(17)
+    n, d = 250, 4
+    X = rng.normal(10, 4, size=(n, d))
+    beta = np.asarray([1.5, -2.0, 0.0, 3.25])
+    y = 7.0 + X @ beta + rng.normal(scale=0.2, size=n)
+    return X, y, beta
+
+
+class TestFit:
+    def test_matches_lstsq(self, xy):
+        X, y, _beta = xy
+        model = LinearRegressionModel.from_summary(AugmentedSummary.from_xy(X, y))
+        design = np.column_stack([np.ones(len(y)), X])
+        reference, *_ = np.linalg.lstsq(design, y, rcond=None)
+        assert model.intercept == pytest.approx(reference[0], rel=1e-6)
+        assert np.allclose(model.coefficients, reference[1:], rtol=1e-6)
+
+    def test_recovers_true_coefficients(self, xy):
+        X, y, beta = xy
+        model = LinearRegressionModel.from_summary(AugmentedSummary.from_xy(X, y))
+        assert np.allclose(model.coefficients, beta, atol=0.05)
+        assert model.intercept == pytest.approx(7.0, abs=0.5)
+
+    def test_beta_vector_layout(self, xy):
+        X, y, _ = xy
+        model = LinearRegressionModel.from_summary(AugmentedSummary.from_xy(X, y))
+        assert model.beta[0] == model.intercept
+        assert np.array_equal(model.beta[1:], model.coefficients)
+        assert model.d == 4
+
+    def test_singular_design_rejected(self):
+        rng = np.random.default_rng(0)
+        x1 = rng.normal(size=50)
+        X = np.column_stack([x1, 2 * x1])  # collinear
+        y = x1 + rng.normal(size=50)
+        with pytest.raises(ModelError, match="singular|collinear"):
+            LinearRegressionModel.from_summary(AugmentedSummary.from_xy(X, y))
+
+    def test_too_few_rows_rejected(self):
+        X = np.random.default_rng(0).normal(size=(3, 4))
+        y = np.zeros(3)
+        with pytest.raises(ModelError, match="n > d"):
+            LinearRegressionModel.from_summary(AugmentedSummary.from_xy(X, y))
+
+
+class TestPrediction:
+    def test_predict_matches_equation(self, xy):
+        X, y, _ = xy
+        model = LinearRegressionModel.from_summary(AugmentedSummary.from_xy(X, y))
+        manual = model.intercept + X @ model.coefficients
+        assert np.allclose(model.predict(X), manual)
+
+    def test_predict_single_point(self, xy):
+        X, y, _ = xy
+        model = LinearRegressionModel.from_summary(AugmentedSummary.from_xy(X, y))
+        assert model.predict(X[0]).shape == (1,)
+
+    def test_dimension_check(self, xy):
+        X, y, _ = xy
+        model = LinearRegressionModel.from_summary(AugmentedSummary.from_xy(X, y))
+        with pytest.raises(ModelError, match="dimensions"):
+            model.predict(np.zeros((3, 2)))
+
+
+class TestStatistics:
+    def test_sse_routes_agree(self, xy):
+        """The paper's second-scan SSE equals the closed form from Q′."""
+        X, y, _ = xy
+        model = LinearRegressionModel.from_summary(AugmentedSummary.from_xy(X, y))
+        assert model.sse_from_summary() == pytest.approx(
+            model.sse_by_scan(X, y), rel=1e-6
+        )
+
+    def test_r_squared_high_for_good_fit(self, xy):
+        X, y, _ = xy
+        model = LinearRegressionModel.from_summary(AugmentedSummary.from_xy(X, y))
+        assert 0.999 < model.r_squared() <= 1.0
+
+    def test_r_squared_near_zero_for_noise(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(300, 2))
+        y = rng.normal(size=300)
+        model = LinearRegressionModel.from_summary(AugmentedSummary.from_xy(X, y))
+        assert model.r_squared() < 0.05
+
+    def test_var_beta_matches_paper_formula(self, xy):
+        X, y, _ = xy
+        model = LinearRegressionModel.from_summary(AugmentedSummary.from_xy(X, y))
+        design = np.column_stack([np.ones(len(y)), X])
+        sse = model.sse_by_scan(X, y)
+        reference = np.linalg.inv(design.T @ design) * (
+            sse / (len(y) - X.shape[1] - 1)
+        )
+        assert np.allclose(model.coefficient_covariance(), reference, rtol=1e-6)
+
+    def test_standard_errors_and_t(self, xy):
+        X, y, _ = xy
+        model = LinearRegressionModel.from_summary(AugmentedSummary.from_xy(X, y))
+        errors = model.standard_errors()
+        assert errors.shape == (5,)
+        assert np.all(errors > 0)
+        t = model.t_statistics()
+        # The zero coefficient (x3) must have a small |t|.
+        assert abs(t[3]) < 3
+        assert abs(t[1]) > 20
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_normal_equations_residual_orthogonality(self, seed):
+        """β̂ from the summary satisfies Xᵀ(y − ŷ) ≈ 0 — the defining
+        property of least squares."""
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(60, 3))
+        y = rng.normal(size=60)
+        model = LinearRegressionModel.from_summary(AugmentedSummary.from_xy(X, y))
+        residuals = y - model.predict(X)
+        design = np.column_stack([np.ones(60), X])
+        assert np.allclose(design.T @ residuals, 0.0, atol=1e-6)
+
+
+class TestStepwise:
+    def test_selects_informative_dimensions(self):
+        rng = np.random.default_rng(8)
+        n = 400
+        informative = rng.normal(size=(n, 2))
+        noise = rng.normal(size=(n, 3))
+        X = np.column_stack([noise[:, :1], informative, noise[:, 1:]])
+        y = 4 * informative[:, 0] - 3 * informative[:, 1] + rng.normal(
+            scale=0.1, size=n
+        )
+        model, selected = stepwise_select(
+            AugmentedSummary.from_xy(X, y), min_improvement=1e-3
+        )
+        assert selected == [1, 2]
+        assert model.r_squared() > 0.99
+
+    def test_max_dimensions_respected(self):
+        rng = np.random.default_rng(9)
+        X = rng.normal(size=(200, 5))
+        y = X @ np.ones(5) + rng.normal(size=200)
+        _model, selected = stepwise_select(
+            AugmentedSummary.from_xy(X, y), max_dimensions=2
+        )
+        assert len(selected) == 2
+
+    def test_uses_no_extra_scans(self):
+        """Step-wise selection works on the summary alone — it never
+        touches X (enforced by handing it only the summary object)."""
+        rng = np.random.default_rng(10)
+        X = rng.normal(size=(100, 3))
+        y = X[:, 0] + rng.normal(scale=0.1, size=100)
+        augmented = AugmentedSummary.from_xy(X, y)
+        model, selected = stepwise_select(augmented)
+        assert 0 in selected
+        assert model.r_squared() > 0.9

@@ -1,0 +1,190 @@
+"""Query optimization rewrites (paper, Section 3.6)."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.database import Database
+from repro.dbms.sql.optimizer import QueryOptimizer
+from repro.dbms.sql.parser import parse_statement
+
+
+@pytest.fixture
+def scoring_db(db: Database) -> Database:
+    """A scoring-shaped catalog: data table + one-row BETA + k-row C."""
+    db.execute(
+        "CREATE TABLE x (i INTEGER PRIMARY KEY, x1 FLOAT, x2 FLOAT)"
+    )
+    db.execute("INSERT INTO x VALUES (1, 1.0, 2.0), (2, 3.0, 4.0)")
+    db.execute("CREATE TABLE beta (b0 FLOAT, b1 FLOAT, b2 FLOAT)")
+    db.execute("INSERT INTO beta VALUES (1.0, 2.0, 3.0)")
+    db.execute("CREATE TABLE c (j INTEGER PRIMARY KEY, x1 FLOAT, x2 FLOAT)")
+    db.execute("INSERT INTO c VALUES (1, 0.0, 0.0), (2, 5.0, 5.0)")
+    return db
+
+
+def optimize(db, sql):
+    return QueryOptimizer(db.catalog).optimize(parse_statement(sql))
+
+
+class TestJoinElimination:
+    def test_unused_single_row_cross_join_removed(self, scoring_db):
+        """After feature selection drops the model's terms, the BETA
+        cross join is dead weight — the paper's scoring use case."""
+        report = optimize(
+            scoring_db,
+            "SELECT t.i, t.x1 FROM x t CROSS JOIN beta b",
+        )
+        assert report.eliminated_joins == ["b"]
+        assert not report.optimized.joins
+
+    def test_used_cross_join_kept(self, scoring_db):
+        report = optimize(
+            scoring_db,
+            "SELECT t.i, b.b0 + b.b1 * t.x1 FROM x t CROSS JOIN beta b",
+        )
+        assert report.eliminated_joins == []
+
+    def test_multi_row_cross_join_kept(self, scoring_db):
+        # c has 2 rows: removing the cross join would change cardinality.
+        report = optimize(
+            scoring_db, "SELECT t.i FROM x t CROSS JOIN c c1"
+        )
+        assert report.eliminated_joins == []
+
+    def test_unused_pk_literal_join_removed(self, scoring_db):
+        report = optimize(
+            scoring_db,
+            "SELECT t.i, t.x1 FROM x t JOIN c c1 ON c1.j = 1",
+        )
+        assert report.eliminated_joins == ["c1"]
+
+    def test_pk_literal_join_with_missing_key_kept(self, scoring_db):
+        # j = 99 matches nothing: eliminating it would change results.
+        report = optimize(
+            scoring_db,
+            "SELECT t.i FROM x t JOIN c c1 ON c1.j = 99",
+        )
+        assert report.eliminated_joins == []
+
+    def test_non_pk_join_kept(self, scoring_db):
+        report = optimize(
+            scoring_db,
+            "SELECT t.i FROM x t JOIN c c1 ON c1.x1 = 0.0",
+        )
+        assert report.eliminated_joins == []
+
+    def test_unqualified_references_block_elimination(self, scoring_db):
+        # 'x1' could bind to either side; stay conservative.
+        report = optimize(
+            scoring_db, "SELECT i, x2 FROM x t CROSS JOIN beta b"
+        )
+        assert report.eliminated_joins == []
+
+    def test_results_identical_with_and_without(self, scoring_db):
+        sql = "SELECT t.i, t.x1 FROM x t JOIN c c1 ON c1.j = 1 ORDER BY t.i"
+        plain = scoring_db.execute(sql)
+        optimized = scoring_db.execute_optimized(sql)
+        assert plain.rows == optimized.rows
+
+    def test_elimination_reduces_simulated_time(self, scoring_db):
+        sql = "SELECT t.i, t.x1 FROM x t JOIN c c1 ON c1.j = 1"
+        plain = scoring_db.execute(sql).simulated_seconds
+        optimized = scoring_db.execute_optimized(sql).simulated_seconds
+        assert optimized <= plain
+
+
+class TestGroupByPushdown:
+    @pytest.fixture
+    def star_db(self, db: Database) -> Database:
+        db.execute(
+            "CREATE TABLE dim (gkey INTEGER PRIMARY KEY, label VARCHAR)"
+        )
+        db.execute(
+            "INSERT INTO dim VALUES (1, 'one'), (2, 'two'), (3, 'three')"
+        )
+        db.execute(
+            "CREATE TABLE fact (fid INTEGER PRIMARY KEY, gkey INTEGER, v FLOAT)"
+        )
+        rows = []
+        rng = np.random.default_rng(0)
+        for fid in range(1, 61):
+            rows.append((fid, int(rng.integers(1, 4)), float(rng.normal())))
+        db.insert_rows("fact", rows)
+        return db
+
+    SQL = (
+        "SELECT d.gkey, sum(f.v), count(f.v) FROM dim d "
+        "JOIN fact f ON f.gkey = d.gkey GROUP BY d.gkey ORDER BY d.gkey"
+    )
+
+    def test_rewrite_fires(self, star_db):
+        report = optimize(star_db, self.SQL)
+        assert report.pushed_group_by
+        # The join's right side became a pre-aggregated derived table.
+        from repro.dbms.sql import ast
+
+        assert isinstance(report.optimized.joins[0].source, ast.DerivedTable)
+
+    def test_results_identical(self, star_db):
+        plain = star_db.execute(self.SQL)
+        optimized = star_db.execute_optimized(self.SQL)
+        assert plain.columns == optimized.columns
+        for a, b in zip(plain.rows, optimized.rows):
+            assert a[0] == b[0]
+            assert a[1] == pytest.approx(b[1])
+            assert a[2] == b[2]
+
+    def test_not_applied_with_where(self, star_db):
+        report = optimize(
+            star_db,
+            "SELECT d.gkey, sum(f.v) FROM dim d JOIN fact f ON f.gkey = d.gkey "
+            "WHERE d.gkey > 1 GROUP BY d.gkey",
+        )
+        assert not report.pushed_group_by
+
+    def test_not_applied_for_nondecomposable_aggregate(self, star_db):
+        report = optimize(
+            star_db,
+            "SELECT d.gkey, avg(f.v) FROM dim d JOIN fact f ON f.gkey = d.gkey "
+            "GROUP BY d.gkey",
+        )
+        assert not report.pushed_group_by
+
+    def test_not_applied_when_aggregate_uses_dim_columns(self, star_db):
+        report = optimize(
+            star_db,
+            "SELECT d.gkey, sum(d.gkey) FROM dim d JOIN fact f ON f.gkey = d.gkey "
+            "GROUP BY d.gkey",
+        )
+        assert not report.pushed_group_by
+
+
+class TestExplain:
+    def test_explain_scoring_query(self, scoring_db):
+        text = scoring_db.explain(
+            "SELECT t.i, t.x1 FROM x t JOIN c c1 ON c1.j = 1"
+        )
+        assert "EXPLAIN" in text
+        assert "join eliminated: c1" in text
+        assert "estimated simulated seconds" in text
+
+    def test_explain_aggregate(self, scoring_db):
+        text = scoring_db.explain(
+            "SELECT sum(t.x1) FROM x t WHERE t.x2 > 0"
+        )
+        assert "aggregate: [sum]" in text
+        assert "filter:" in text
+
+    def test_explain_rejects_non_select(self, scoring_db):
+        with pytest.raises(ValueError):
+            scoring_db.explain("DROP TABLE x")
+
+    def test_explain_charges_nothing(self, scoring_db):
+        before = scoring_db.simulated_time
+        scoring_db.explain("SELECT t.i FROM x t")
+        assert scoring_db.simulated_time == before
+
+    def test_execute_optimized_passthrough_for_dml(self, scoring_db):
+        result = scoring_db.execute_optimized("INSERT INTO x VALUES (9, 0.0, 0.0)")
+        assert result is not None
+        assert scoring_db.execute("SELECT count(*) FROM x").scalar() == 3

@@ -1,0 +1,117 @@
+"""String packing of vectors and (n, L, Q) payloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.packing import (
+    pack_summary,
+    pack_vector,
+    payload_value_count,
+    unpack_summary,
+    unpack_vector,
+    vector_char_cost,
+)
+from repro.core.summary import MatrixType, SummaryStatistics
+from repro.errors import PackingError
+
+finite = st.floats(-1e12, 1e12, allow_nan=False)
+
+
+class TestVectorPacking:
+    def test_round_trip(self):
+        values = np.asarray([1.5, -2.25, 0.0, 1e-9])
+        assert np.array_equal(unpack_vector(pack_vector(values)), values)
+
+    def test_exact_floats(self):
+        values = np.asarray([0.1, 1 / 3, np.pi])
+        assert np.array_equal(unpack_vector(pack_vector(values)), values)
+
+    def test_length_check(self):
+        with pytest.raises(PackingError, match="entries"):
+            unpack_vector("1.0,2.0", expected_d=3)
+
+    def test_unpack_determines_d(self):
+        assert unpack_vector("1,2,3").shape == (3,)
+
+    def test_malformed(self):
+        with pytest.raises(PackingError):
+            unpack_vector("1.0,abc")
+        with pytest.raises(PackingError):
+            unpack_vector("")
+        with pytest.raises(PackingError):
+            unpack_vector(12.5)  # type: ignore[arg-type]
+
+    def test_char_cost_scales_with_d(self):
+        assert vector_char_cost(64) == 8 * vector_char_cost(8)
+
+    @given(arrays(np.float64, st.integers(1, 32), elements=finite))
+    @settings(max_examples=60, deadline=None)
+    def test_property_round_trip(self, values):
+        assert np.array_equal(unpack_vector(pack_vector(values)), values)
+
+
+class TestSummaryPacking:
+    @pytest.mark.parametrize("matrix_type", list(MatrixType))
+    def test_round_trip(self, matrix_type):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(25, 4))
+        stats = SummaryStatistics.from_matrix(X, matrix_type)
+        recovered = unpack_summary(pack_summary(stats))
+        assert recovered.matrix_type is matrix_type
+        assert recovered.allclose(stats)
+        assert np.array_equal(recovered.mins, stats.mins)
+        assert np.array_equal(recovered.maxs, stats.maxs)
+
+    def test_round_trip_without_extrema(self):
+        stats = SummaryStatistics(2.0, np.ones(2), np.eye(2), MatrixType.FULL)
+        recovered = unpack_summary(pack_summary(stats))
+        assert recovered.mins is None and recovered.maxs is None
+        assert recovered.allclose(stats)
+
+    def test_triangular_payload_restores_symmetry(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(10, 3))
+        stats = SummaryStatistics.from_matrix(X, MatrixType.TRIANGULAR)
+        recovered = unpack_summary(pack_summary(stats))
+        assert np.allclose(recovered.Q, recovered.Q.T)
+        assert np.allclose(recovered.Q, X.T @ X)
+
+    def test_malformed_payloads(self):
+        with pytest.raises(PackingError, match="sections"):
+            unpack_summary("1;2;3")
+        with pytest.raises(PackingError, match="header"):
+            unpack_summary("x;0;1.0;1.0;1.0")
+        with pytest.raises(PackingError):
+            unpack_summary(None)  # type: ignore[arg-type]
+
+    def test_wrong_row_count_detected(self):
+        stats = SummaryStatistics(
+            2.0, np.ones(2), np.eye(2), MatrixType.FULL
+        )
+        payload = pack_summary(stats)
+        sections = payload.split(";")
+        sections[4] = sections[4].split("|")[0]  # drop a Q row
+        with pytest.raises(PackingError, match="rows"):
+            unpack_summary(";".join(sections))
+
+    def test_payload_value_count(self):
+        assert payload_value_count(4, MatrixType.DIAGONAL) == 3 + 4 + 4 + 8
+        assert payload_value_count(4, MatrixType.TRIANGULAR) == 3 + 4 + 10 + 8
+        assert payload_value_count(4, MatrixType.FULL) == 3 + 4 + 16 + 8
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 20), st.integers(1, 5)),
+            elements=st.floats(-1e6, 1e6, allow_nan=False, width=32),
+        ),
+        st.sampled_from(list(MatrixType)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_round_trip(self, X, matrix_type):
+        stats = SummaryStatistics.from_matrix(X, matrix_type)
+        recovered = unpack_summary(pack_summary(stats))
+        assert recovered.allclose(stats, rtol=0)  # bit-exact via repr

@@ -1,0 +1,275 @@
+"""SQL parser: statements, expression precedence, round-tripping, errors."""
+
+import pytest
+
+from repro.dbms.sql import ast
+from repro.dbms.sql.parser import parse_statement, parse_statements
+from repro.errors import SqlSyntaxError
+
+
+def expr(sql):
+    select = parse_statement(f"SELECT {sql}")
+    assert isinstance(select, ast.Select)
+    return select.items[0].expression
+
+
+class TestSelect:
+    def test_minimal(self):
+        select = parse_statement("SELECT 1")
+        assert isinstance(select, ast.Select)
+        assert select.items[0].expression == ast.Literal(1)
+        assert select.from_sources == ()
+
+    def test_select_list_aliases(self):
+        select = parse_statement("SELECT a AS first, b second, c FROM t")
+        assert [item.alias for item in select.items] == ["first", "second", None]
+
+    def test_star_and_qualified_star(self):
+        select = parse_statement("SELECT *, t.* FROM t")
+        assert select.items[0].expression == ast.Star()
+        assert select.items[1].expression == ast.Star(table="t")
+
+    def test_from_alias_forms(self):
+        select = parse_statement("SELECT 1 FROM t alias1, u AS alias2")
+        assert select.from_sources[0] == ast.TableName("t", "alias1")
+        assert select.from_sources[1] == ast.TableName("u", "alias2")
+
+    def test_joins(self):
+        select = parse_statement(
+            "SELECT 1 FROM t CROSS JOIN u JOIN v ON v.id = t.id"
+        )
+        assert len(select.joins) == 2
+        assert select.joins[0].condition is None
+        assert isinstance(select.joins[1].condition, ast.Binary)
+
+    def test_derived_table_requires_alias(self):
+        with pytest.raises(SqlSyntaxError, match="alias"):
+            parse_statement("SELECT 1 FROM (SELECT 1)")
+
+    def test_derived_table(self):
+        select = parse_statement("SELECT s.a FROM (SELECT 1 AS a) s")
+        derived = select.from_sources[0]
+        assert isinstance(derived, ast.DerivedTable)
+        assert derived.alias == "s"
+
+    def test_where_group_having_order_limit(self):
+        select = parse_statement(
+            "SELECT g, sum(v) FROM t WHERE v > 0 GROUP BY g "
+            "HAVING sum(v) > 1 ORDER BY g DESC LIMIT 5"
+        )
+        assert select.where is not None
+        assert len(select.group_by) == 1
+        assert select.having is not None
+        assert select.order_by[0][1] is False  # DESC
+        assert select.limit == 5
+
+    def test_order_by_asc_default(self):
+        select = parse_statement("SELECT a FROM t ORDER BY a, b ASC, c DESC")
+        assert [asc for _, asc in select.order_by] == [True, True, False]
+
+    def test_multiple_statements(self):
+        statements = parse_statements("SELECT 1; SELECT 2;")
+        assert len(statements) == 2
+
+    def test_exactly_one_statement_enforced(self):
+        with pytest.raises(SqlSyntaxError, match="exactly one"):
+            parse_statement("SELECT 1; SELECT 2")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        node = expr("1 + 2 * 3")
+        assert node == ast.Binary(
+            "+", ast.Literal(1), ast.Binary("*", ast.Literal(2), ast.Literal(3))
+        )
+
+    def test_parentheses(self):
+        node = expr("(1 + 2) * 3")
+        assert isinstance(node, ast.Binary) and node.op == "*"
+
+    def test_and_or_precedence(self):
+        node = expr("a OR b AND c")
+        assert isinstance(node, ast.Binary) and node.op == "OR"
+        assert isinstance(node.right, ast.Binary) and node.right.op == "AND"
+
+    def test_not(self):
+        node = expr("NOT a = b")
+        assert isinstance(node, ast.Unary) and node.op == "NOT"
+
+    def test_unary_minus_folds_literal(self):
+        assert expr("-5") == ast.Literal(-5)
+        assert expr("-5.5") == ast.Literal(-5.5)
+
+    def test_unary_minus_on_column(self):
+        node = expr("-x")
+        assert node == ast.Unary("-", ast.ColumnRef("x"))
+
+    def test_unary_plus_is_noop(self):
+        assert expr("+x") == ast.ColumnRef("x")
+
+    def test_comparison_operators(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            node = expr(f"a {op} b")
+            assert isinstance(node, ast.Binary) and node.op == op
+
+    def test_bang_equals_normalized(self):
+        assert expr("a != b").op == "<>"
+
+    def test_mod_keyword_and_percent(self):
+        assert expr("a MOD 2").op == "MOD"
+        assert expr("a % 2").op == "MOD"
+
+    def test_between(self):
+        node = expr("a BETWEEN 1 AND 3")
+        assert isinstance(node, ast.Binary) and node.op == "AND"
+
+    def test_not_between(self):
+        node = expr("a NOT BETWEEN 1 AND 3")
+        assert isinstance(node, ast.Unary) and node.op == "NOT"
+
+    def test_in_list(self):
+        node = expr("a IN (1, 2, 3)")
+        assert isinstance(node, ast.InList) and len(node.items) == 3
+
+    def test_not_in(self):
+        assert expr("a NOT IN (1)").negated is True
+
+    def test_is_null_forms(self):
+        assert expr("a IS NULL") == ast.IsNull(ast.ColumnRef("a"), False)
+        assert expr("a IS NOT NULL") == ast.IsNull(ast.ColumnRef("a"), True)
+
+    def test_like(self):
+        node = expr("name LIKE 'a%'")
+        assert isinstance(node, ast.FuncCall) and node.name == "like"
+
+    def test_case(self):
+        node = expr("CASE WHEN a > 0 THEN 'p' WHEN a < 0 THEN 'n' ELSE 'z' END")
+        assert isinstance(node, ast.Case)
+        assert len(node.whens) == 2
+        assert node.else_result == ast.Literal("z")
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlSyntaxError, match="WHEN"):
+            expr("CASE ELSE 1 END")
+
+    def test_function_call(self):
+        node = expr("power(a, 2)")
+        assert node == ast.FuncCall("power", (ast.ColumnRef("a"), ast.Literal(2)))
+
+    def test_count_star(self):
+        node = expr("count(*)")
+        assert node == ast.FuncCall("count", (ast.Star(),))
+
+    def test_distinct_aggregate(self):
+        assert expr("count(DISTINCT a)").distinct is True
+
+    def test_qualified_column(self):
+        assert expr("t.x1") == ast.ColumnRef("x1", table="t")
+
+    def test_string_concat_operator(self):
+        node = expr("a || b")
+        assert isinstance(node, ast.FuncCall) and node.name == "concat"
+
+    def test_null_literal(self):
+        assert expr("NULL") == ast.Literal(None)
+
+
+class TestDdlDml:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (i INT PRIMARY KEY, v DOUBLE PRECISION NOT NULL, "
+            "s VARCHAR(20))"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.primary_key == "i"
+        assert stmt.columns[1].not_null
+        assert stmt.columns[1].type_name == "DOUBLE PRECISION"
+
+    def test_create_table_trailing_pk_clause(self):
+        stmt = parse_statement("CREATE TABLE t (i INT, PRIMARY KEY (i))")
+        assert stmt.primary_key == "i"
+
+    def test_create_table_if_not_exists(self):
+        stmt = parse_statement("CREATE TABLE IF NOT EXISTS t (i INT)")
+        assert stmt.if_not_exists
+
+    def test_create_view(self):
+        stmt = parse_statement("CREATE VIEW v AS SELECT 1")
+        assert isinstance(stmt, ast.CreateView)
+
+    def test_create_or_replace_view(self):
+        stmt = parse_statement("CREATE OR REPLACE VIEW v AS SELECT 1")
+        assert stmt.or_replace
+
+    def test_or_replace_table_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("CREATE OR REPLACE TABLE t (i INT)")
+
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(stmt, ast.Insert)
+        assert len(stmt.values) == 2
+
+    def test_insert_with_columns(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ("a", "b")
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT a FROM u")
+        assert stmt.select is not None
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.Delete)
+        assert stmt.where is not None
+
+    def test_drop_forms(self):
+        assert isinstance(parse_statement("DROP TABLE t"), ast.DropTable)
+        assert parse_statement("DROP TABLE IF EXISTS t").if_exists
+        assert isinstance(parse_statement("DROP VIEW v"), ast.DropView)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT",
+            "SELECT 1 FROM",
+            "SELECT 1 WHERE",
+            "FROM t",
+            "SELECT 1 LIMIT x",
+            "SELECT a NOT b",
+            "INSERT t VALUES (1)",
+            "CREATE t",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement(bad)
+
+
+class TestRender:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT a, sum(b) AS s FROM t WHERE a > 1 GROUP BY a ORDER BY a LIMIT 3",
+            "SELECT CASE WHEN a = 1 THEN 'one' ELSE 'other' END FROM t",
+            "SELECT t.a FROM t CROSS JOIN u JOIN v ON v.i = t.i",
+            "SELECT s.a FROM (SELECT a FROM t) s",
+            "SELECT a IN (1, 2), b IS NOT NULL FROM t",
+        ],
+    )
+    def test_round_trip(self, sql):
+        first = parse_statement(sql)
+        rendered = ast.render(first)
+        second = parse_statement(rendered)
+        assert first == second, f"{rendered!r} did not round-trip"
+
+    def test_string_escaping(self):
+        node = ast.Literal("it's")
+        assert ast.render(node) == "'it''s'"
+        assert parse_statement(f"SELECT {ast.render(node)}").items[0].expression == node
+
+    def test_walk_counts(self):
+        node = parse_statement("SELECT a + b * 2").items[0].expression
+        assert len(ast.walk(node)) == 5

@@ -1,0 +1,127 @@
+"""Database save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.database import Database
+from repro.dbms.persistence import load_database, save_database
+from repro.errors import ExportError
+
+
+@pytest.fixture
+def populated(db: Database) -> Database:
+    db.execute(
+        "CREATE TABLE x (i INTEGER PRIMARY KEY, v FLOAT, tag VARCHAR)"
+    )
+    db.execute(
+        "INSERT INTO x VALUES (1, 1.5, 'a'), (2, NULL, ''), (3, -2.25, NULL)"
+    )
+    db.execute("CREATE VIEW positive AS SELECT i, v FROM x WHERE v > 0")
+    return db
+
+
+class TestRoundTrip:
+    def test_rows_and_types(self, populated, tmp_path):
+        save_database(populated, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap", amps=4)
+        rows = sorted(restored.execute("SELECT * FROM x").rows)
+        assert rows == [(1, 1.5, "a"), (2, None, ""), (3, -2.25, None)]
+        # Types survived: INTEGER stays int, FLOAT stays float.
+        assert isinstance(rows[0][0], int)
+        assert isinstance(rows[0][1], float)
+
+    def test_null_vs_empty_string(self, populated, tmp_path):
+        save_database(populated, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        values = {
+            row[0]: row[1]
+            for row in restored.execute("SELECT i, tag FROM x").rows
+        }
+        assert values[2] == "" and values[3] is None
+
+    def test_primary_key_restored(self, populated, tmp_path):
+        save_database(populated, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        from repro.errors import ConstraintViolation
+
+        with pytest.raises(ConstraintViolation):
+            restored.execute("INSERT INTO x VALUES (1, 0.0, 'dup')")
+
+    def test_views_restored(self, populated, tmp_path):
+        save_database(populated, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        assert restored.execute("SELECT count(*) FROM positive").scalar() == 1
+
+    def test_row_scale_restored(self, tmp_path):
+        db = Database(amps=3)
+        from repro.dbms.schema import dataset_schema
+
+        db.create_table("scaled", dataset_schema(2), row_scale=50.0)
+        db.insert_rows("scaled", [(1, 0.0, 0.0)])
+        save_database(db, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        assert restored.table("scaled").row_scale == 50.0
+        assert restored.table("scaled").nominal_rows == 50.0
+
+    def test_model_tables_round_trip(self, tmp_path):
+        """The paper's workflow artifact: stored models survive."""
+        from repro.core.models.base import load_vector, store_vector
+
+        db = Database(amps=2)
+        store_vector(db, "beta", np.asarray([1.0, -2.0]), ["b0", "b1"])
+        save_database(db, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        assert np.array_equal(load_vector(restored, "beta"), [1.0, -2.0])
+
+    def test_summaries_identical_after_reload(self, tmp_path):
+        from repro.core.nlq_udf import compute_nlq_udf, register_nlq_udfs
+        from repro.dbms.schema import dataset_schema, dimension_names
+
+        rng = np.random.default_rng(3)
+        db = Database(amps=3)
+        db.create_table("x", dataset_schema(3))
+        db.load_columns(
+            "x",
+            {
+                "i": np.arange(1, 41),
+                "x1": rng.normal(size=40),
+                "x2": rng.normal(size=40),
+                "x3": rng.normal(size=40),
+            },
+        )
+        register_nlq_udfs(db)
+        before = compute_nlq_udf(db, "x", dimension_names(3))
+        save_database(db, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        register_nlq_udfs(restored)  # UDFs are code: re-register
+        after = compute_nlq_udf(restored, "x", dimension_names(3))
+        assert before.allclose(after, rtol=1e-12)
+
+
+class TestErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ExportError):
+            load_database(tmp_path / "nope")
+
+    def test_malformed_catalog(self, tmp_path):
+        root = tmp_path / "snap"
+        root.mkdir()
+        (root / "catalog.json").write_text("{not json")
+        with pytest.raises(ExportError, match="malformed"):
+            load_database(root)
+
+    def test_version_mismatch(self, tmp_path):
+        root = tmp_path / "snap"
+        root.mkdir()
+        (root / "catalog.json").write_text('{"version": 99}')
+        with pytest.raises(ExportError, match="version"):
+            load_database(root)
+
+    def test_header_mismatch(self, populated, tmp_path):
+        root = save_database(populated, tmp_path / "snap")
+        csv_path = root / "tables" / "x.csv"
+        lines = csv_path.read_text().splitlines()
+        lines[0] = "wrong,header,names"
+        csv_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ExportError, match="header"):
+            load_database(root)

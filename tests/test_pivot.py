@@ -1,0 +1,122 @@
+"""The pivot primitive: tall (id, key, value) → wide X."""
+
+import numpy as np
+import pytest
+
+from repro.core.pivot import discover_keys, pivot, pivot_sql
+from repro.dbms.database import Database
+from repro.errors import PlanningError
+
+
+@pytest.fixture
+def tall(db: Database) -> Database:
+    db.execute(
+        "CREATE TABLE attrs (rid INTEGER PRIMARY KEY, i INTEGER, "
+        "attr VARCHAR, val FLOAT)"
+    )
+    rows = [
+        (1, 1, "height", 180.0),
+        (2, 1, "weight", 75.0),
+        (3, 2, "height", 165.0),
+        (4, 2, "weight", 60.0),
+        (5, 2, "age", 41.0),
+        (6, 3, "height", 172.0),  # id 3 has no weight or age
+    ]
+    db.insert_rows("attrs", rows)
+    return db
+
+
+class TestDiscovery:
+    def test_discover_keys_sorted(self, tall):
+        assert discover_keys(tall, "attrs", "attr") == [
+            "age", "height", "weight",
+        ]
+
+    def test_discover_empty_table(self, db):
+        db.execute("CREATE TABLE e (i INTEGER, attr VARCHAR, val FLOAT)")
+        with pytest.raises(PlanningError):
+            discover_keys(db, "e", "attr")
+
+
+class TestSqlGeneration:
+    def test_one_scan_shape(self, tall):
+        sql = pivot_sql("attrs", "i", "attr", "val", ["height", "weight"])
+        assert sql.count("FROM attrs") == 1
+        assert sql.count("CASE WHEN") == 2
+        assert "GROUP BY i" in sql
+
+    def test_quote_escaping(self):
+        sql = pivot_sql("t", "i", "k", "v", ["o'brien"], column_names=["ob"])
+        assert "'o''brien'" in sql
+
+    def test_invalid_aggregate(self):
+        with pytest.raises(PlanningError):
+            pivot_sql("t", "i", "k", "v", ["a"], aggregate="median")
+
+    def test_bad_column_name(self):
+        with pytest.raises(Exception):
+            pivot_sql("t", "i", "k", "v", ["not a name"])
+
+    def test_duplicate_columns(self):
+        with pytest.raises(PlanningError, match="duplicate"):
+            pivot_sql("t", "i", "k", "v", ["a", "a"])
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(PlanningError):
+            pivot_sql("t", "i", "k", "v", ["a", "b"], column_names=["only"])
+
+
+class TestExecution:
+    def test_values_and_missing_as_null(self, tall):
+        result = pivot(tall, "attrs", "i", "attr", "val")
+        assert result.columns == ["i", "age", "height", "weight"]
+        assert result.rows == [
+            (1, None, 180.0, 75.0),
+            (2, 41.0, 165.0, 60.0),
+            (3, None, 172.0, None),
+        ]
+
+    def test_explicit_keys_subset(self, tall):
+        result = pivot(tall, "attrs", "i", "attr", "val", keys=["height"])
+        assert result.columns == ["i", "height"]
+        assert [row[1] for row in result.rows] == [180.0, 165.0, 172.0]
+
+    def test_duplicate_keys_aggregated(self, tall):
+        tall.execute("INSERT INTO attrs VALUES (7, 1, 'height', 999.0)")
+        via_max = pivot(tall, "attrs", "i", "attr", "val", keys=["height"])
+        assert via_max.rows[0][1] == 999.0
+        via_sum = pivot(
+            tall, "attrs", "i", "attr", "val", keys=["height"], aggregate="sum"
+        )
+        assert via_sum.rows[0][1] == 180.0 + 999.0
+
+    def test_materialize_into_table(self, tall):
+        pivot(
+            tall, "attrs", "i", "attr", "val",
+            keys=["height", "weight"], into="wide",
+        )
+        table = tall.table("wide")
+        assert table.schema.primary_key == "i"
+        assert table.row_count == 3
+
+    def test_pivoted_table_feeds_nlq(self, tall):
+        """EAV → wide → summary: the full data-prep pipeline."""
+        from repro.core.nlq_udf import compute_nlq_udf, register_nlq_udfs
+        from repro.core.summary import SummaryStatistics
+
+        pivot(
+            tall, "attrs", "i", "attr", "val",
+            keys=["height", "weight"], into="wide",
+        )
+        register_nlq_udfs(tall)
+        stats = compute_nlq_udf(tall, "wide", ["height", "weight"])
+        # Row 3 has a NULL weight and is skipped, as the UDF specifies.
+        reference = SummaryStatistics.from_matrix(
+            np.asarray([[180.0, 75.0], [165.0, 60.0]])
+        )
+        assert stats.allclose(reference)
+
+    def test_rematerialize_replaces(self, tall):
+        pivot(tall, "attrs", "i", "attr", "val", keys=["height"], into="wide")
+        pivot(tall, "attrs", "i", "attr", "val", keys=["height"], into="wide")
+        assert tall.table("wide").row_count == 3

@@ -1,0 +1,132 @@
+"""Predicate pushdown into derived tables (optimizer rule 3)."""
+
+import pytest
+
+from repro.dbms.database import Database
+from repro.dbms.sql import ast
+from repro.dbms.sql.optimizer import QueryOptimizer
+from repro.dbms.sql.parser import parse_statement
+
+
+@pytest.fixture
+def pushdown_db(db: Database) -> Database:
+    db.execute("CREATE TABLE base (i INTEGER PRIMARY KEY, v FLOAT, g INTEGER)")
+    db.insert_rows(
+        "base", [(i, float(i) * 1.5, i % 3) for i in range(1, 101)]
+    )
+    return db
+
+
+def optimize(db, sql):
+    return QueryOptimizer(db.catalog).optimize(parse_statement(sql))
+
+
+class TestPushdown:
+    SQL = (
+        "SELECT s.i, s.doubled FROM "
+        "(SELECT i, v * 2 AS doubled FROM base) s "
+        "WHERE s.doubled > 100"
+    )
+
+    def test_conjunct_moves_inside(self, pushdown_db):
+        report = optimize(pushdown_db, self.SQL)
+        assert report.pushed_predicates == ["(s.doubled > 100)"]
+        source = report.optimized.from_sources[0]
+        assert isinstance(source, ast.DerivedTable)
+        assert source.select.where is not None
+        assert report.optimized.where is None
+
+    def test_alias_substituted_by_inner_expression(self, pushdown_db):
+        report = optimize(pushdown_db, self.SQL)
+        inner_where = report.optimized.from_sources[0].select.where
+        # s.doubled > 100 became (v * 2) > 100 inside.
+        assert "v * 2" in ast.render(inner_where)
+
+    def test_results_identical(self, pushdown_db):
+        plain = pushdown_db.execute(self.SQL + " ORDER BY s.i")
+        optimized = pushdown_db.execute_optimized(self.SQL + " ORDER BY s.i")
+        assert plain.rows == optimized.rows
+        assert len(plain.rows) > 0
+
+    def test_simulated_time_reduced(self, pushdown_db):
+        plain = pushdown_db.execute(self.SQL).simulated_seconds
+        optimized = pushdown_db.execute_optimized(self.SQL).simulated_seconds
+        assert optimized < plain
+
+    def test_mixed_conjuncts_split(self, pushdown_db):
+        pushdown_db.execute("CREATE TABLE other (i INTEGER PRIMARY KEY, w FLOAT)")
+        pushdown_db.insert_rows("other", [(i, float(i)) for i in range(1, 101)])
+        sql = (
+            "SELECT s.i FROM (SELECT i, v FROM base) s "
+            "JOIN other o ON o.i = s.i "
+            "WHERE s.v > 10 AND o.w < 50"
+        )
+        report = optimize(pushdown_db, sql)
+        assert report.pushed_predicates == ["(s.v > 10)"]
+        assert report.optimized.where is not None  # o.w < 50 stays outside
+        plain = pushdown_db.execute(sql + " ORDER BY s.i").rows
+        fast = pushdown_db.execute_optimized(sql + " ORDER BY s.i").rows
+        assert plain == fast
+
+
+class TestSafetyGuards:
+    def test_grouped_inner_not_pushed(self, pushdown_db):
+        sql = (
+            "SELECT s.g FROM "
+            "(SELECT g, sum(v) AS total FROM base GROUP BY g) s "
+            "WHERE s.total > 50"
+        )
+        report = optimize(pushdown_db, sql)
+        assert report.pushed_predicates == []
+        # Still runs correctly either way.
+        assert pushdown_db.execute(sql).rows == \
+            pushdown_db.execute_optimized(sql).rows
+
+    def test_limit_inner_not_pushed(self, pushdown_db):
+        sql = (
+            "SELECT s.i FROM (SELECT i, v FROM base ORDER BY v DESC LIMIT 10) s "
+            "WHERE s.v > 0"
+        )
+        report = optimize(pushdown_db, sql)
+        assert report.pushed_predicates == []
+        assert sorted(pushdown_db.execute(sql).rows) == sorted(
+            pushdown_db.execute_optimized(sql).rows
+        )
+
+    def test_cross_source_conjunct_not_pushed(self, pushdown_db):
+        sql = (
+            "SELECT a.i FROM (SELECT i, v FROM base) a, "
+            "(SELECT i, v FROM base) b WHERE a.v > b.v"
+        )
+        report = optimize(pushdown_db, sql)
+        assert report.pushed_predicates == []
+
+    def test_unqualified_reference_not_pushed(self, pushdown_db):
+        sql = "SELECT s.i FROM (SELECT i, v FROM base) s WHERE v > 10"
+        report = optimize(pushdown_db, sql)
+        assert report.pushed_predicates == []
+
+    def test_outer_join_derived_not_pushed(self, pushdown_db):
+        pushdown_db.execute("CREATE TABLE r (i INTEGER PRIMARY KEY)")
+        pushdown_db.insert_rows("r", [(i,) for i in range(1, 5)])
+        # Pushing into the right side of a LEFT JOIN changes which rows
+        # get NULL-padded: must stay outside.
+        sql = (
+            "SELECT r.i FROM r LEFT JOIN (SELECT i, v FROM base) s "
+            "ON s.i = r.i WHERE s.v > 2"
+        )
+        report = optimize(pushdown_db, sql)
+        assert report.pushed_predicates == []
+
+    def test_star_inner_not_pushed(self, pushdown_db):
+        sql = "SELECT s.i FROM (SELECT * FROM base) s WHERE s.v > 10"
+        report = optimize(pushdown_db, sql)
+        assert report.pushed_predicates == []
+
+    def test_udf_predicate_not_pushed(self, pushdown_db):
+        from repro.dbms.udf import scalar_udf
+
+        pushdown_db.register_udf(scalar_udf("keep", lambda v: v, arity=1))
+        sql = "SELECT s.i FROM (SELECT i, v FROM base) s WHERE keep(s.v) > 10"
+        report = optimize(pushdown_db, sql)
+        assert report.pushed_predicates == []

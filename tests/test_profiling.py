@@ -1,0 +1,161 @@
+"""Data profiling: histograms and outliers from the summary extrema."""
+
+import numpy as np
+import pytest
+
+from repro.core.nlq_udf import register_nlq_udfs
+from repro.core.profiling import (
+    HistogramBuilder,
+    find_outliers,
+    outlier_sql,
+    profile_table,
+)
+from repro.dbms.database import Database
+from repro.dbms.schema import dataset_schema, dimension_names
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def profiled_db():
+    rng = np.random.default_rng(81)
+    n = 400
+    X = np.column_stack(
+        [
+            rng.normal(100.0, 15.0, n),
+            rng.uniform(0.0, 1.0, n),
+        ]
+    )
+    # Plant unmistakable outliers in x1 at ids 1 and 2.
+    X[0, 0] = 500.0
+    X[1, 0] = -300.0
+    db = Database(amps=3)
+    db.create_table("x", dataset_schema(2))
+    db.load_columns(
+        "x", {"i": np.arange(1, n + 1), "x1": X[:, 0], "x2": X[:, 1]}
+    )
+    register_nlq_udfs(db)
+    return db, X
+
+
+class TestProfiles:
+    def test_matches_numpy(self, profiled_db):
+        db, X = profiled_db
+        profiles = profile_table(db, "x", dimension_names(2))
+        assert profiles["x1"].mean == pytest.approx(X[:, 0].mean())
+        assert profiles["x1"].variance == pytest.approx(X[:, 0].var())
+        assert profiles["x1"].minimum == pytest.approx(X[:, 0].min())
+        assert profiles["x2"].maximum == pytest.approx(X[:, 1].max())
+
+    def test_zscore(self, profiled_db):
+        db, X = profiled_db
+        profiles = profile_table(db, "x", dimension_names(2))
+        z = profiles["x1"].zscore(500.0)
+        assert z > 5
+
+    def test_zero_variance_zscore_rejected(self):
+        from repro.core.profiling import DimensionProfile
+
+        profile = DimensionProfile("c", 1.0, 0.0, 1.0, 1.0)
+        with pytest.raises(ModelError):
+            profile.zscore(2.0)
+
+    def test_empty_table_rejected(self):
+        db = Database(amps=2)
+        db.create_table("e", dataset_schema(1))
+        register_nlq_udfs(db)
+        with pytest.raises(ModelError, match="empty"):
+            profile_table(db, "e", dimension_names(1))
+
+    def test_precomputed_stats_skip_scan(self, profiled_db):
+        db, _X = profiled_db
+        from repro.core.nlq_udf import compute_nlq_udf
+        from repro.core.summary import MatrixType
+
+        stats = compute_nlq_udf(db, "x", dimension_names(2), MatrixType.DIAGONAL)
+        db.reset_clock()
+        profile_table(db, "x", dimension_names(2), stats=stats)
+        assert db.simulated_time == 0.0
+
+
+class TestHistograms:
+    def test_counts_match_numpy(self, profiled_db):
+        db, X = profiled_db
+        profiles = profile_table(db, "x", dimension_names(2))
+        builder = HistogramBuilder(db, "x")
+        histogram = builder.build("x1", profiles["x1"], bins=12)
+        reference, _edges = np.histogram(
+            X[:, 0], bins=12, range=(X[:, 0].min(), X[:, 0].max())
+        )
+        assert histogram.counts.sum() == len(X)
+        assert np.array_equal(histogram.counts, reference)
+
+    def test_edges_span_extrema(self, profiled_db):
+        db, X = profiled_db
+        profiles = profile_table(db, "x", dimension_names(2))
+        histogram = HistogramBuilder(db, "x").build("x2", profiles["x2"], bins=5)
+        assert histogram.edges[0] == pytest.approx(X[:, 1].min())
+        assert histogram.edges[-1] == pytest.approx(X[:, 1].max())
+        assert histogram.bins == 5
+
+    def test_densities_sum_to_one(self, profiled_db):
+        db, _X = profiled_db
+        profiles = profile_table(db, "x", dimension_names(2))
+        histogram = HistogramBuilder(db, "x").build("x2", profiles["x2"])
+        assert histogram.densities().sum() == pytest.approx(1.0)
+
+    def test_mode_bin_of_normal_data_near_mean(self, profiled_db):
+        db, X = profiled_db
+        profiles = profile_table(db, "x", dimension_names(2))
+        # x2 is uniform; test the normal-ish x1 without its outliers.
+        histogram = HistogramBuilder(db, "x").build("x1", profiles["x1"], bins=8)
+        low, high = histogram.mode_bin()
+        assert low < np.median(X[:, 0]) < high
+
+    def test_constant_dimension(self):
+        db = Database(amps=2)
+        db.create_table("c", dataset_schema(1))
+        db.insert_rows("c", [(i, 7.0) for i in range(1, 6)])
+        register_nlq_udfs(db)
+        profiles = profile_table(db, "c", ["x1"])
+        histogram = HistogramBuilder(db, "c").build("x1", profiles["x1"], bins=4)
+        assert histogram.counts.tolist() == [5.0]
+
+    def test_invalid_bins(self, profiled_db):
+        db, _X = profiled_db
+        profiles = profile_table(db, "x", dimension_names(2))
+        with pytest.raises(ModelError):
+            HistogramBuilder(db, "x").build("x1", profiles["x1"], bins=0)
+
+    def test_build_all(self, profiled_db):
+        db, _X = profiled_db
+        profiles = profile_table(db, "x", dimension_names(2))
+        histograms = HistogramBuilder(db, "x").build_all(profiles, bins=6)
+        assert set(histograms) == {"x1", "x2"}
+
+
+class TestOutliers:
+    def test_planted_outliers_found(self, profiled_db):
+        db, _X = profiled_db
+        profiles = profile_table(db, "x", dimension_names(2))
+        outliers = find_outliers(db, "x", "i", profiles, threshold=4.0)
+        assert 1 in outliers and 2 in outliers
+        assert len(outliers) <= 4  # essentially just the planted ones
+
+    def test_threshold_monotone(self, profiled_db):
+        db, _X = profiled_db
+        profiles = profile_table(db, "x", dimension_names(2))
+        loose = find_outliers(db, "x", "i", profiles, threshold=1.0)
+        strict = find_outliers(db, "x", "i", profiles, threshold=4.0)
+        assert set(strict) <= set(loose)
+        assert len(loose) > len(strict)
+
+    def test_sql_single_scan_shape(self, profiled_db):
+        db, _X = profiled_db
+        profiles = profile_table(db, "x", dimension_names(2))
+        sql = outlier_sql("x", "i", profiles, 3.0)
+        assert sql.count("SELECT") == 1
+        assert "WHERE" in sql
+
+    def test_no_profiles_rejected(self):
+        with pytest.raises(ModelError):
+            outlier_sql("x", "i", {}, 3.0)

@@ -1,0 +1,45 @@
+"""The README's quickstart snippets must actually run."""
+
+import numpy as np
+
+
+def test_readme_quickstart_miner():
+    from repro import WarehouseMiner
+
+    miner = WarehouseMiner()
+    miner.load_synthetic("x", n=2_000, d=8, with_y=True)
+
+    stats = miner.summarize("x")
+    corr = miner.correlation("x")
+    reg = miner.linear_regression("x")
+    pca = miner.pca("x", k=3)
+    km = miner.kmeans("x", k=4, max_iterations=4)
+
+    scorer = miner.scorer("x")
+    scorer.store_regression(reg)
+    scores = scorer.score_regression("udf")
+    scorer.score_regression("udf", into="x_scored")
+    assert miner.db.table("x_scored").row_count == 2_000
+
+    assert stats.n == 2_000
+    assert np.allclose(np.diag(corr.rho), 1.0)
+    assert 0.0 < reg.r_squared() <= 1.0
+    assert pca.k == 3
+    assert km.weights.sum() > 0.99
+    assert len(scores) == 2_000
+    assert miner.db.simulated_time > 0
+
+
+def test_readme_quickstart_sql():
+    from repro import Database
+    from repro.core.nlq_udf import register_nlq_udfs
+    from repro.core.packing import unpack_summary
+
+    db = Database()
+    db.execute("CREATE TABLE x (i INTEGER PRIMARY KEY, x1 FLOAT, x2 FLOAT)")
+    db.execute("INSERT INTO x VALUES (1, 1.0, 2.0), (2, 2.0, 3.0)")
+    register_nlq_udfs(db)
+    payload = db.execute("SELECT nlq_tri(2, x1, x2) FROM x").scalar()
+    stats = unpack_summary(payload)
+    assert stats.n == 2
+    assert np.allclose(stats.L, [3.0, 5.0])

@@ -1,0 +1,170 @@
+"""Robustness and failure injection: the engine under hostile input."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.database import Database
+from repro.dbms.schema import dataset_schema, dimension_names
+from repro.dbms.udf import AggregateUdf, scalar_udf
+from repro.errors import (
+    ExecutionError,
+    ReproError,
+    SqlSyntaxError,
+    UdfArgumentError,
+)
+
+
+class _ExplodingAggregate(AggregateUdf):
+    """Fails after accumulating a set number of rows."""
+
+    def __init__(self, name: str, explode_after: int) -> None:
+        super().__init__(name)
+        self._remaining = explode_after
+
+    def initialize(self):
+        return 0.0
+
+    def accumulate(self, state, args):
+        self._remaining -= 1
+        if self._remaining < 0:
+            raise UdfArgumentError("aggregate exploded mid-scan")
+        return state + float(args[0])
+
+    def merge(self, state, other):
+        return state + other
+
+    def finalize(self, state):
+        return state
+
+
+@pytest.fixture
+def small_db(db: Database) -> Database:
+    db.execute("CREATE TABLE t (i INTEGER PRIMARY KEY, v FLOAT)")
+    db.insert_rows("t", [(i, float(i)) for i in range(1, 21)])
+    return db
+
+
+class TestUdfFailureInjection:
+    def test_exploding_aggregate_propagates(self, small_db):
+        small_db.register_udf(_ExplodingAggregate("boom", explode_after=5))
+        with pytest.raises(UdfArgumentError, match="exploded"):
+            small_db.execute("SELECT boom(v) FROM t")
+
+    def test_engine_usable_after_udf_failure(self, small_db):
+        small_db.register_udf(_ExplodingAggregate("boom", explode_after=5))
+        with pytest.raises(UdfArgumentError):
+            small_db.execute("SELECT boom(v) FROM t")
+        # The next statement runs normally.
+        assert small_db.execute("SELECT count(*) FROM t").scalar() == 20
+
+    def test_scalar_udf_exception_propagates(self, small_db):
+        def bad(value):
+            raise ValueError("scalar kaboom")
+
+        small_db.register_udf(scalar_udf("kaboom", bad, arity=1))
+        with pytest.raises(ValueError, match="kaboom"):
+            small_db.execute("SELECT kaboom(v) FROM t")
+
+    def test_nested_guard_released_after_failure(self, small_db):
+        inner = scalar_udf("inner_u", lambda v: v)
+
+        def calls_inner(value):
+            return inner(value)
+
+        small_db.register_udf(scalar_udf("outer_u", calls_inner, arity=1))
+        small_db.register_udf(inner)
+        with pytest.raises(UdfArgumentError):
+            small_db.execute("SELECT outer_u(v) FROM t")
+        # The guard must not be stuck "inside a UDF".
+        assert len(small_db.execute("SELECT inner_u(v) FROM t")) == 20
+
+
+class TestHostileSql:
+    def test_deeply_nested_parentheses(self, small_db):
+        # Each nesting level walks the full precedence chain, so ~60
+        # levels is already far beyond anything a generator emits.
+        depth = 60
+        expression = "(" * depth + "v" + ")" * depth
+        result = small_db.execute(f"SELECT sum({expression}) FROM t")
+        assert result.scalar() == 210.0
+
+    def test_pathological_nesting_fails_cleanly(self, small_db):
+        # Past the interpreter's recursion limit the parser must raise,
+        # not corrupt state.
+        depth = 5000
+        expression = "(" * depth + "v" + ")" * depth
+        with pytest.raises(RecursionError):
+            small_db.execute(f"SELECT {expression} FROM t")
+        assert small_db.execute("SELECT count(*) FROM t").scalar() == 20
+
+    def test_very_wide_select_list(self, small_db):
+        terms = ", ".join(f"sum(v * {k})" for k in range(1, 401))
+        result = small_db.execute(f"SELECT {terms} FROM t")
+        assert len(result.columns) == 400
+        assert result.rows[0][0] == 210.0
+
+    def test_long_in_list(self, small_db):
+        values = ", ".join(str(k) for k in range(1000))
+        result = small_db.execute(f"SELECT count(*) FROM t WHERE i IN ({values})")
+        assert result.scalar() == 20
+
+    def test_garbage_input(self, small_db):
+        for garbage in ("SELEC 1", ");DROP TABLE t", "\x00", "🙂"):
+            with pytest.raises((SqlSyntaxError, ReproError)):
+                small_db.execute(garbage)
+        assert small_db.catalog.has_table("t")
+
+    def test_division_by_zero_in_aggregate_argument(self, small_db):
+        small_db.execute("INSERT INTO t VALUES (99, 0.0)")
+        with pytest.raises(ExecutionError):
+            small_db.execute("SELECT sum(1.0 / v) FROM t")
+
+    def test_self_referential_view_cycle(self, small_db):
+        small_db.execute("CREATE VIEW v1 AS SELECT i FROM t")
+        small_db.execute("CREATE OR REPLACE VIEW v1 AS SELECT i FROM v1")
+        with pytest.raises(RecursionError):
+            small_db.execute("SELECT count(*) FROM v1")
+
+
+class TestNumericalEdges:
+    def test_huge_and_tiny_values_in_summary(self):
+        from repro.core.summary import SummaryStatistics
+
+        X = np.asarray([[1e12, 1e-12], [2e12, 3e-12], [-1e12, 2e-12]])
+        stats = SummaryStatistics.from_matrix(X)
+        assert np.isfinite(stats.Q).all()
+        assert np.allclose(stats.covariance(), np.cov(X.T, bias=True))
+
+    def test_packing_survives_extreme_floats(self):
+        from repro.core.packing import pack_vector, unpack_vector
+
+        values = np.asarray([1e-300, 1e300, -1e300, 5e-324])
+        assert np.array_equal(unpack_vector(pack_vector(values)), values)
+
+    def test_summary_of_identical_points(self):
+        from repro.core.summary import SummaryStatistics
+        from repro.errors import ModelError
+
+        X = np.tile([[3.0, 4.0]], (50, 1))
+        stats = SummaryStatistics.from_matrix(X)
+        assert np.allclose(stats.variances(), 0.0)
+        with pytest.raises(ModelError):
+            stats.correlation()
+
+    def test_regression_near_singular_warns_via_error(self):
+        from repro.core.models.regression import LinearRegressionModel
+        from repro.core.summary import AugmentedSummary
+        from repro.errors import ModelError
+
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=100)
+        X = np.column_stack([base, base * (1 + 1e-14)])  # numerically collinear
+        y = base + rng.normal(size=100)
+        try:
+            model = LinearRegressionModel.from_summary(
+                AugmentedSummary.from_xy(X, y)
+            )
+            # If numpy managed to solve it, predictions must be finite.
+            assert np.isfinite(model.predict(X)).all()
+        except ModelError:
+            pass  # equally acceptable: flagged as singular

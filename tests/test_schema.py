@@ -1,0 +1,115 @@
+"""Table schemas, identifiers and the paper's data-set layout."""
+
+import pytest
+
+from repro.dbms.schema import (
+    Column,
+    TableSchema,
+    dataset_schema,
+    dimension_names,
+    model_schema,
+    rows_match_schema,
+    validate_identifier,
+)
+from repro.dbms.types import SqlType
+from repro.errors import SchemaError
+
+
+class TestIdentifiers:
+    def test_valid(self):
+        assert validate_identifier("x1") == "x1"
+        assert validate_identifier("_tmp") == "_tmp"
+
+    @pytest.mark.parametrize("bad", ["", "1x", "a-b", "a b", "x" * 200])
+    def test_invalid(self, bad):
+        with pytest.raises(SchemaError):
+            validate_identifier(bad)
+
+
+class TestColumn:
+    def test_str(self):
+        assert str(Column("x1", SqlType.FLOAT)) == "x1 FLOAT"
+        assert str(Column("i", SqlType.INTEGER, nullable=False)) == "i INTEGER NOT NULL"
+
+    def test_bad_name(self):
+        with pytest.raises(SchemaError):
+            Column("2bad", SqlType.FLOAT)
+
+
+class TestTableSchema:
+    def test_build_from_tuples(self):
+        schema = TableSchema.build([("a", SqlType.INTEGER), ("b", SqlType.FLOAT)])
+        assert schema.column_names == ("a", "b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError, match="at least one column"):
+            TableSchema(())
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            TableSchema.build([("a", SqlType.FLOAT), ("A", SqlType.FLOAT)])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError, match="primary key"):
+            TableSchema.build([("a", SqlType.FLOAT)], primary_key="b")
+
+    def test_case_insensitive_lookup(self):
+        schema = TableSchema.build([("Alpha", SqlType.FLOAT)])
+        assert schema.position_of("ALPHA") == 0
+        assert "alpha" in schema
+        assert schema.column("alpha").name == "Alpha"
+
+    def test_unknown_column(self):
+        schema = TableSchema.build([("a", SqlType.FLOAT)])
+        with pytest.raises(SchemaError, match="unknown column"):
+            schema.position_of("zz")
+
+    def test_iteration_and_len(self):
+        schema = dataset_schema(3)
+        assert len(schema) == 4
+        assert [c.name for c in schema] == ["i", "x1", "x2", "x3"]
+
+    def test_numeric_columns(self):
+        schema = TableSchema.build(
+            [("i", SqlType.INTEGER), ("name", SqlType.VARCHAR), ("v", SqlType.FLOAT)]
+        )
+        assert schema.numeric_columns() == ("i", "v")
+
+    def test_ddl(self):
+        schema = dataset_schema(2)
+        ddl = schema.ddl("x")
+        assert ddl.startswith("CREATE TABLE x (i INTEGER NOT NULL, ")
+        assert "PRIMARY KEY (i)" in ddl
+
+
+class TestDatasetSchema:
+    def test_layout(self):
+        schema = dataset_schema(3, with_y=True)
+        assert schema.column_names == ("i", "x1", "x2", "x3", "y")
+        assert schema.primary_key == "i"
+        assert not schema.column("i").nullable
+
+    def test_invalid_d(self):
+        with pytest.raises(SchemaError):
+            dataset_schema(0)
+
+    def test_dimension_names(self):
+        assert dimension_names(3) == ["x1", "x2", "x3"]
+        assert dimension_names(2, prefix="c") == ["c1", "c2"]
+
+    def test_model_schema(self):
+        with_index = model_schema(2, with_index=True)
+        assert with_index.column_names == ("j", "x1", "x2")
+        assert with_index.primary_key == "j"
+        flat = model_schema(2)
+        assert flat.column_names == ("x1", "x2")
+        assert flat.primary_key is None
+
+
+class TestRowsMatchSchema:
+    def test_ok(self):
+        rows_match_schema(dataset_schema(2), [(1, 0.0, 0.0)])
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SchemaError, match="row 0 has 2 values"):
+            rows_match_schema(dataset_schema(2), [(1, 0.0)])

@@ -1,0 +1,156 @@
+"""In-database classification scoring: NB and LDA in one scan."""
+
+import numpy as np
+import pytest
+
+from repro.core.models.lda import LdaModel
+from repro.core.models.naive_bayes import NaiveBayesModel
+from repro.core.scoring.scorer import ModelScorer, scores_as_matrix
+from repro.core.scoring.udfs import (
+    ClassifyScoreUdf,
+    NaiveBayesScoreUdf,
+    register_scoring_udfs,
+)
+from repro.dbms.database import Database
+from repro.dbms.schema import dataset_schema, dimension_names
+from repro.errors import UdfArgumentError
+
+
+class TestClassifyScoreUdf:
+    def test_argmax_one_based(self):
+        assert ClassifyScoreUdf()(1.0, 9.0, 3.0) == 2
+
+    def test_ties_prefer_lowest(self):
+        assert ClassifyScoreUdf()(4.0, 4.0) == 1
+
+    def test_null(self):
+        assert ClassifyScoreUdf()(1.0, None) is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(UdfArgumentError):
+            ClassifyScoreUdf()()
+
+
+class TestNaiveBayesScoreUdf:
+    def test_matches_formula(self):
+        udf = NaiveBayesScoreUdf()
+        # d=2: x=(1,2), mu=(0,0), iv=(1, 0.5), bias=3
+        expected = 3.0 - 0.5 * (1.0 * 1.0 + 4.0 * 0.5)
+        assert udf(1.0, 2.0, 0.0, 0.0, 1.0, 0.5, 3.0) == pytest.approx(expected)
+
+    def test_bad_arity(self):
+        with pytest.raises(UdfArgumentError, match="3d"):
+            NaiveBayesScoreUdf()(1.0, 2.0, 3.0)
+
+    def test_null(self):
+        assert NaiveBayesScoreUdf()(None, 0.0, 1.0, 0.0) is None
+
+
+@pytest.fixture(scope="module")
+def classification_setup():
+    rng = np.random.default_rng(101)
+    per_class = 150
+    class_specs = [
+        ((0.0, 0.0, 0.0), (1.0, 1.5, 1.0)),
+        ((5.0, -2.0, 3.0), (1.5, 1.0, 1.0)),
+        ((-4.0, 4.0, -1.0), (1.0, 1.0, 2.0)),
+    ]
+    blocks, labels = [], []
+    for index, (mean, sigma) in enumerate(class_specs, start=1):
+        blocks.append(rng.normal(mean, sigma, size=(per_class, 3)))
+        labels.extend([index] * per_class)
+    X = np.vstack(blocks)
+    labels = np.asarray(labels)
+    shuffle = rng.permutation(len(X))
+    X, labels = X[shuffle], labels[shuffle]
+
+    db = Database(amps=4)
+    db.create_table("x", dataset_schema(3))
+    columns = {"i": np.arange(1, len(X) + 1)}
+    for idx, name in enumerate(dimension_names(3)):
+        columns[name] = X[:, idx]
+    db.load_columns("x", columns)
+    register_scoring_udfs(db)
+    scorer = ModelScorer(db, "x", dimension_names(3))
+    return db, X, labels, scorer
+
+
+class TestLdaScoring:
+    def test_in_db_matches_model_predict(self, classification_setup):
+        db, X, labels, scorer = classification_setup
+        model = LdaModel.fit_matrix(X, labels)
+        scorer.store_lda(model)
+        result = scorer.score_lda(model)
+        predicted = scores_as_matrix(result, 1).ravel().astype(int)
+        assert np.array_equal(predicted, model.predict(X))
+
+    def test_labels_not_indices(self, classification_setup):
+        """Classes with non-contiguous labels come back as labels."""
+        db, X, labels, scorer = classification_setup
+        shifted = labels * 10  # labels 10, 20, 30
+        model = LdaModel.fit_matrix(X, shifted)
+        scorer.store_lda(model, discriminant_table="disc10")
+        result = scorer.score_lda(model, discriminant_table="disc10")
+        values = set(scores_as_matrix(result, 1).ravel().astype(int))
+        assert values <= {10, 20, 30}
+
+    def test_into_table(self, classification_setup):
+        db, X, labels, scorer = classification_setup
+        model = LdaModel.fit_matrix(X, labels)
+        scorer.store_lda(model)
+        scorer.score_lda(model, into="lda_scored")
+        assert db.table("lda_scored").row_count == len(X)
+
+
+class TestNaiveBayesScoring:
+    def test_in_db_matches_model_predict(self, classification_setup):
+        db, X, labels, scorer = classification_setup
+        model = NaiveBayesModel.fit_matrix(X, labels)
+        scorer.store_naive_bayes(model)
+        result = scorer.score_naive_bayes(model)
+        predicted = scores_as_matrix(result, 1).ravel().astype(int)
+        assert np.array_equal(predicted, model.predict(X))
+
+    def test_accuracy_against_truth(self, classification_setup):
+        db, X, labels, scorer = classification_setup
+        model = NaiveBayesModel.fit_matrix(X, labels)
+        scorer.store_naive_bayes(model)
+        predicted = scores_as_matrix(
+            scorer.score_naive_bayes(model), 1
+        ).ravel().astype(int)
+        # ids are 1..n in row order, so direct comparison works.
+        assert np.mean(predicted == labels) > 0.95
+
+    def test_single_statement_single_scan(self, classification_setup):
+        db, X, labels, scorer = classification_setup
+        model = NaiveBayesModel.fit_matrix(X, labels)
+        scorer.store_naive_bayes(model)
+        sql = scorer._generator.naive_bayes_udf_sql(model.classes)
+        assert sql.count("nbscore(") == 3
+        assert sql.count("classifyscore(") == 1
+        # X appears once: one scan (the outer SELECT reads the spooled
+        # index column only).
+        assert sql.count("FROM x") == 1
+
+
+class TestEndToEndValidation:
+    def test_confusion_matrix_over_scored_table(self, classification_setup):
+        from repro.core.validation import (
+            classification_accuracy,
+            confusion_matrix,
+        )
+
+        db, X, labels, scorer = classification_setup
+        model = LdaModel.fit_matrix(X, labels)
+        scorer.store_lda(model)
+        scorer.score_lda(model, into="pred")
+        if db.catalog.has_table("truth"):
+            db.drop_table("truth")
+        db.execute("CREATE TABLE truth (i INTEGER PRIMARY KEY, label INTEGER)")
+        db.insert_rows(
+            "truth",
+            [(int(i), int(label)) for i, label in enumerate(labels, start=1)],
+        )
+        matrix = confusion_matrix(db, "pred", "truth", prediction_column="label")
+        assert classification_accuracy(matrix) > 0.95
+        assert sum(matrix.values()) == len(X)

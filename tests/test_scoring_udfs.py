@@ -1,0 +1,115 @@
+"""The four scalar scoring UDFs in isolation."""
+
+import pytest
+
+from repro.core.scoring.udfs import (
+    ClusterScoreUdf,
+    FaScoreUdf,
+    KMeansDistanceUdf,
+    LinearRegScoreUdf,
+    register_scoring_udfs,
+)
+from repro.dbms.database import Database
+from repro.errors import UdfArgumentError
+
+
+class TestLinearRegScore:
+    def test_dot_product(self):
+        udf = LinearRegScoreUdf()
+        # x = (1, 2); beta0 = 10, beta = (3, 4) → 10 + 3 + 8 = 21
+        assert udf(1.0, 2.0, 10.0, 3.0, 4.0) == 21.0
+
+    def test_one_dimension(self):
+        assert LinearRegScoreUdf()(2.0, 1.0, 3.0) == 7.0
+
+    def test_null_in_yields_null(self):
+        assert LinearRegScoreUdf()(None, 2.0, 0.0, 1.0, 1.0) is None
+
+    def test_even_arity_rejected(self):
+        with pytest.raises(UdfArgumentError, match="odd"):
+            LinearRegScoreUdf()(1.0, 2.0, 3.0, 4.0)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(UdfArgumentError, match="numeric"):
+            LinearRegScoreUdf()("x", 1.0, 2.0)
+
+    def test_cost_profile(self):
+        profile = LinearRegScoreUdf().cost_per_row(65)
+        assert profile.list_params == 65
+        assert profile.arith_ops == 32
+
+
+class TestFaScore:
+    def test_component_projection(self):
+        udf = FaScoreUdf()
+        # (x - mu) . lambda = (1-0)*2 + (3-1)*(-1) = 0
+        assert udf(1.0, 3.0, 0.0, 1.0, 2.0, -1.0) == 0.0
+
+    def test_arity_multiple_of_three(self):
+        with pytest.raises(UdfArgumentError, match="multiple of 3"):
+            FaScoreUdf()(1.0, 2.0, 3.0, 4.0)
+
+    def test_null(self):
+        assert FaScoreUdf()(None, 0.0, 0.0) is None
+
+
+class TestKMeansDistance:
+    def test_squared_euclidean(self):
+        assert KMeansDistanceUdf()(0.0, 0.0, 3.0, 4.0) == 25.0
+
+    def test_zero_distance(self):
+        assert KMeansDistanceUdf()(1.0, 2.0, 1.0, 2.0) == 0.0
+
+    def test_even_arity_required(self):
+        with pytest.raises(UdfArgumentError, match="even"):
+            KMeansDistanceUdf()(1.0, 2.0, 3.0)
+
+    def test_null(self):
+        assert KMeansDistanceUdf()(None, 1.0) is None
+
+
+class TestClusterScore:
+    def test_argmin_one_based(self):
+        assert ClusterScoreUdf()(5.0, 1.0, 3.0) == 2
+
+    def test_ties_prefer_lowest_subscript(self):
+        assert ClusterScoreUdf()(2.0, 2.0) == 1
+
+    def test_single_distance(self):
+        assert ClusterScoreUdf()(9.0) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(UdfArgumentError):
+            ClusterScoreUdf()()
+
+    def test_nan_rejected(self):
+        with pytest.raises(UdfArgumentError, match="NaN"):
+            ClusterScoreUdf()(1.0, float("nan"))
+
+    def test_null(self):
+        assert ClusterScoreUdf()(1.0, None) is None
+
+
+class TestRegistration:
+    def test_all_registered(self):
+        db = Database(amps=2)
+        udfs = register_scoring_udfs(db)
+        assert set(udfs) == {
+            "linearregscore", "fascore", "kmeansdistance", "clusterscore",
+            "classifyscore", "nbscore",
+        }
+
+    def test_composed_call_in_sql(self):
+        """clusterscore over kmeansdistance in one SELECT — argument
+        evaluation happens before the outer call, so the 'no nested
+        UDF calls' rule is not violated."""
+        db = Database(amps=2)
+        register_scoring_udfs(db)
+        db.execute("CREATE TABLE p (i INTEGER PRIMARY KEY, a FLOAT, b FLOAT)")
+        db.execute("INSERT INTO p VALUES (1, 0.0, 0.0), (2, 10.0, 10.0)")
+        result = db.execute(
+            "SELECT i, clusterscore("
+            "kmeansdistance(a, b, 0.0, 0.0), "
+            "kmeansdistance(a, b, 10.0, 10.0)) AS j FROM p ORDER BY i"
+        )
+        assert result.rows == [(1, 1), (2, 2)]

@@ -1,0 +1,166 @@
+"""Partitioned storage: distribution, constraints, bulk loads, scans."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.schema import TableSchema, dataset_schema
+from repro.dbms.storage import Table
+from repro.dbms.types import SqlType
+from repro.errors import ConstraintViolation, SchemaError
+
+
+def make_table(partitions=4, with_y=False, row_scale=1.0, d=2):
+    return Table(
+        "x", dataset_schema(d, with_y=with_y), partitions=partitions,
+        row_scale=row_scale,
+    )
+
+
+class TestBasics:
+    def test_invalid_partitions(self):
+        with pytest.raises(SchemaError):
+            make_table(partitions=0)
+
+    def test_invalid_row_scale(self):
+        with pytest.raises(SchemaError):
+            make_table(row_scale=0.5)
+
+    def test_width_and_counts(self):
+        table = make_table()
+        assert table.width == 3
+        assert table.row_count == 0
+        table.insert((1, 1.0, 2.0))
+        assert table.row_count == 1
+
+    def test_nominal_rows_scaling(self):
+        table = make_table(row_scale=100.0)
+        table.insert_many([(i, 0.0, 0.0) for i in range(10)])
+        assert table.row_count == 10
+        assert table.nominal_rows == 1000.0
+
+
+class TestInserts:
+    def test_coercion_on_insert(self):
+        table = make_table()
+        table.insert(("1", "2.5", 3))
+        assert table.rows() == [(1, 2.5, 3.0)]
+
+    def test_arity_check(self):
+        table = make_table()
+        with pytest.raises(SchemaError, match="columns"):
+            table.insert((1, 2.0))
+
+    def test_duplicate_primary_key(self):
+        table = make_table()
+        table.insert((1, 0.0, 0.0))
+        with pytest.raises(ConstraintViolation, match="duplicate primary key"):
+            table.insert((1, 1.0, 1.0))
+
+    def test_not_null_enforced(self):
+        table = make_table()
+        with pytest.raises(ConstraintViolation, match="NOT NULL"):
+            table.insert((None, 0.0, 0.0))
+
+    def test_null_allowed_in_nullable(self):
+        table = make_table()
+        table.insert((1, None, 2.0))
+        assert table.rows() == [(1, None, 2.0)]
+
+    def test_rows_spread_over_partitions(self):
+        table = make_table(partitions=4)
+        table.insert_many([(i, float(i), 0.0) for i in range(100)])
+        occupied = [p.row_count for p in table.partitions if p.row_count]
+        assert len(occupied) >= 3, "hash distribution should use most partitions"
+        assert sum(occupied) == 100
+
+    def test_round_robin_without_pk(self):
+        schema = TableSchema.build([("v", SqlType.FLOAT)])
+        table = Table("t", schema, partitions=3)
+        table.insert_many([(float(i),) for i in range(9)])
+        assert [p.row_count for p in table.partitions] == [3, 3, 3]
+
+
+class TestBulkLoad:
+    def test_bulk_load_and_scan(self):
+        table = make_table()
+        n = 50
+        loaded = table.bulk_load_arrays(
+            {
+                "i": np.arange(1, n + 1),
+                "x1": np.linspace(0, 1, n),
+                "x2": np.zeros(n),
+            }
+        )
+        assert loaded == n
+        assert table.row_count == n
+        assert sorted(r[0] for r in table.scan()) == list(range(1, n + 1))
+
+    def test_missing_column(self):
+        table = make_table()
+        with pytest.raises(SchemaError, match="missing columns"):
+            table.bulk_load_arrays({"i": np.arange(3), "x1": np.zeros(3)})
+
+    def test_length_mismatch(self):
+        table = make_table()
+        with pytest.raises(SchemaError, match="differ in length"):
+            table.bulk_load_arrays(
+                {"i": np.arange(3), "x1": np.zeros(3), "x2": np.zeros(4)}
+            )
+
+    def test_duplicate_keys_in_bulk(self):
+        table = make_table()
+        with pytest.raises(ConstraintViolation):
+            table.bulk_load_arrays(
+                {"i": np.asarray([1, 1]), "x1": np.zeros(2), "x2": np.zeros(2)}
+            )
+
+    def test_bulk_then_insert_duplicate(self):
+        table = make_table()
+        table.bulk_load_arrays(
+            {"i": np.asarray([1, 2]), "x1": np.zeros(2), "x2": np.zeros(2)}
+        )
+        with pytest.raises(ConstraintViolation):
+            table.insert((2, 0.0, 0.0))
+
+    def test_empty_bulk_load(self):
+        table = make_table()
+        assert table.bulk_load_arrays(
+            {"i": np.asarray([]), "x1": np.asarray([]), "x2": np.asarray([])}
+        ) == 0
+
+
+class TestAccessors:
+    def test_column_values(self):
+        table = make_table()
+        table.insert_many([(i, float(i) * 2, 0.0) for i in range(1, 6)])
+        assert sorted(table.column_values("x1")) == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_numeric_matrix_matches_rows(self):
+        table = make_table()
+        rng = np.random.default_rng(0)
+        n = 40
+        data = rng.normal(size=(n, 2))
+        table.bulk_load_arrays(
+            {"i": np.arange(n), "x1": data[:, 0], "x2": data[:, 1]}
+        )
+        matrix = table.numeric_matrix(["x1", "x2"])
+        assert matrix.shape == (n, 2)
+        # Partition striping reorders rows; compare as multisets via sums.
+        assert np.allclose(np.sort(matrix[:, 0]), np.sort(data[:, 0]))
+
+    def test_numeric_matrix_null_becomes_nan(self):
+        table = make_table()
+        table.insert((1, None, 2.0))
+        matrix = table.numeric_matrix(["x1", "x2"])
+        assert np.isnan(matrix[0, 0]) and matrix[0, 1] == 2.0
+
+    def test_numeric_matrix_empty(self):
+        assert make_table().numeric_matrix(["x1"]).shape == (0, 1)
+
+    def test_truncate(self):
+        table = make_table()
+        table.insert((1, 0.0, 0.0))
+        table.truncate()
+        assert table.row_count == 0
+        table.insert((1, 0.0, 0.0))  # PK set must be cleared too
+        assert table.row_count == 1

@@ -1,0 +1,122 @@
+"""SQL type system: names, coercion, NULL handling."""
+
+import math
+
+import pytest
+
+from repro.dbms.types import (
+    SqlType,
+    coerce_value,
+    common_numeric_type,
+    infer_type,
+)
+from repro.errors import TypeMismatchError
+
+
+class TestTypeNames:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("INTEGER", SqlType.INTEGER),
+            ("int", SqlType.INTEGER),
+            ("BigInt", SqlType.INTEGER),
+            ("SMALLINT", SqlType.INTEGER),
+            ("FLOAT", SqlType.FLOAT),
+            ("double precision", SqlType.FLOAT),
+            ("DOUBLE  PRECISION", SqlType.FLOAT),
+            ("real", SqlType.FLOAT),
+            ("numeric", SqlType.FLOAT),
+            ("VARCHAR", SqlType.VARCHAR),
+            ("text", SqlType.VARCHAR),
+            ("char", SqlType.VARCHAR),
+        ],
+    )
+    def test_aliases(self, name, expected):
+        assert SqlType.from_name(name) is expected
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatchError, match="unknown SQL type"):
+            SqlType.from_name("BLOB")
+
+    def test_numeric_flags(self):
+        assert SqlType.INTEGER.is_numeric
+        assert SqlType.FLOAT.is_numeric
+        assert not SqlType.VARCHAR.is_numeric
+
+
+class TestCoercion:
+    def test_null_passes_any_type(self):
+        for sql_type in SqlType:
+            assert coerce_value(None, sql_type) is None
+
+    def test_integer_from_int_and_bool(self):
+        assert coerce_value(5, SqlType.INTEGER) == 5
+        assert coerce_value(True, SqlType.INTEGER) == 1
+
+    def test_integer_from_integral_float(self):
+        assert coerce_value(3.0, SqlType.INTEGER) == 3
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError, match="non-integral"):
+            coerce_value(3.5, SqlType.INTEGER)
+
+    def test_integer_rejects_nan_and_inf(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(float("nan"), SqlType.INTEGER)
+        with pytest.raises(TypeMismatchError):
+            coerce_value(math.inf, SqlType.INTEGER)
+
+    def test_integer_from_numeric_string(self):
+        assert coerce_value("42", SqlType.INTEGER) == 42
+
+    def test_integer_rejects_bad_string(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("abc", SqlType.INTEGER)
+
+    def test_float_from_int(self):
+        value = coerce_value(7, SqlType.FLOAT)
+        assert value == 7.0 and isinstance(value, float)
+
+    def test_float_from_string(self):
+        assert coerce_value("2.5", SqlType.FLOAT) == 2.5
+
+    def test_float_rejects_bad_string(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("two", SqlType.FLOAT)
+
+    def test_varchar_from_string_and_number(self):
+        assert coerce_value("hi", SqlType.VARCHAR) == "hi"
+        assert coerce_value(3, SqlType.VARCHAR) == "3"
+
+    def test_varchar_rejects_list(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value([1, 2], SqlType.VARCHAR)
+
+    def test_numeric_rejects_list(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value([1], SqlType.FLOAT)
+
+
+class TestInference:
+    def test_infer(self):
+        assert infer_type(1) is SqlType.INTEGER
+        assert infer_type(True) is SqlType.INTEGER
+        assert infer_type(1.5) is SqlType.FLOAT
+        assert infer_type("s") is SqlType.VARCHAR
+        assert infer_type(None) is SqlType.FLOAT
+
+    def test_infer_rejects_unknown(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type(object())
+
+
+class TestCommonNumeric:
+    def test_int_int(self):
+        assert common_numeric_type(SqlType.INTEGER, SqlType.INTEGER) is SqlType.INTEGER
+
+    def test_int_float(self):
+        assert common_numeric_type(SqlType.INTEGER, SqlType.FLOAT) is SqlType.FLOAT
+
+    def test_varchar_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            common_numeric_type(SqlType.VARCHAR, SqlType.FLOAT)

@@ -1,0 +1,154 @@
+"""The UDF framework: registration, the paper's API constraints, and the
+four-phase aggregate protocol."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.database import Database
+from repro.dbms.udf import (
+    HEAP_SEGMENT_BYTES,
+    AggregateUdf,
+    RowCost,
+    ScalarUdf,
+    scalar_udf,
+)
+from repro.errors import (
+    UdfArgumentError,
+    UdfMemoryError,
+    UdfRegistrationError,
+)
+
+
+class _CountingAggregate(AggregateUdf):
+    """A trivial aggregate used to exercise the protocol."""
+
+    arity = 1
+
+    def initialize(self):
+        return 0.0
+
+    def accumulate(self, state, args):
+        return state + float(args[0])
+
+    def merge(self, state, other):
+        return state + other
+
+    def finalize(self, state):
+        return state
+
+
+class TestScalarUdf:
+    def test_wrap_function(self):
+        double = scalar_udf("double_it", lambda v: v * 2, arity=1)
+        assert double(21) == 42
+
+    def test_arity_enforced(self):
+        double = scalar_udf("double_it", lambda v: v * 2, arity=1)
+        with pytest.raises(UdfArgumentError, match="expects 1"):
+            double(1, 2)
+
+    def test_array_arguments_rejected(self):
+        identity = scalar_udf("ident", lambda v: v)
+        with pytest.raises(UdfArgumentError, match="simple types"):
+            identity([1, 2, 3])
+        with pytest.raises(UdfArgumentError):
+            identity({"a": 1})
+
+    def test_array_return_rejected(self):
+        bad = scalar_udf("bad", lambda v: [v])
+        with pytest.raises(UdfArgumentError):
+            bad(1)
+
+    def test_numpy_scalars_accepted(self):
+        identity = scalar_udf("ident", lambda v: v)
+        assert identity(np.float64(1.5)) == 1.5
+
+    def test_null_argument_allowed(self):
+        identity = scalar_udf("ident", lambda v: v)
+        assert identity(None) is None
+
+    def test_nested_udf_calls_rejected(self):
+        inner = scalar_udf("inner_fn", lambda v: v + 1)
+
+        def calls_inner(v):
+            return inner(v)  # a UDF calling a UDF — forbidden
+
+        outer = scalar_udf("outer_fn", calls_inner)
+        with pytest.raises(UdfArgumentError, match="cannot call other UDFs"):
+            outer(1)
+
+    def test_sequential_calls_fine_after_nesting_error(self):
+        inner = scalar_udf("inner_fn", lambda v: v + 1)
+        assert inner(1) == 2  # guard must be released
+
+    def test_name_required(self):
+        with pytest.raises(UdfRegistrationError):
+            scalar_udf("", lambda v: v)
+
+    def test_default_cost(self):
+        identity = scalar_udf("ident", lambda v: v)
+        assert identity.cost_per_row(3) == RowCost(list_params=3)
+
+
+class TestAggregateUdf:
+    def test_protocol(self):
+        aggregate = _CountingAggregate("total")
+        state_a = aggregate.initialize()
+        for value in (1.0, 2.0):
+            state_a = aggregate.accumulate(state_a, (value,))
+        state_b = aggregate.accumulate(aggregate.initialize(), (4.0,))
+        assert aggregate.finalize(aggregate.merge(state_a, state_b)) == 7.0
+
+    def test_check_args(self):
+        aggregate = _CountingAggregate("total")
+        with pytest.raises(UdfArgumentError, match="expects 1"):
+            aggregate.check_args((1, 2))
+        with pytest.raises(UdfArgumentError, match="simple types"):
+            aggregate.check_args(([1],))
+
+    def test_heap_segment_enforced(self):
+        aggregate = _CountingAggregate("total")
+        fits = HEAP_SEGMENT_BYTES // 8
+        aggregate.ensure_state_fits(fits)  # exactly full: allowed
+        with pytest.raises(UdfMemoryError, match="heap segment"):
+            aggregate.ensure_state_fits(fits + 1)
+
+
+class TestRegistration:
+    def test_register_and_call_in_sql(self, db: Database):
+        db.register_udf(scalar_udf("triple", lambda v: None if v is None else v * 3))
+        db.execute("CREATE TABLE t (v FLOAT)")
+        db.execute("INSERT INTO t VALUES (2.0), (NULL)")
+        result = db.execute("SELECT triple(v) FROM t ORDER BY 1")
+        assert result.rows == [(6.0,), (None,)]
+
+    def test_register_aggregate_and_group(self, db: Database):
+        db.register_udf(_CountingAggregate("total"))
+        db.execute("CREATE TABLE t (g INTEGER, v FLOAT)")
+        db.execute("INSERT INTO t VALUES (1, 1.0), (1, 2.0), (2, 5.0)")
+        result = db.execute("SELECT g, total(v) FROM t GROUP BY g ORDER BY g")
+        assert result.rows == [(1, 3.0), (2, 5.0)]
+
+    def test_cannot_shadow_builtin(self, db: Database):
+        with pytest.raises(UdfRegistrationError, match="builtin"):
+            db.register_udf(scalar_udf("sqrt", lambda v: v))
+        with pytest.raises(UdfRegistrationError):
+            db.register_udf(_CountingAggregate("sum"))
+
+    def test_duplicate_registration_rejected(self, db: Database):
+        db.register_udf(scalar_udf("mine", lambda v: v))
+        with pytest.raises(UdfRegistrationError, match="already registered"):
+            db.register_udf(scalar_udf("MINE", lambda v: v))
+
+    def test_scalar_aggregate_namespace_shared(self, db: Database):
+        db.register_udf(_CountingAggregate("thing"))
+        with pytest.raises(UdfRegistrationError):
+            db.register_udf(scalar_udf("thing", lambda v: v))
+
+    def test_aggregate_arity_checked_at_plan_time(self, db: Database):
+        db.register_udf(_CountingAggregate("total"))
+        db.execute("CREATE TABLE t (v FLOAT)")
+        from repro.errors import PlanningError
+
+        with pytest.raises(PlanningError, match="expects 1"):
+            db.execute("SELECT total(v, v) FROM t")

@@ -1,0 +1,136 @@
+"""In-DBMS train/test splitting and metric computation."""
+
+import numpy as np
+import pytest
+
+from repro.core.models.regression import LinearRegressionModel
+from repro.core.scoring.scorer import ModelScorer
+from repro.core.summary import AugmentedSummary
+from repro.core.validation import (
+    classification_accuracy,
+    confusion_matrix,
+    regression_metrics,
+    train_test_split,
+)
+from repro.dbms.database import Database
+from repro.dbms.schema import dataset_schema, dimension_names
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def regression_db():
+    rng = np.random.default_rng(91)
+    n, d = 500, 3
+    X = rng.normal(0, 2, size=(n, d))
+    y = 1.0 + X @ np.asarray([2.0, -1.0, 0.5]) + rng.normal(0, 0.3, n)
+    db = Database(amps=3)
+    db.create_table("data", dataset_schema(d, with_y=True))
+    columns = {"i": np.arange(1, n + 1), "y": y}
+    for index, name in enumerate(dimension_names(d)):
+        columns[name] = X[:, index]
+    db.load_columns("data", columns)
+    from repro.core.scoring.udfs import register_scoring_udfs
+
+    register_scoring_udfs(db)
+    return db, X, y
+
+
+class TestSplit:
+    def test_sizes_and_disjointness(self, regression_db):
+        db, _X, _y = regression_db
+        train_rows, test_rows = train_test_split(db, "data", "tr", "te")
+        assert train_rows + test_rows == 500
+        assert test_rows == 100  # every 5th id
+        train_ids = set(db.table("tr").column_values("i"))
+        test_ids = set(db.table("te").column_values("i"))
+        assert not train_ids & test_ids
+
+    def test_deterministic(self, regression_db):
+        db, _X, _y = regression_db
+        train_test_split(db, "data", "tr", "te")
+        first = sorted(db.table("te").column_values("i"))
+        train_test_split(db, "data", "tr", "te")  # re-split replaces
+        assert sorted(db.table("te").column_values("i")) == first
+
+    def test_modulus_controls_fraction(self, regression_db):
+        db, _X, _y = regression_db
+        _, test_rows = train_test_split(db, "data", "tr", "te", test_modulus=10)
+        assert test_rows == 50
+
+    def test_invalid_modulus(self, regression_db):
+        db, _X, _y = regression_db
+        with pytest.raises(ModelError):
+            train_test_split(db, "data", "tr", "te", test_modulus=1)
+
+    def test_schema_carried_over(self, regression_db):
+        db, _X, _y = regression_db
+        train_test_split(db, "data", "tr", "te")
+        assert db.table("tr").schema.column_names == \
+            db.table("data").schema.column_names
+        assert db.table("tr").schema.primary_key == "i"
+
+
+class TestRegressionMetrics:
+    def test_full_loop(self, regression_db):
+        db, _X, _y = regression_db
+        train_test_split(db, "data", "tr", "te")
+        X_tr = db.table("tr").numeric_matrix(dimension_names(3))
+        y_tr = np.asarray(db.table("tr").column_values("y"), dtype=float)
+        model = LinearRegressionModel.from_summary(
+            AugmentedSummary.from_xy(X_tr, y_tr)
+        )
+        scorer = ModelScorer(db, "te", dimension_names(3))
+        scorer.store_regression(model)
+        scorer.score_regression("udf", into="te_scored")
+        metrics = regression_metrics(db, "te_scored", "te")
+        assert metrics.n == db.table("te").row_count
+        assert metrics.rmse == pytest.approx(0.3, abs=0.12)
+        assert metrics.r_squared > 0.98
+        assert abs(metrics.mean_error) < 0.1
+
+    def test_matches_numpy(self, regression_db):
+        db, _X, _y = regression_db
+        train_test_split(db, "data", "tr", "te")
+        X_te = db.table("te").numeric_matrix(dimension_names(3))
+        y_te = np.asarray(db.table("te").column_values("y"), dtype=float)
+        model = LinearRegressionModel.from_summary(
+            AugmentedSummary.from_xy(X_te, y_te)
+        )
+        scorer = ModelScorer(db, "te", dimension_names(3))
+        scorer.store_regression(model)
+        scorer.score_regression("udf", into="te_scored")
+        metrics = regression_metrics(db, "te_scored", "te")
+        predictions = model.predict(X_te)
+        errors = predictions - y_te
+        assert metrics.rmse == pytest.approx(np.sqrt(np.mean(errors**2)))
+        assert metrics.mae == pytest.approx(np.mean(np.abs(errors)))
+
+    def test_empty_join_rejected(self, regression_db):
+        db, _X, _y = regression_db
+        db.execute("CREATE TABLE s (i INTEGER PRIMARY KEY, yhat FLOAT)")
+        with pytest.raises(ModelError):
+            regression_metrics(db, "s", "data")
+
+
+class TestConfusionMatrix:
+    @pytest.fixture
+    def classified(self, regression_db):
+        db, _X, _y = regression_db
+        db.execute("CREATE TABLE truth (i INTEGER PRIMARY KEY, label INTEGER)")
+        db.execute("CREATE TABLE pred (i INTEGER PRIMARY KEY, j INTEGER)")
+        rows = [(1, 1), (2, 1), (3, 2), (4, 2), (5, 2)]
+        db.insert_rows("truth", rows)
+        db.insert_rows("pred", [(1, 1), (2, 2), (3, 2), (4, 2), (5, 1)])
+        return db
+
+    def test_counts(self, classified):
+        matrix = confusion_matrix(classified, "pred", "truth")
+        assert matrix == {(1, 1): 1, (1, 2): 1, (2, 2): 2, (2, 1): 1}
+
+    def test_accuracy(self, classified):
+        matrix = confusion_matrix(classified, "pred", "truth")
+        assert classification_accuracy(matrix) == pytest.approx(3 / 5)
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ModelError):
+            classification_accuracy({})

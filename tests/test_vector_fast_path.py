@@ -1,0 +1,164 @@
+"""The executor's vectorized aggregation fast path: when it engages,
+when it must not, and that it is actually used (not just correct)."""
+
+import numpy as np
+import pytest
+
+from repro.core.nlq_udf import NlqListUdf
+from repro.core.summary import MatrixType
+from repro.dbms.database import Database
+from repro.dbms.schema import dataset_schema, dimension_names
+
+
+class _SpyNlqUdf(NlqListUdf):
+    """Counts which accumulation path the executor drives."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.row_calls = 0
+        self.block_calls = 0
+
+    def accumulate(self, state, args):
+        self.row_calls += 1
+        return super().accumulate(state, args)
+
+    def accumulate_block(self, state, block):
+        self.block_calls += 1
+        return super().accumulate_block(state, block)
+
+
+@pytest.fixture
+def spy_db():
+    rng = np.random.default_rng(111)
+    n = 120
+    db = Database(amps=4)
+    db.create_table("x", dataset_schema(2))
+    db.load_columns(
+        "x",
+        {
+            "i": np.arange(1, n + 1),
+            "x1": rng.normal(size=n),
+            "x2": rng.normal(size=n),
+        },
+    )
+    spy = _SpyNlqUdf("spy_nlq")
+    db.register_udf(spy)
+    return db, spy, n
+
+
+class TestPathSelection:
+    def test_plain_scan_uses_block_path(self, spy_db):
+        db, spy, n = spy_db
+        db.execute("SELECT spy_nlq(2, x1, x2) FROM x")
+        assert spy.row_calls == 0
+        assert spy.block_calls > 0
+
+    def test_where_clause_forces_row_path(self, spy_db):
+        db, spy, n = spy_db
+        db.execute("SELECT spy_nlq(2, x1, x2) FROM x WHERE x1 > -100")
+        assert spy.block_calls == 0
+        assert spy.row_calls == n
+
+    def test_group_by_numeric_expression_uses_block_path(self, spy_db):
+        db, spy, n = spy_db
+        db.execute(
+            "SELECT i MOD 3, spy_nlq(2, x1, x2) FROM x GROUP BY i MOD 3"
+        )
+        assert spy.row_calls == 0
+        assert spy.block_calls > 0
+
+    def test_multiple_numeric_group_keys_use_block_path(self, spy_db):
+        db, spy, n = spy_db
+        db.execute(
+            "SELECT i MOD 2, i MOD 3, spy_nlq(2, x1, x2) FROM x "
+            "GROUP BY i MOD 2, i MOD 3"
+        )
+        assert spy.row_calls == 0
+        assert spy.block_calls > 0
+
+    def test_derived_table_source_forces_row_path(self, spy_db):
+        db, spy, n = spy_db
+        db.execute(
+            "SELECT spy_nlq(2, s.x1, s.x2) FROM "
+            "(SELECT x1, x2 FROM x) s"
+        )
+        assert spy.block_calls == 0
+        assert spy.row_calls == n
+
+    def test_varchar_group_key_forces_row_path(self, spy_db):
+        db, spy, n = spy_db
+        db.execute("CREATE TABLE labeled (i INTEGER PRIMARY KEY, x1 FLOAT, "
+                   "x2 FLOAT, tag VARCHAR)")
+        db.execute(
+            "INSERT INTO labeled VALUES (1, 1.0, 2.0, 'a'), (2, 3.0, 4.0, 'b')"
+        )
+        db.execute(
+            "SELECT tag, spy_nlq(2, x1, x2) FROM labeled GROUP BY tag"
+        )
+        assert spy.block_calls == 0
+        assert spy.row_calls == 2
+
+
+class TestPathEquivalence:
+    # numpy's pairwise summation reorders float additions relative to
+    # the sequential row path, so equivalence is to ~1 ulp of the sums,
+    # not byte-identity of the packed payloads.
+    def test_both_paths_equivalent_summaries(self, spy_db):
+        from repro.core.packing import unpack_summary
+
+        db, spy, _n = spy_db
+        fast = unpack_summary(
+            db.execute("SELECT spy_nlq(2, x1, x2) FROM x").scalar()
+        )
+        slow = unpack_summary(
+            db.execute("SELECT spy_nlq(2, x1, x2) FROM x WHERE 1 = 1").scalar()
+        )
+        assert fast.allclose(slow, rtol=1e-12)
+        assert np.array_equal(fast.mins, slow.mins)
+        assert np.array_equal(fast.maxs, slow.maxs)
+
+    def test_group_paths_equivalent(self, spy_db):
+        from repro.core.packing import unpack_summary
+
+        db, spy, _n = spy_db
+        fast = db.execute(
+            "SELECT i MOD 4, spy_nlq(2, x1, x2) FROM x GROUP BY i MOD 4 "
+            "ORDER BY 1"
+        ).rows
+        slow = db.execute(
+            "SELECT i MOD 4, spy_nlq(2, x1, x2) FROM x WHERE 1 = 1 "
+            "GROUP BY i MOD 4 ORDER BY 1"
+        ).rows
+        for (key_a, payload_a), (key_b, payload_b) in zip(fast, slow):
+            assert key_a == key_b
+            assert unpack_summary(payload_a).allclose(
+                unpack_summary(payload_b), rtol=1e-12
+            )
+
+    def test_diag_matrix_both_paths(self):
+        rng = np.random.default_rng(7)
+        n = 80
+        db = Database(amps=3)
+        db.create_table("x", dataset_schema(3))
+        db.load_columns(
+            "x",
+            {
+                "i": np.arange(1, n + 1),
+                "x1": rng.normal(size=n),
+                "x2": rng.normal(size=n),
+                "x3": rng.normal(size=n),
+            },
+        )
+        spy = _SpyNlqUdf("spy_diag")
+        spy.matrix_type = MatrixType.DIAGONAL
+        db.register_udf(spy)
+        from repro.core.packing import unpack_summary
+
+        dims = ", ".join(dimension_names(3))
+        fast = unpack_summary(
+            db.execute(f"SELECT spy_diag(3, {dims}) FROM x").scalar()
+        )
+        slow = unpack_summary(
+            db.execute(f"SELECT spy_diag(3, {dims}) FROM x WHERE 1 = 1").scalar()
+        )
+        assert fast.allclose(slow, rtol=1e-12)

@@ -1,0 +1,120 @@
+"""Synthetic workload generation (the paper's mixture-plus-noise data)."""
+
+import numpy as np
+import pytest
+
+from repro.dbms.database import Database
+from repro.errors import WorkloadError
+from repro.workloads.generator import (
+    MixtureSpec,
+    SyntheticDataGenerator,
+    load_dataset,
+)
+
+
+class TestSpecValidation:
+    def test_defaults_match_paper(self):
+        spec = MixtureSpec(d=8)
+        assert spec.k == 16
+        assert spec.mean_low == 0.0 and spec.mean_high == 100.0
+        assert spec.sigma == 10.0
+        assert spec.noise_fraction == 0.15
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"d": 0},
+            {"d": 2, "k": 0},
+            {"d": 2, "noise_fraction": 1.0},
+            {"d": 2, "noise_fraction": -0.1},
+            {"d": 2, "mean_low": 5.0, "mean_high": 5.0},
+            {"d": 2, "sigma": 0.0},
+        ],
+    )
+    def test_invalid_specs(self, kwargs):
+        with pytest.raises(WorkloadError):
+            MixtureSpec(**kwargs)
+
+
+class TestGeneration:
+    def test_shapes_and_ids(self):
+        sample = SyntheticDataGenerator(MixtureSpec(d=4, k=3)).generate(500)
+        assert sample.X.shape == (500, 4)
+        assert np.array_equal(sample.ids, np.arange(1, 501))
+        assert sample.n == 500 and sample.d == 4
+
+    def test_invalid_n(self):
+        with pytest.raises(WorkloadError):
+            SyntheticDataGenerator(MixtureSpec(d=2)).generate(0)
+
+    def test_noise_fraction_respected(self):
+        sample = SyntheticDataGenerator(
+            MixtureSpec(d=2, k=4, noise_fraction=0.15, seed=0)
+        ).generate(5000)
+        noise_share = (sample.labels == 0).mean()
+        assert 0.12 < noise_share < 0.18
+
+    def test_component_means_in_range(self):
+        generator = SyntheticDataGenerator(MixtureSpec(d=3, k=16))
+        assert generator.component_means.min() >= 0.0
+        assert generator.component_means.max() <= 100.0
+
+    def test_cluster_members_near_their_mean(self):
+        spec = MixtureSpec(d=2, k=4, noise_fraction=0.0, seed=5)
+        generator = SyntheticDataGenerator(spec)
+        sample = generator.generate(4000)
+        for j in range(1, 5):
+            members = sample.X[sample.labels == j]
+            assert np.allclose(
+                members.mean(axis=0),
+                generator.component_means[j - 1],
+                atol=1.5,
+            )
+
+    def test_seed_reproducibility(self):
+        a = SyntheticDataGenerator(MixtureSpec(d=3, seed=9)).generate(100)
+        b = SyntheticDataGenerator(MixtureSpec(d=3, seed=9)).generate(100)
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticDataGenerator(MixtureSpec(d=3, seed=1)).generate(100)
+        b = SyntheticDataGenerator(MixtureSpec(d=3, seed=2)).generate(100)
+        assert not np.array_equal(a.X, b.X)
+
+    def test_with_target(self):
+        generator = SyntheticDataGenerator(MixtureSpec(d=3, seed=2))
+        sample = generator.with_target(generator.generate(300), noise_sigma=0.1)
+        assert sample.y is not None and sample.true_beta is not None
+        manual = sample.true_intercept + sample.X @ sample.true_beta
+        residual = sample.y - manual
+        assert np.std(residual) < 0.2
+
+
+class TestLoadDataset:
+    def test_table_created_and_loaded(self):
+        db = Database(amps=3)
+        sample = load_dataset(db, "x", 150, MixtureSpec(d=3, k=2))
+        table = db.table("x")
+        assert table.row_count == 150
+        assert table.schema.column_names == ("i", "x1", "x2", "x3")
+        matrix = table.numeric_matrix(["x1"])
+        assert np.sort(matrix.ravel()).sum() == pytest.approx(
+            np.sort(sample.X[:, 0]).sum()
+        )
+
+    def test_with_y_adds_column(self):
+        db = Database(amps=3)
+        load_dataset(db, "x", 50, MixtureSpec(d=2), with_y=True)
+        assert "y" in db.table("x").schema
+
+    def test_row_scale_applied(self):
+        db = Database(amps=3)
+        load_dataset(db, "x", 50, MixtureSpec(d=2), row_scale=20.0)
+        assert db.table("x").nominal_rows == 1000.0
+
+    def test_reload_replaces(self):
+        db = Database(amps=3)
+        load_dataset(db, "x", 50, MixtureSpec(d=2))
+        load_dataset(db, "x", 70, MixtureSpec(d=2))
+        assert db.table("x").row_count == 70
