@@ -90,7 +90,11 @@ class _NlqUdfBase(AggregateUdf):
         super().__init__(name)
         self.matrix_type = matrix_type
         self.max_d = max_d
-        #: dimensionality seen during the last scan (used for costing)
+        #: dimensionality seen during the last scan (used for costing).
+        #: Written from concurrent engine workers, which is benign:
+        #: every partition of one scan observes the same d (a change
+        #: mid-scan raises), so the race is last-writer-wins over equal
+        #: values.
         self._observed_d = 0
 
     # --------------------------------------------------------------- phases

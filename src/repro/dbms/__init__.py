@@ -10,14 +10,18 @@ plays the role Teradata V2R6 plays in the paper:
 * a SQL subset — SELECT with full expressions, WHERE, GROUP BY, ORDER BY,
   joins, derived tables, CASE, views, DDL/DML (:mod:`repro.dbms.sql`),
 * a scalar + aggregate UDF framework enforcing the constraints the paper
-  describes for Teradata's C UDF API (:mod:`repro.dbms.udf`), and
-* a deterministic simulated-time cost model (:mod:`repro.dbms.cost`).
+  describes for Teradata's C UDF API (:mod:`repro.dbms.udf`),
+* a deterministic simulated-time cost model (:mod:`repro.dbms.cost`), and
+* a parallel partition-execution engine with wall-clock observability
+  (:mod:`repro.dbms.engine`, :mod:`repro.dbms.metrics`).
 
 The :class:`~repro.dbms.database.Database` facade ties these together.
 """
 
 from repro.dbms.cost import CostModel, SimulatedClock
 from repro.dbms.database import Database, QueryResult
+from repro.dbms.engine import PartitionEngine
+from repro.dbms.metrics import QueryMetrics
 from repro.dbms.schema import Column, TableSchema
 from repro.dbms.types import SqlType
 from repro.dbms.udf import AggregateUdf, ScalarUdf
@@ -27,6 +31,8 @@ __all__ = [
     "Column",
     "CostModel",
     "Database",
+    "PartitionEngine",
+    "QueryMetrics",
     "QueryResult",
     "ScalarUdf",
     "SimulatedClock",

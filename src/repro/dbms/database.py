@@ -16,6 +16,8 @@ import numpy as np
 
 from repro.dbms.catalog import Catalog
 from repro.dbms.cost import CostModel, CostParameters
+from repro.dbms.engine import PartitionEngine
+from repro.dbms.metrics import QueryMetrics
 from repro.dbms.schema import TableSchema
 from repro.dbms.sql.executor import Executor, Relation
 from repro.dbms.sql.parser import parse_statements
@@ -25,11 +27,19 @@ from repro.dbms.udf import AggregateUdf, ScalarUdf
 
 @dataclass
 class QueryResult:
-    """Rows plus metadata from one executed statement."""
+    """Rows plus metadata from one executed statement.
+
+    ``simulated_seconds`` is the analytical cost-model charge (the
+    paper's 2007 hardware); ``metrics`` is the real wall-clock record of
+    the same execution — per-stage timings, rows and partitions
+    processed, worker count.  For a multi-statement script, ``metrics``
+    describes the last statement.
+    """
 
     columns: list[str]
     rows: list[tuple]
     simulated_seconds: float
+    metrics: QueryMetrics | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -69,22 +79,41 @@ class Database:
     Parameters
     ----------
     amps:
-        Number of parallel workers (horizontal partitions per table);
-        the paper's server used 20.
+        Number of simulated parallel workers (horizontal partitions per
+        table) the *cost model* divides work across; the paper's server
+        used 20.
     cost_parameters:
         Charging constants; defaults are calibrated to the paper.
+    executor_workers:
+        Real OS threads the execution engine uses to run per-partition
+        aggregation concurrently.  The default of 1 executes serially
+        and bit-identically to the seed engine; any value produces the
+        same query results (partials always merge in partition order) —
+        only the wall clock changes.
     """
 
     def __init__(
         self,
         amps: int = 20,
         cost_parameters: CostParameters | None = None,
+        executor_workers: int = 1,
     ) -> None:
         params = cost_parameters or CostParameters()
         params.amps = amps
         self.cost = CostModel(params=params)
         self.catalog = Catalog(default_partitions=amps)
-        self._executor = Executor(self.catalog, self.cost)
+        self._executor = Executor(
+            self.catalog, self.cost, engine=PartitionEngine(executor_workers)
+        )
+
+    @property
+    def executor_workers(self) -> int:
+        """Thread count of the partition-execution engine."""
+        return self._executor.engine.workers
+
+    @executor_workers.setter
+    def executor_workers(self, workers: int) -> None:
+        self._executor.engine = PartitionEngine(workers)
 
     # ------------------------------------------------------------------- SQL
     def execute(self, sql: str) -> QueryResult:
@@ -105,6 +134,7 @@ class Database:
             columns=relation.column_names,
             rows=relation.rows,
             simulated_seconds=span.seconds,
+            metrics=self._executor.last_metrics,
         )
 
     def explain(self, sql: str) -> str:
@@ -140,6 +170,7 @@ class Database:
             columns=relation.column_names,
             rows=relation.rows,
             simulated_seconds=span.seconds,
+            metrics=self._executor.last_metrics,
         )
 
     # ------------------------------------------------------------- catalogue

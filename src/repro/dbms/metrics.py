@@ -1,0 +1,108 @@
+"""Wall-clock observability for query execution.
+
+The cost model (:mod:`repro.dbms.cost`) answers "what would this query
+have cost on the paper's 2007 hardware?" — an *analytical* number.  This
+module answers the orthogonal question "what did this query actually
+cost *here*, in real seconds, stage by stage?", which is what the
+parallel engine's speedups are measured against.
+
+A :class:`QueryMetrics` record is attached to every
+:class:`~repro.dbms.database.QueryResult`.  For aggregate queries the
+executor fills the four run-time stages of Section 3.4:
+
+* ``scan_seconds`` — materializing partition blocks / iterating rows,
+* ``accumulate_seconds`` — folding rows or blocks into partial states,
+* ``merge_seconds`` — combining per-partition partials in partition
+  order,
+* ``finalize_seconds`` — packing final values (phase 4) and projecting
+  the result rows.
+
+Under parallel execution the scan/accumulate stages overlap across
+worker threads, so their per-stage seconds are *summed task time*
+(comparable to CPU time), while ``total_seconds`` is the end-to-end wall
+clock of the statement; ``total_seconds`` shrinking while the stage sums
+stay put is exactly what a successful parallel run looks like.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class QueryMetrics:
+    """Per-statement wall-clock measurements (real seconds, not simulated)."""
+
+    #: configured worker count of the engine that ran the statement
+    workers: int = 1
+    #: end-to-end wall clock of executing the statement
+    total_seconds: float = 0.0
+    #: summed per-task time spent materializing partition blocks / rows
+    scan_seconds: float = 0.0
+    #: summed per-task time spent folding rows/blocks into partial states
+    accumulate_seconds: float = 0.0
+    #: time spent merging per-partition partials (always serial, in order)
+    merge_seconds: float = 0.0
+    #: time spent finalizing states and building the result rows
+    finalize_seconds: float = 0.0
+    #: physical rows folded into aggregate states
+    rows_processed: int = 0
+    #: non-empty partitions that contributed a partial state
+    partitions_processed: int = 0
+    #: per-partition tasks handed to the engine (0 = no aggregate stage)
+    parallel_tasks: int = 0
+    #: number of groups produced by aggregation (1 for a grand aggregate)
+    groups: int = 0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "workers": self.workers,
+            "total_seconds": self.total_seconds,
+            "scan_seconds": self.scan_seconds,
+            "accumulate_seconds": self.accumulate_seconds,
+            "merge_seconds": self.merge_seconds,
+            "finalize_seconds": self.finalize_seconds,
+            "rows_processed": self.rows_processed,
+            "partitions_processed": self.partitions_processed,
+            "parallel_tasks": self.parallel_tasks,
+            "groups": self.groups,
+        }
+
+    @property
+    def stage_seconds(self) -> dict[str, float]:
+        """The four run-time stages, in the paper's order."""
+        return {
+            "scan": self.scan_seconds,
+            "accumulate": self.accumulate_seconds,
+            "merge": self.merge_seconds,
+            "finalize": self.finalize_seconds,
+        }
+
+
+class StageTimer:
+    """Accumulates wall-clock seconds into one stage of a metrics record.
+
+    Not thread-safe: use it from the coordinating thread only.  Engine
+    worker tasks time themselves locally and return their elapsed
+    seconds for the coordinator to sum (see the executor's partition
+    tasks), so no metrics record is ever written from two threads.
+    """
+
+    def __init__(self, metrics: QueryMetrics, stage: str) -> None:
+        self._metrics = metrics
+        self._attribute = f"{stage}_seconds"
+        if not hasattr(metrics, self._attribute):
+            raise AttributeError(f"QueryMetrics has no stage {stage!r}")
+
+    def __enter__(self) -> "StageTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        setattr(
+            self._metrics,
+            self._attribute,
+            getattr(self._metrics, self._attribute) + elapsed,
+        )

@@ -14,7 +14,13 @@ as it goes.  Two execution styles coexist:
 
 Aggregation is partition-parallel in the paper's sense: one state per
 partition (AMP), then a partial-result merge — the four run-time stages
-of Section 3.4.
+of Section 3.4.  Both aggregation paths build their per-partition
+partials through :class:`repro.dbms.engine.PartitionEngine` tasks, so a
+database configured with ``executor_workers > 1`` runs partitions
+concurrently; partials are always merged in partition order, which keeps
+results bit-identical to serial execution.  Real (wall-clock) per-stage
+timings land in a :class:`repro.dbms.metrics.QueryMetrics` record next
+to the analytical cost charges.
 
 Cost accounting: scans charge per (nominal) row and column; SQL select
 lists charge per term per row; aggregate UDFs charge call overhead,
@@ -26,6 +32,7 @@ the table's row scale (see :mod:`repro.dbms.cost`).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -33,6 +40,8 @@ import numpy as np
 
 from repro.dbms.catalog import Catalog
 from repro.dbms.cost import CostModel
+from repro.dbms.engine import PartitionEngine
+from repro.dbms.metrics import QueryMetrics, StageTimer
 from repro.dbms.expressions import (
     compile_row_expression,
     compile_vector_expression,
@@ -108,14 +117,35 @@ def _base_scan(table: Table, binding: str) -> Relation:
 
 
 class Executor:
-    """Executes statements against a catalog, charging a cost model."""
+    """Executes statements against a catalog, charging a cost model.
 
-    def __init__(self, catalog: Catalog, cost: CostModel) -> None:
+    ``engine`` decides whether per-partition aggregation tasks run
+    inline (one worker, the default) or on a thread pool; it may be
+    swapped between statements (``Database.executor_workers``).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost: CostModel,
+        engine: PartitionEngine | None = None,
+    ) -> None:
         self._catalog = catalog
         self._cost = cost
+        self.engine = engine or PartitionEngine()
+        #: wall-clock record of the most recently executed statement
+        self.last_metrics = QueryMetrics()
 
     # --------------------------------------------------------------- dispatch
     def execute(self, statement: ast.Statement) -> Relation:
+        self.last_metrics = QueryMetrics(workers=self.engine.workers)
+        started = time.perf_counter()
+        try:
+            return self._dispatch(statement)
+        finally:
+            self.last_metrics.total_seconds = time.perf_counter() - started
+
+    def _dispatch(self, statement: ast.Statement) -> Relation:
         if isinstance(statement, ast.Select):
             self._cost.charge_sql_statement(len(statement.items))
             return self.execute_select(statement)
@@ -496,17 +526,19 @@ class Executor:
                 rewritten, post_binder.resolve, self._scalar_registry
             )
 
+        self.last_metrics.groups += len(groups)
         out_rows: list[tuple] = []
         post_rows: list[tuple] = []
-        for key, states in groups.items():
-            finalized = tuple(
-                spec.finalize(state) for spec, state in zip(aggregates, states)
-            )
-            post_row = key + finalized
-            if having_fn is not None and having_fn(post_row) is not True:
-                continue
-            post_rows.append(post_row)
-            out_rows.append(tuple(fn(post_row) for fn in item_fns))
+        with StageTimer(self.last_metrics, "finalize"):
+            for key, states in groups.items():
+                finalized = tuple(
+                    spec.finalize(state) for spec, state in zip(aggregates, states)
+                )
+                post_row = key + finalized
+                if having_fn is not None and having_fn(post_row) is not True:
+                    continue
+                post_rows.append(post_row)
+                out_rows.append(tuple(fn(post_row) for fn in item_fns))
 
         self._cost.charge_spool_result(max(len(out_rows), 1), len(out_columns))
         result = Relation(columns=out_columns, rows=out_rows, row_scale=1.0)
@@ -560,18 +592,103 @@ class Executor:
             self._accumulate_vectorized(env, binder, aggregates, group_exprs, groups)
             return groups
 
+        if env.base_table is not None and not env._materialized:
+            # Partitioned row path: one partial state per partition (the
+            # paper's per-AMP accumulation), merged in partition order —
+            # runs concurrently when the engine has workers.
+            self._accumulate_rows_partitioned(
+                env.base_table, aggregates, group_fns, where_fn, groups
+            )
+            return groups
+
+        # Materialized relations (joins, derived tables, views) have no
+        # partition structure; accumulate serially into a single state.
         env.materialize()
-        for row in env.rows:
-            if where_fn is not None and where_fn(row) is not True:
-                continue
-            key = tuple(fn(row) for fn in group_fns)
-            states = groups.get(key)
-            if states is None:
-                states = [spec.initialize() for spec in aggregates]
-                groups[key] = states
-            for index, spec in enumerate(aggregates):
-                states[index] = spec.accumulate_row(states[index], row)
+        with StageTimer(self.last_metrics, "accumulate"):
+            for row in env.rows:
+                if where_fn is not None and where_fn(row) is not True:
+                    continue
+                key = tuple(fn(row) for fn in group_fns)
+                states = groups.get(key)
+                if states is None:
+                    states = [spec.initialize() for spec in aggregates]
+                    groups[key] = states
+                for index, spec in enumerate(aggregates):
+                    states[index] = spec.accumulate_row(states[index], row)
+                self.last_metrics.rows_processed += 1
         return groups
+
+    def _accumulate_rows_partitioned(
+        self,
+        table: Table,
+        aggregates: list["_AggregateSpec"],
+        group_fns: list[Callable[[tuple], Any]],
+        where_fn: Callable[[tuple], Any] | None,
+        groups: dict[tuple, list[Any]],
+    ) -> None:
+        """Row-path accumulation with one partial-state dict per partition.
+
+        Each task folds its partition's rows into private states; the
+        partials merge in partition order, so group keys keep their
+        scan-order first appearance and results match any worker count.
+        """
+        partitions = [p for p in table.partitions if p.row_count]
+
+        def make_task(partition):
+            def task() -> tuple[dict[tuple, list[Any]], int, float, float]:
+                scan_start = time.perf_counter()
+                rows = list(partition.rows())
+                accumulate_start = time.perf_counter()
+                local: dict[tuple, list[Any]] = {}
+                folded = 0
+                for row in rows:
+                    if where_fn is not None and where_fn(row) is not True:
+                        continue
+                    key = tuple(fn(row) for fn in group_fns)
+                    states = local.get(key)
+                    if states is None:
+                        states = [spec.initialize() for spec in aggregates]
+                        local[key] = states
+                    for index, spec in enumerate(aggregates):
+                        states[index] = spec.accumulate_row(states[index], row)
+                    folded += 1
+                done = time.perf_counter()
+                return (
+                    local,
+                    folded,
+                    accumulate_start - scan_start,
+                    done - accumulate_start,
+                )
+
+            return task
+
+        results = self.engine.map([make_task(p) for p in partitions])
+        self.last_metrics.parallel_tasks += len(partitions)
+        self._merge_partition_partials(results, aggregates, groups)
+
+    def _merge_partition_partials(
+        self,
+        results: Sequence[tuple[dict[tuple, list[Any]], int, float, float]],
+        aggregates: list["_AggregateSpec"],
+        groups: dict[tuple, list[Any]],
+    ) -> None:
+        """Fold per-partition (partials, rows, scan s, accumulate s) task
+        results into *groups*, strictly in partition order."""
+        metrics = self.last_metrics
+        with StageTimer(metrics, "merge"):
+            for local, folded, scan_seconds, accumulate_seconds in results:
+                metrics.scan_seconds += scan_seconds
+                metrics.accumulate_seconds += accumulate_seconds
+                metrics.rows_processed += folded
+                if local:
+                    metrics.partitions_processed += 1
+                for key, partial in local.items():
+                    states = groups.get(key)
+                    if states is None:
+                        groups[key] = partial
+                    else:
+                        for index, spec in enumerate(aggregates):
+                            states[index] = spec.merge(states[index], partial[index])
 
     def _referenced_columns_numeric(
         self,
@@ -629,44 +746,57 @@ class Executor:
         for spec in aggregates:
             spec.prepare_vector(matrix_resolver)
 
-        for partition in table.partitions:
-            if partition.row_count == 0:
-                continue
-            block = partition.numeric_matrix(positions)
-            if not group_exprs:
-                partial = [spec.initialize() for spec in aggregates]
-                for index, spec in enumerate(aggregates):
-                    partial[index] = spec.accumulate_vector(partial[index], block)
-                states = groups[()]
-                for index, spec in enumerate(aggregates):
-                    states[index] = spec.merge(states[index], partial[index])
-                continue
-            key_arrays = [fn(block) for fn in group_vector_fns]  # type: ignore[misc]
-            # Integral float keys become ints so vector- and row-path
-            # group keys compare equal (i MOD k on an INTEGER column).
-            keys = [
-                tuple(
-                    int(v) if isinstance(v, float) and v.is_integer() else v
-                    for v in key
-                )
-                for key in zip(*(array.tolist() for array in key_arrays))
-            ]
-            index_map: dict[tuple, list[int]] = {}
-            for row_index, key in enumerate(keys):
-                index_map.setdefault(key, []).append(row_index)
-            for key, row_indices in index_map.items():
-                slice_block = block[np.asarray(row_indices)]
-                partial = [spec.initialize() for spec in aggregates]
-                for index, spec in enumerate(aggregates):
-                    partial[index] = spec.accumulate_vector(
-                        partial[index], slice_block
-                    )
-                states = groups.get(key)
-                if states is None:
-                    groups[key] = partial
-                else:
+        partitions = [p for p in table.partitions if p.row_count]
+
+        def make_task(partition):
+            def task() -> tuple[dict[tuple, list[Any]], int, float, float]:
+                scan_start = time.perf_counter()
+                block = partition.numeric_matrix(positions)
+                accumulate_start = time.perf_counter()
+                local: dict[tuple, list[Any]] = {}
+                if not group_exprs:
+                    partial = [spec.initialize() for spec in aggregates]
                     for index, spec in enumerate(aggregates):
-                        states[index] = spec.merge(states[index], partial[index])
+                        partial[index] = spec.accumulate_vector(
+                            partial[index], block
+                        )
+                    local[()] = partial
+                else:
+                    key_arrays = [fn(block) for fn in group_vector_fns]  # type: ignore[misc]
+                    # Integral float keys become ints so vector- and
+                    # row-path group keys compare equal (i MOD k on an
+                    # INTEGER column).
+                    keys = [
+                        tuple(
+                            int(v) if isinstance(v, float) and v.is_integer() else v
+                            for v in key
+                        )
+                        for key in zip(*(array.tolist() for array in key_arrays))
+                    ]
+                    index_map: dict[tuple, list[int]] = {}
+                    for row_index, key in enumerate(keys):
+                        index_map.setdefault(key, []).append(row_index)
+                    for key, row_indices in index_map.items():
+                        slice_block = block[np.asarray(row_indices)]
+                        partial = [spec.initialize() for spec in aggregates]
+                        for index, spec in enumerate(aggregates):
+                            partial[index] = spec.accumulate_vector(
+                                partial[index], slice_block
+                            )
+                        local[key] = partial
+                done = time.perf_counter()
+                return (
+                    local,
+                    block.shape[0],
+                    accumulate_start - scan_start,
+                    done - accumulate_start,
+                )
+
+            return task
+
+        results = self.engine.map([make_task(p) for p in partitions])
+        self.last_metrics.parallel_tasks += len(partitions)
+        self._merge_partition_partials(results, aggregates, groups)
 
     def _charge_aggregate_costs(
         self,
@@ -905,13 +1035,27 @@ def _matrix_resolver(
 
 class _DistinctState:
     """Aggregate state paired with the set of argument tuples seen so far
-    (DISTINCT aggregation; row path only)."""
+    (DISTINCT aggregation; row path only).
+
+    Partial states merge: the surviving state unions the seen-sets and
+    re-accumulates only the unseen argument tuples (the delta) into its
+    inner state, so duplicates spread across partitions count once.
+    """
 
     __slots__ = ("inner", "seen")
 
     def __init__(self, inner: Any, seen: set) -> None:
         self.inner = inner
         self.seen = seen
+
+
+def _distinct_merge_order(args: tuple) -> tuple:
+    """Sort key for re-accumulating a DISTINCT delta during merge.
+
+    Set iteration order varies with ``PYTHONHASHSEED`` for strings;
+    sorting the delta keeps floating-point accumulation order — and so
+    the merged state — identical across processes."""
+    return tuple(_sort_key(value) for value in args)
 
 
 class _AggregateSpec:
@@ -986,9 +1130,13 @@ class _AggregateSpec:
 
     def merge(self, state: Any, other: Any) -> Any:
         if self._distinct:
-            raise ExecutionError(
-                "DISTINCT aggregates cannot merge partial states"
-            )
+            assert isinstance(state, _DistinctState)
+            assert isinstance(other, _DistinctState)
+            delta = other.seen - state.seen
+            for args in sorted(delta, key=_distinct_merge_order):
+                state.inner = self.aggregate.accumulate(state.inner, args)
+            state.seen |= delta
+            return state
         return self.aggregate.merge(state, other)
 
     def finalize(self, state: Any) -> Any:

@@ -20,6 +20,21 @@ Aggregates follow the paper's four run-time stages: (1) initialization
 per worker, (2) per-row accumulation, (3) partial-result merge across
 workers, (4) packing the returned value.  The executor drives one state
 per partition (AMP) and merges, exactly as Section 3.4 describes.
+
+**Thread-safety contract.**  The partition-execution engine
+(:mod:`repro.dbms.engine`) may call :meth:`AggregateUdf.initialize` /
+``accumulate`` / ``accumulate_block`` concurrently from worker threads,
+one *state* per partition.  The contract mirrors the C API the paper
+describes (each AMP owns its scratch segment):
+
+* accumulation must only mutate the state object passed in — never
+  shared attributes of the UDF instance (last-writer-wins hints like a
+  cached observed dimensionality are tolerable only because every
+  partition writes the same value within one scan);
+* ``merge`` and ``finalize`` are always invoked from the coordinating
+  thread, in deterministic partition order;
+* the nested-call guard below is a ``threading.local``, so a scalar UDF
+  running inside one worker thread never trips the guard for another.
 """
 
 from __future__ import annotations
@@ -54,7 +69,12 @@ def _check_simple(value: Any, udf_name: str) -> None:
 
 
 class _NestedCallGuard:
-    """Context manager enforcing 'UDFs cannot internally call other UDFs'."""
+    """Context manager enforcing 'UDFs cannot internally call other UDFs'.
+
+    The active-call flag lives in a ``threading.local`` so concurrent
+    engine workers each track their own call stack; a UDF executing on
+    one thread cannot spuriously flag a UDF on another as nested.
+    """
 
     def __init__(self, udf_name: str) -> None:
         self._udf_name = udf_name

@@ -1,0 +1,134 @@
+"""Deterministic partition routing.
+
+The headline bug this guards against: ``Table._partition_for`` used to
+route rows with builtin ``hash()``, whose string hashing is randomized
+per process (``PYTHONHASHSEED``), so the same load produced different
+partition layouts run-to-run.  Routing now uses a CRC-32 stable hash;
+these tests prove the layout is identical across processes with
+different hash seeds and after a persistence round-trip.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.dbms.persistence import load_database, save_database
+from repro.dbms.schema import TableSchema
+from repro.dbms.storage import Table, stable_key_hash
+from repro.dbms.types import SqlType
+
+
+def string_pk_table(partitions: int = 7, rows: int = 200) -> Table:
+    schema = TableSchema.build(
+        [("k", SqlType.VARCHAR), ("v", SqlType.FLOAT)], primary_key="k"
+    )
+    table = Table("t", schema, partitions=partitions)
+    table.insert_many([(f"user-{i}", float(i)) for i in range(rows)])
+    return table
+
+
+def partition_layout(table: Table) -> list[list[str]]:
+    """Per-partition primary-key lists (full layout, not just counts)."""
+    return [[row[0] for row in partition.rows()] for partition in table.partitions]
+
+
+_CHILD_SCRIPT = """\
+import json
+from repro.dbms.schema import TableSchema
+from repro.dbms.storage import Table
+from repro.dbms.types import SqlType
+
+schema = TableSchema.build(
+    [("k", SqlType.VARCHAR), ("v", SqlType.FLOAT)], primary_key="k"
+)
+table = Table("t", schema, partitions=7)
+table.insert_many([(f"user-{i}", float(i)) for i in range(200)])
+print(json.dumps(
+    [[row[0] for row in partition.rows()] for partition in table.partitions]
+))
+"""
+
+
+def _layout_under_hash_seed(seed: str) -> list[list[str]]:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    completed = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(completed.stdout)
+
+
+class TestStableKeyHash:
+    def test_equal_numerics_hash_equal(self):
+        assert stable_key_hash(3) == stable_key_hash(3.0)
+        assert stable_key_hash(1) == stable_key_hash(True)
+        assert stable_key_hash(0) == stable_key_hash(False)
+
+    def test_distinct_values_usually_differ(self):
+        hashes = {stable_key_hash(f"key-{i}") for i in range(1000)}
+        assert len(hashes) > 990
+
+    def test_types_do_not_collide_by_payload(self):
+        assert stable_key_hash("3") != stable_key_hash(3)
+        assert stable_key_hash(None) != stable_key_hash("")
+
+    def test_known_values_are_frozen(self):
+        """The encoding is a persistence-layout contract: changing it
+        silently would reshuffle reloaded tables."""
+        import zlib
+
+        assert stable_key_hash("abc") == zlib.crc32(b"s:abc")
+        assert stable_key_hash(42) == zlib.crc32(b"i:42")
+        assert stable_key_hash(2.5) == zlib.crc32(b"f:2.5")
+        assert stable_key_hash(None) == zlib.crc32(b"n:")
+
+
+class TestCrossProcessLayout:
+    def test_layout_identical_under_different_hash_seeds(self):
+        """Two fresh interpreters with different PYTHONHASHSEED values
+        must produce byte-identical partition layouts (the subprocess
+        regression demanded by the issue)."""
+        layout_a = _layout_under_hash_seed("0")
+        layout_b = _layout_under_hash_seed("1")
+        assert layout_a == layout_b
+        counts = [len(partition) for partition in layout_a]
+        assert sum(counts) == 200
+
+    def test_subprocess_layout_matches_in_process(self):
+        expected = partition_layout(string_pk_table())
+        assert _layout_under_hash_seed("0") == expected
+
+    def test_string_keys_spread_over_partitions(self):
+        table = string_pk_table()
+        occupied = [p.row_count for p in table.partitions if p.row_count]
+        assert len(occupied) >= 5, "stable hash should still distribute"
+        assert sum(occupied) == 200
+
+
+class TestPersistenceLayout:
+    def test_layout_survives_save_load_round_trip(self, tmp_path):
+        from repro.dbms.database import Database
+
+        db = Database(amps=7)
+        schema = TableSchema.build(
+            [("k", SqlType.VARCHAR), ("v", SqlType.FLOAT)], primary_key="k"
+        )
+        db.create_table("t", schema)
+        db.insert_rows("t", [(f"user-{i}", float(i)) for i in range(120)])
+        before = partition_layout(db.table("t"))
+
+        save_database(db, tmp_path)
+        reloaded = load_database(tmp_path)
+        after = partition_layout(reloaded.table("t"))
+        assert after == before

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.dbms.schema import TableSchema, dataset_schema
-from repro.dbms.storage import Table
+from repro.dbms.storage import Partition, Table
 from repro.dbms.types import SqlType
 from repro.errors import ConstraintViolation, SchemaError
 
@@ -127,6 +127,95 @@ class TestBulkLoad:
         assert table.bulk_load_arrays(
             {"i": np.asarray([]), "x1": np.asarray([]), "x2": np.asarray([])}
         ) == 0
+
+
+class TestPartitionEdgeCases:
+    """Zero-row / zero-column behaviour must not rely on caller pre-checks."""
+
+    def test_extend_columns_empty_payload_is_noop(self):
+        partition = Partition(2)
+        partition.extend_columns([[], []])
+        assert partition.row_count == 0
+
+    def test_extend_columns_zero_width_partition(self):
+        partition = Partition(0)
+        partition.extend_columns([])
+        assert partition.row_count == 0
+
+    def test_extend_columns_wrong_column_count_rejected(self):
+        partition = Partition(2)
+        with pytest.raises(SchemaError, match="columns"):
+            partition.extend_columns([[1.0]])
+        assert partition.row_count == 0
+
+    def test_extend_columns_ragged_lengths_rejected(self):
+        partition = Partition(2)
+        with pytest.raises(SchemaError, match="lengths differ"):
+            partition.extend_columns([[1.0, 2.0], [3.0]])
+        assert partition.row_count == 0
+
+    def test_numeric_matrix_zero_column_projection(self):
+        partition = Partition(2)
+        partition.append((1.0, 2.0))
+        assert partition.numeric_matrix([]).shape == (1, 0)
+
+    def test_numeric_matrix_empty_partition_and_projection(self):
+        assert Partition(2).numeric_matrix([]).shape == (0, 0)
+
+    def test_table_numeric_matrix_zero_columns(self):
+        table = make_table()
+        table.insert_many([(i, float(i), 0.0) for i in range(5)])
+        assert table.numeric_matrix([]).shape == (5, 0)
+
+    def test_bulk_load_zero_rows_with_pk_is_clean(self):
+        table = make_table()
+        assert table.bulk_load_arrays(
+            {"i": np.asarray([]), "x1": np.asarray([]), "x2": np.asarray([])}
+        ) == 0
+        assert table.row_count == 0
+        # The PK set must be untouched so later loads still work.
+        table.insert((1, 0.0, 0.0))
+        assert table.row_count == 1
+
+
+class TestBlockCache:
+    """numeric_matrix caches per column selection, invalidated on mutation."""
+
+    def test_cached_block_is_reused(self):
+        partition = Partition(2)
+        partition.extend_columns([[1.0, 2.0], [3.0, 4.0]])
+        first = partition.numeric_matrix([0, 1])
+        second = partition.numeric_matrix([0, 1])
+        assert first is second
+
+    def test_distinct_selections_cached_separately(self):
+        partition = Partition(2)
+        partition.extend_columns([[1.0], [2.0]])
+        assert np.array_equal(partition.numeric_matrix([0]), [[1.0]])
+        assert np.array_equal(partition.numeric_matrix([1]), [[2.0]])
+        assert np.array_equal(partition.numeric_matrix([1, 0]), [[2.0, 1.0]])
+
+    def test_append_invalidates_cache(self):
+        partition = Partition(1)
+        partition.append((1.0,))
+        stale = partition.numeric_matrix([0])
+        partition.append((2.0,))
+        fresh = partition.numeric_matrix([0])
+        assert stale.shape == (1, 1) and fresh.shape == (2, 1)
+
+    def test_extend_invalidates_cache(self):
+        partition = Partition(1)
+        partition.append((1.0,))
+        partition.numeric_matrix([0])
+        partition.extend_columns([[2.0, 3.0]])
+        assert partition.numeric_matrix([0]).shape == (3, 1)
+
+    def test_null_handling_matches_reference(self):
+        partition = Partition(2)
+        partition.extend_columns([[1.0, None, 3.0], [None, None, 6.0]])
+        block = partition.numeric_matrix([0, 1])
+        assert np.isnan(block[1, 0]) and np.isnan(block[0, 1])
+        assert block[2, 1] == 6.0
 
 
 class TestAccessors:
