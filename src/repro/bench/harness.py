@@ -109,6 +109,47 @@ def scaled_dataset(
     return BenchDataset(db, "x", d, n, sample)
 
 
+# ---------------------------------------------------------------- plan shape
+def plan_shape(data: BenchDataset, sql: str) -> "PlanShape":
+    """The EXPLAIN plan shape of *sql* against this dataset's database.
+
+    Benchmarks use this to *assert* the claims their numbers rely on —
+    e.g. that the nLQ model build is exactly one scan of X (paper,
+    Section 3.4) — instead of inferring them from timings.  Purely
+    analytical: nothing executes and no simulated time is charged.
+    """
+    plan = data.db.explain_plan(sql)
+    return PlanShape(
+        scans=len(plan.scans),
+        aggregates=len(plan.find("aggregate")),
+        joins=len(
+            [
+                node
+                for node in plan.nodes()
+                if node.operator in ("join", "cross join", "left outer join")
+            ]
+        ),
+        subqueries=len(plan.find("subquery")),
+        plan=plan,
+    )
+
+
+@dataclass
+class PlanShape:
+    """Operator counts of one EXPLAIN plan (see :func:`plan_shape`)."""
+
+    scans: int
+    aggregates: int
+    joins: int
+    subqueries: int
+    plan: "object" = field(repr=False, default=None)
+
+    @property
+    def single_scan(self) -> bool:
+        """The paper's headline property: one pass over the data."""
+        return self.scans == 1
+
+
 # ------------------------------------------------------------- timed actions
 def nlq_udf_seconds(
     data: BenchDataset,

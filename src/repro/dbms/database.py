@@ -21,6 +21,7 @@ from repro.dbms.metrics import QueryMetrics
 from repro.dbms.schema import TableSchema
 from repro.dbms.sql.executor import Executor, Relation
 from repro.dbms.sql.parser import parse_statements
+from repro.dbms.sql.plan import Plan
 from repro.dbms.storage import Table
 from repro.dbms.udf import AggregateUdf, ScalarUdf
 
@@ -34,12 +35,19 @@ class QueryResult:
     the same execution — per-stage timings, rows and partitions
     processed, worker count.  For a multi-statement script, ``metrics``
     describes the last statement.
+
+    ``plan`` is filled only by ``EXPLAIN [ANALYZE]`` statements: the
+    structured operator tree (with cost estimates, optimizer decisions
+    and — for ANALYZE — the measured span tree) whose rendered text the
+    result rows carry.  Benchmarks assert on plan *shape* through it,
+    e.g. ``len(result.plan.scans) == 1``.
     """
 
     columns: list[str]
     rows: list[tuple]
     simulated_seconds: float
     metrics: QueryMetrics | None = None
+    plan: Plan | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -135,21 +143,38 @@ class Database:
             rows=relation.rows,
             simulated_seconds=span.seconds,
             metrics=self._executor.last_metrics,
+            plan=self._executor.last_plan,
         )
 
-    def explain(self, sql: str) -> str:
-        """EXPLAIN a SELECT: binding, rewrites, estimated cost.
+    def explain(self, sql: str, analyze: bool = False) -> str:
+        """EXPLAIN a SELECT: plan tree, rewrites, estimated cost.
 
-        Analytical only — nothing is executed and no time is charged.
+        Analytical only by default — nothing is executed and no time is
+        charged.  With ``analyze=True`` the statement runs under span
+        tracing and the text includes measured per-operator wall clock
+        (equivalent to ``execute("EXPLAIN ANALYZE ...")``).
         """
-        from repro.dbms.sql.ast import Select
-        from repro.dbms.sql.optimizer import explain
+        from repro.dbms.sql.ast import Explain, Select
         from repro.dbms.sql.parser import parse_statement
 
         statement = parse_statement(sql)
+        if isinstance(statement, Explain):
+            statement = statement.statement
         if not isinstance(statement, Select):
             raise ValueError("EXPLAIN is only supported for SELECT statements")
-        return explain(self.catalog, statement)
+        relation = self._executor.execute(Explain(statement, analyze=analyze))
+        return "\n".join(row[0] for row in relation.rows)
+
+    def explain_plan(self, sql: str, analyze: bool = False) -> Plan:
+        """The structured :class:`~repro.dbms.sql.plan.Plan` for a SELECT.
+
+        Same semantics as :meth:`explain`, returning the operator tree
+        instead of its rendered text — the API plan-shape tests and the
+        bench harness assert against."""
+        self.explain(sql, analyze=analyze)
+        plan = self._executor.last_plan
+        assert plan is not None
+        return plan
 
     def execute_optimized(self, sql: str) -> QueryResult:
         """Execute one SELECT after the Section 3.6 rewrites (join

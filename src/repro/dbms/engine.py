@@ -32,8 +32,12 @@ and zero thread overhead.
 
 from __future__ import annotations
 
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
+
+from repro.dbms.trace import Span
 
 T = TypeVar("T")
 
@@ -54,20 +58,65 @@ class PartitionEngine:
     def parallel(self) -> bool:
         return self._workers > 1
 
-    def map(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+    def map(
+        self,
+        tasks: Sequence[Callable[[], T]],
+        spans: list[Span] | None = None,
+    ) -> list[T]:
         """Run every task and return the results in task order.
 
         Completion order never matters: results are gathered by
         submission index, so merging ``map`` output left-to-right is
         deterministic regardless of scheduling.
+
+        When *spans* is a list (EXPLAIN ANALYZE tracing), one
+        :class:`~repro.dbms.trace.Span` per task is appended to it — in
+        task order — recording the task's run seconds, the time it
+        waited in the pool queue, and the worker thread that ran it.
+        Each span is built inside its own task, so no shared state is
+        written from worker threads; the caller attaches the collected
+        spans to its trace afterwards.  ``spans=None`` (every non-traced
+        query) adds no per-task work beyond a constant ``if``.
         """
-        if self._workers == 1 or len(tasks) <= 1:
-            return [task() for task in tasks]
-        pool_size = min(self._workers, len(tasks))
-        with ThreadPoolExecutor(
-            max_workers=pool_size, thread_name_prefix="repro-amp"
-        ) as pool:
-            futures = [pool.submit(task) for task in tasks]
-            # result() re-raises the task's exception; iterating in
-            # submission order keeps error attribution deterministic too.
-            return [future.result() for future in futures]
+        if spans is None:
+            run_tasks: Sequence[Callable[[], T]] = tasks
+        else:
+            task_spans: list[Span | None] = [None] * len(tasks)
+
+            def instrument(index: int, task: Callable[[], T]) -> Callable[[], T]:
+                submitted = time.perf_counter()
+
+                def run() -> T:
+                    started = time.perf_counter()
+                    result = task()
+                    task_spans[index] = Span(
+                        "task",
+                        seconds=time.perf_counter() - started,
+                        attributes={
+                            "index": index,
+                            "queued_seconds": started - submitted,
+                            "thread": threading.current_thread().name,
+                        },
+                    )
+                    return result
+
+                return run
+
+            run_tasks = [
+                instrument(index, task) for index, task in enumerate(tasks)
+            ]
+
+        if self._workers == 1 or len(run_tasks) <= 1:
+            results = [task() for task in run_tasks]
+        else:
+            pool_size = min(self._workers, len(run_tasks))
+            with ThreadPoolExecutor(
+                max_workers=pool_size, thread_name_prefix="repro-amp"
+            ) as pool:
+                futures = [pool.submit(task) for task in run_tasks]
+                # result() re-raises the task's exception; iterating in
+                # submission order keeps error attribution deterministic.
+                results = [future.result() for future in futures]
+        if spans is not None:
+            spans.extend(span for span in task_spans if span is not None)
+        return results

@@ -27,7 +27,11 @@ stay put is exactly what a successful parallel run looks like.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.dbms.trace import Span
 
 
 @dataclass
@@ -55,19 +59,43 @@ class QueryMetrics:
     #: number of groups produced by aggregation (1 for a grand aggregate)
     groups: int = 0
 
-    def as_dict(self) -> dict[str, float | int]:
-        return {
-            "workers": self.workers,
-            "total_seconds": self.total_seconds,
-            "scan_seconds": self.scan_seconds,
-            "accumulate_seconds": self.accumulate_seconds,
-            "merge_seconds": self.merge_seconds,
-            "finalize_seconds": self.finalize_seconds,
-            "rows_processed": self.rows_processed,
-            "partitions_processed": self.partitions_processed,
-            "parallel_tasks": self.parallel_tasks,
-            "groups": self.groups,
-        }
+    def to_dict(self) -> dict[str, float | int]:
+        """A plain-dict snapshot; inverse of :meth:`from_dict`.
+
+        Keys are exactly the dataclass field names, so
+        ``QueryMetrics.from_dict(m.to_dict()) == m`` always holds and the
+        dict is JSON-serializable as-is (bench harness output, logs).
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    # Backwards-compatible alias (pre-observability name).
+    as_dict = to_dict
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QueryMetrics":
+        """Rebuild a record from :meth:`to_dict` output.
+
+        Unknown keys are rejected (they signal a version mismatch);
+        missing keys keep their field defaults.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown QueryMetrics fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
+    def __repr__(self) -> str:
+        stages = ", ".join(
+            f"{name}={seconds * 1e3:.3f}ms"
+            for name, seconds in self.stage_seconds.items()
+        )
+        return (
+            f"QueryMetrics(workers={self.workers}, "
+            f"total={self.total_seconds * 1e3:.3f}ms, {stages}, "
+            f"rows={self.rows_processed}, "
+            f"partitions={self.partitions_processed}, "
+            f"tasks={self.parallel_tasks}, groups={self.groups})"
+        )
 
     @property
     def stage_seconds(self) -> dict[str, float]:
@@ -87,11 +115,23 @@ class StageTimer:
     worker tasks time themselves locally and return their elapsed
     seconds for the coordinator to sum (see the executor's partition
     tasks), so no metrics record is ever written from two threads.
+
+    When EXPLAIN ANALYZE is tracing, the executor passes the stage's
+    :class:`~repro.dbms.trace.Span` as *span*: the timer then writes the
+    *same* measured float to both the metrics field and the span, which
+    is what lets tests assert the span tree reconciles with the stage
+    totals exactly.
     """
 
-    def __init__(self, metrics: QueryMetrics, stage: str) -> None:
+    def __init__(
+        self,
+        metrics: QueryMetrics,
+        stage: str,
+        span: "Span | None" = None,
+    ) -> None:
         self._metrics = metrics
         self._attribute = f"{stage}_seconds"
+        self._span = span
         if not hasattr(metrics, self._attribute):
             raise AttributeError(f"QueryMetrics has no stage {stage!r}")
 
@@ -106,3 +146,5 @@ class StageTimer:
             self._attribute,
             getattr(self._metrics, self._attribute) + elapsed,
         )
+        if self._span is not None:
+            self._span.seconds += elapsed

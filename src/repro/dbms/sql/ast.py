@@ -218,6 +218,20 @@ class Delete(Statement):
 
 
 @dataclass(frozen=True)
+class Explain(Statement):
+    """``EXPLAIN [ANALYZE] <statement>``.
+
+    Plain EXPLAIN renders the optimized plan with analytical cost
+    estimates and executes nothing; ANALYZE additionally runs the
+    statement under span tracing and annotates each operator with its
+    measured wall clock (see :mod:`repro.dbms.trace`).
+    """
+
+    statement: Statement
+    analyze: bool = False
+
+
+@dataclass(frozen=True)
 class DropTable(Statement):
     name: str
     if_exists: bool = False

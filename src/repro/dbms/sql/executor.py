@@ -50,6 +50,7 @@ from repro.dbms.expressions import (
 from repro.dbms.functions import AGGREGATE_BUILTINS, SCALAR_BUILTINS, AggregateFunction
 from repro.dbms.schema import Column, TableSchema
 from repro.dbms.sql import ast
+from repro.dbms.sql.plan import Plan, build_plan
 from repro.dbms.sql.planner import (
     AggregateCall,
     Binder,
@@ -59,6 +60,7 @@ from repro.dbms.sql.planner import (
     substitute,
 )
 from repro.dbms.storage import Table
+from repro.dbms.trace import NULL_TRACER, Span, Tracer
 from repro.dbms.types import SqlType
 from repro.dbms.udf import AggregateUdf
 from repro.errors import ExecutionError, PlanningError
@@ -135,10 +137,17 @@ class Executor:
         self.engine = engine or PartitionEngine()
         #: wall-clock record of the most recently executed statement
         self.last_metrics = QueryMetrics()
+        #: span tracer for the statement in flight; NULL_TRACER (the
+        #: default) allocates nothing — only EXPLAIN ANALYZE swaps in a
+        #: real Tracer for the duration of the inner statement
+        self.tracer = NULL_TRACER
+        #: plan of the most recent EXPLAIN [ANALYZE] statement, else None
+        self.last_plan: Plan | None = None
 
     # --------------------------------------------------------------- dispatch
     def execute(self, statement: ast.Statement) -> Relation:
         self.last_metrics = QueryMetrics(workers=self.engine.workers)
+        self.last_plan = None
         started = time.perf_counter()
         try:
             return self._dispatch(statement)
@@ -146,6 +155,9 @@ class Executor:
             self.last_metrics.total_seconds = time.perf_counter() - started
 
     def _dispatch(self, statement: ast.Statement) -> Relation:
+        if isinstance(statement, ast.Explain):
+            # Before any charging: plain EXPLAIN costs nothing.
+            return self._execute_explain(statement)
         if isinstance(statement, ast.Select):
             self._cost.charge_sql_statement(len(statement.items))
             return self.execute_select(statement)
@@ -170,6 +182,40 @@ class Executor:
             self._catalog.drop_view(statement.name, statement.if_exists)
             return _empty_result()
         raise PlanningError(f"cannot execute {type(statement).__name__}")
+
+    # --------------------------------------------------------------- EXPLAIN
+    def _execute_explain(self, statement: ast.Explain) -> Relation:
+        """EXPLAIN renders the optimized plan with cost estimates and
+        charges nothing; ANALYZE additionally executes the optimized
+        statement under span tracing and annotates each operator with
+        its measured wall clock."""
+        inner = statement.statement
+        if not isinstance(inner, ast.Select):
+            raise PlanningError(
+                f"EXPLAIN supports SELECT statements, got "
+                f"{type(inner).__name__}"
+            )
+        plan = build_plan(
+            self._catalog, inner, self._cost.params, analyze=statement.analyze
+        )
+        if statement.analyze:
+            tracer = Tracer()
+            self.tracer = tracer
+            started = time.perf_counter()
+            try:
+                self._dispatch(plan.optimized)
+            finally:
+                self.tracer = NULL_TRACER
+            # The outer execute() overwrites this with the full
+            # statement wall clock; filling it now lets the rendered
+            # text report the inner execution time.
+            self.last_metrics.total_seconds = time.perf_counter() - started
+            plan.attach_trace(tracer.root, self.last_metrics)
+        self.last_plan = plan
+        return Relation(
+            columns=[BoundColumn(None, "plan")],
+            rows=[(line,) for line in plan.render()],
+        )
 
     # ------------------------------------------------------------------- DDL
     def _execute_create_table(self, statement: ast.CreateTable) -> Relation:
@@ -323,30 +369,33 @@ class Executor:
         current = current.materialize()
         for _, right, condition, outer in sources[1:]:
             right = right.materialize()
-            joined_columns = current.columns + right.columns
-            joined_rows: list[tuple] = []
-            if condition is not None:
-                binder = Binder(joined_columns)
-                predicate = compile_row_expression(
-                    condition, binder.resolve, self._scalar_registry
-                )
-                null_pad = (None,) * right.width
-                for left_row in current.rows:
-                    matched = False
-                    for right_row in right.rows:
-                        combined = left_row + right_row
-                        if predicate(combined) is True:
-                            joined_rows.append(combined)
-                            matched = True
-                    if outer and not matched:
-                        # LEFT OUTER: keep the left row, NULL-padded —
-                        # the paper's "populating missing values with
-                        # nulls" star-join construction.
-                        joined_rows.append(left_row + null_pad)
-            else:
-                for left_row in current.rows:
-                    for right_row in right.rows:
-                        joined_rows.append(left_row + right_row)
+            with self.tracer.span("join") as join_span:
+                joined_columns = current.columns + right.columns
+                joined_rows: list[tuple] = []
+                if condition is not None:
+                    binder = Binder(joined_columns)
+                    predicate = compile_row_expression(
+                        condition, binder.resolve, self._scalar_registry
+                    )
+                    null_pad = (None,) * right.width
+                    for left_row in current.rows:
+                        matched = False
+                        for right_row in right.rows:
+                            combined = left_row + right_row
+                            if predicate(combined) is True:
+                                joined_rows.append(combined)
+                                matched = True
+                        if outer and not matched:
+                            # LEFT OUTER: keep the left row, NULL-padded —
+                            # the paper's "populating missing values with
+                            # nulls" star-join construction.
+                            joined_rows.append(left_row + null_pad)
+                else:
+                    for left_row in current.rows:
+                        for right_row in right.rows:
+                            joined_rows.append(left_row + right_row)
+                if join_span is not None:
+                    join_span.attributes["rows"] = len(joined_rows)
             scale = max(current.row_scale, right.row_scale)
             current = Relation(
                 columns=joined_columns, rows=joined_rows, row_scale=scale
@@ -396,18 +445,28 @@ class Executor:
         )
         self._charge_scalar_udf_calls(charged_expressions, env.nominal_rows)
 
-        env.materialize()
+        with self.tracer.span("scan") as scan_span, StageTimer(
+            self.last_metrics, "scan", scan_span
+        ):
+            env.materialize()
+            if scan_span is not None:
+                scan_span.attributes["rows"] = len(env.rows)
         rows = env.rows
-        if select.where is not None:
-            predicate = compile_row_expression(
-                select.where, binder.resolve, self._scalar_registry
-            )
-            rows = [row for row in rows if predicate(row) is True]
-        compiled = [
-            compile_row_expression(item.expression, binder.resolve, self._scalar_registry)
-            for item in items
-        ]
-        out_rows = [tuple(fn(row) for fn in compiled) for row in rows]
+        with self.tracer.span("project") as project_span:
+            if select.where is not None:
+                predicate = compile_row_expression(
+                    select.where, binder.resolve, self._scalar_registry
+                )
+                rows = [row for row in rows if predicate(row) is True]
+            compiled = [
+                compile_row_expression(
+                    item.expression, binder.resolve, self._scalar_registry
+                )
+                for item in items
+            ]
+            out_rows = [tuple(fn(row) for fn in compiled) for row in rows]
+            if project_span is not None:
+                project_span.attributes["rows"] = len(out_rows)
         out_columns = [
             BoundColumn(None, output_name(item, position))
             for position, item in enumerate(items)
@@ -529,7 +588,12 @@ class Executor:
         self.last_metrics.groups += len(groups)
         out_rows: list[tuple] = []
         post_rows: list[tuple] = []
-        with StageTimer(self.last_metrics, "finalize"):
+        # Projection of an aggregate query is fused into finalization
+        # (one pass packs states and builds output rows), so ANALYZE
+        # shows its time under the finalize span, not a project span.
+        with self.tracer.span("finalize") as finalize_span, StageTimer(
+            self.last_metrics, "finalize", finalize_span
+        ):
             for key, states in groups.items():
                 finalized = tuple(
                     spec.finalize(state) for spec, state in zip(aggregates, states)
@@ -589,33 +653,49 @@ class Executor:
             )
         )
         if use_vector:
-            self._accumulate_vectorized(env, binder, aggregates, group_exprs, groups)
+            with self.tracer.span("aggregate") as span:
+                self._accumulate_vectorized(
+                    env, binder, aggregates, group_exprs, groups
+                )
+                if span is not None:
+                    span.attributes["strategy"] = "vectorized"
+                    span.attributes["groups"] = len(groups)
             return groups
 
         if env.base_table is not None and not env._materialized:
             # Partitioned row path: one partial state per partition (the
             # paper's per-AMP accumulation), merged in partition order —
             # runs concurrently when the engine has workers.
-            self._accumulate_rows_partitioned(
-                env.base_table, aggregates, group_fns, where_fn, groups
-            )
+            with self.tracer.span("aggregate") as span:
+                self._accumulate_rows_partitioned(
+                    env.base_table, aggregates, group_fns, where_fn, groups
+                )
+                if span is not None:
+                    span.attributes["strategy"] = "row-partitioned"
+                    span.attributes["groups"] = len(groups)
             return groups
 
         # Materialized relations (joins, derived tables, views) have no
         # partition structure; accumulate serially into a single state.
         env.materialize()
-        with StageTimer(self.last_metrics, "accumulate"):
-            for row in env.rows:
-                if where_fn is not None and where_fn(row) is not True:
-                    continue
-                key = tuple(fn(row) for fn in group_fns)
-                states = groups.get(key)
-                if states is None:
-                    states = [spec.initialize() for spec in aggregates]
-                    groups[key] = states
-                for index, spec in enumerate(aggregates):
-                    states[index] = spec.accumulate_row(states[index], row)
-                self.last_metrics.rows_processed += 1
+        with self.tracer.span("aggregate") as span:
+            with self.tracer.span("accumulate") as accumulate_span, StageTimer(
+                self.last_metrics, "accumulate", accumulate_span
+            ):
+                for row in env.rows:
+                    if where_fn is not None and where_fn(row) is not True:
+                        continue
+                    key = tuple(fn(row) for fn in group_fns)
+                    states = groups.get(key)
+                    if states is None:
+                        states = [spec.initialize() for spec in aggregates]
+                        groups[key] = states
+                    for index, spec in enumerate(aggregates):
+                        states[index] = spec.accumulate_row(states[index], row)
+                    self.last_metrics.rows_processed += 1
+            if span is not None:
+                span.attributes["strategy"] = "row-serial"
+                span.attributes["groups"] = len(groups)
         return groups
 
     def _accumulate_rows_partitioned(
@@ -632,7 +712,12 @@ class Executor:
         partials merge in partition order, so group keys keep their
         scan-order first appearance and results match any worker count.
         """
-        partitions = [p for p in table.partitions if p.row_count]
+        numbered = [
+            (index, partition)
+            for index, partition in enumerate(table.partitions)
+            if partition.row_count
+        ]
+        partitions = [partition for _, partition in numbered]
 
         def make_task(partition):
             def task() -> tuple[dict[tuple, list[Any]], int, float, float]:
@@ -662,33 +747,72 @@ class Executor:
 
             return task
 
-        results = self.engine.map([make_task(p) for p in partitions])
+        tasks = [make_task(p) for p in partitions]
+        task_spans: list[Span] | None = None
+        if self.tracer.enabled:
+            task_spans = []
+            results = self.engine.map(tasks, task_spans)
+            self.tracer.attach(task_spans)
+        else:
+            results = self.engine.map(tasks)
         self.last_metrics.parallel_tasks += len(partitions)
-        self._merge_partition_partials(results, aggregates, groups)
+        self._merge_partition_partials(
+            results,
+            aggregates,
+            groups,
+            task_spans=task_spans,
+            partition_ids=[index for index, _ in numbered],
+        )
 
     def _merge_partition_partials(
         self,
         results: Sequence[tuple[dict[tuple, list[Any]], int, float, float]],
         aggregates: list["_AggregateSpec"],
         groups: dict[tuple, list[Any]],
+        task_spans: "list[Span] | None" = None,
+        partition_ids: "list[int] | None" = None,
+        cached_blocks: "list[bool] | None" = None,
     ) -> None:
         """Fold per-partition (partials, rows, scan s, accumulate s) task
-        results into *groups*, strictly in partition order."""
+        results into *groups*, strictly in partition order.
+
+        Under tracing, each engine-built task span (same order as
+        *results*) gains its partition id, row count and scan/accumulate
+        child spans built from the *same* perf-counter deltas added to
+        the metrics here — summed in the same order, so the span totals
+        and the stage totals are the identical floats, not approximations.
+        """
         metrics = self.last_metrics
-        with StageTimer(metrics, "merge"):
-            for local, folded, scan_seconds, accumulate_seconds in results:
+        with self.tracer.span("merge") as merge_span, StageTimer(
+            metrics, "merge", merge_span
+        ):
+            for index, result in enumerate(results):
+                local, folded, scan_seconds, accumulate_seconds = result
                 metrics.scan_seconds += scan_seconds
                 metrics.accumulate_seconds += accumulate_seconds
                 metrics.rows_processed += folded
                 if local:
                     metrics.partitions_processed += 1
+                if task_spans is not None:
+                    span = task_spans[index]
+                    if partition_ids is not None:
+                        span.attributes["partition"] = partition_ids[index]
+                    span.attributes["rows"] = folded
+                    if cached_blocks is not None:
+                        span.attributes["cached_block"] = cached_blocks[index]
+                    span.children.append(Span("scan", seconds=scan_seconds))
+                    span.children.append(
+                        Span("accumulate", seconds=accumulate_seconds)
+                    )
                 for key, partial in local.items():
                     states = groups.get(key)
                     if states is None:
                         groups[key] = partial
                     else:
-                        for index, spec in enumerate(aggregates):
-                            states[index] = spec.merge(states[index], partial[index])
+                        for position, spec in enumerate(aggregates):
+                            states[position] = spec.merge(
+                                states[position], partial[position]
+                            )
 
     def _referenced_columns_numeric(
         self,
@@ -746,7 +870,12 @@ class Executor:
         for spec in aggregates:
             spec.prepare_vector(matrix_resolver)
 
-        partitions = [p for p in table.partitions if p.row_count]
+        numbered = [
+            (index, partition)
+            for index, partition in enumerate(table.partitions)
+            if partition.row_count
+        ]
+        partitions = [partition for _, partition in numbered]
 
         def make_task(partition):
             def task() -> tuple[dict[tuple, list[Any]], int, float, float]:
@@ -794,9 +923,30 @@ class Executor:
 
             return task
 
-        results = self.engine.map([make_task(p) for p in partitions])
+        tasks = [make_task(p) for p in partitions]
+        task_spans: list[Span] | None = None
+        cached_blocks: list[bool] | None = None
+        if self.tracer.enabled:
+            # Checked before the tasks run (they populate the cache), so
+            # ANALYZE shows which partitions served a pre-built block.
+            cached_blocks = [
+                partition.has_cached_block(positions)
+                for partition in partitions
+            ]
+            task_spans = []
+            results = self.engine.map(tasks, task_spans)
+            self.tracer.attach(task_spans)
+        else:
+            results = self.engine.map(tasks)
         self.last_metrics.parallel_tasks += len(partitions)
-        self._merge_partition_partials(results, aggregates, groups)
+        self._merge_partition_partials(
+            results,
+            aggregates,
+            groups,
+            task_spans=task_spans,
+            partition_ids=[index for index, _ in numbered],
+            cached_blocks=cached_blocks,
+        )
 
     def _charge_aggregate_costs(
         self,
@@ -896,16 +1046,19 @@ class Executor:
                 )
                 key_fns.append((lambda i, f=fn: f(key_rows[i]), ascending))
 
-            order = list(range(len(out_rows)))
-            for fn, ascending in reversed(key_fns):
-                order.sort(
-                    key=lambda i: _sort_key(fn(i)), reverse=not ascending
+            with self.tracer.span("sort") as sort_span:
+                order = list(range(len(out_rows)))
+                for fn, ascending in reversed(key_fns):
+                    order.sort(
+                        key=lambda i: _sort_key(fn(i)), reverse=not ascending
+                    )
+                result = Relation(
+                    columns=result.columns,
+                    rows=[out_rows[i] for i in order],
+                    row_scale=result.row_scale,
                 )
-            result = Relation(
-                columns=result.columns,
-                rows=[out_rows[i] for i in order],
-                row_scale=result.row_scale,
-            )
+                if sort_span is not None:
+                    sort_span.attributes["rows"] = len(result.rows)
             self._cost.charge_sort(result.nominal_rows)
         if select.limit is not None:
             result = Relation(

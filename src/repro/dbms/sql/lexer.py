@@ -32,6 +32,7 @@ KEYWORDS = frozenset(
         "INNER", "ON", "CREATE", "TABLE", "VIEW", "OR", "REPLACE", "DROP",
         "IF", "EXISTS", "INSERT", "INTO", "VALUES", "DELETE", "PRIMARY",
         "KEY", "DISTINCT", "LIKE", "MOD", "LEFT", "OUTER", "UPDATE", "SET",
+        "EXPLAIN", "ANALYZE",
     }
 )
 

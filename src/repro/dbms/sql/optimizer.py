@@ -588,71 +588,11 @@ def explain(catalog: Catalog, select: ast.Select) -> str:
     """A human-readable account of binding, rewrites and estimated cost.
 
     Purely analytical — nothing is executed; cost estimates use the same
-    constants the executor charges, applied to catalog row counts.
+    constants the executor charges, applied to catalog row counts.  The
+    heavy lifting lives in :mod:`repro.dbms.sql.plan`; this wrapper is
+    kept for callers that only want the text.
     """
     from repro.dbms.cost import CostParameters
+    from repro.dbms.sql.plan import build_plan
 
-    optimizer = QueryOptimizer(catalog)
-    report = optimizer.optimize(select)
-    params = CostParameters()
-    lines: list[str] = ["EXPLAIN"]
-
-    for source in select.from_sources:
-        lines.append(f"  scan: {_describe_source(catalog, source, params)}")
-    for join in report.optimized.joins:
-        kind = "cross join" if join.condition is None else "join"
-        lines.append(
-            f"  {kind}: {_describe_source(catalog, join.source, params)}"
-        )
-    for binding in report.eliminated_joins:
-        lines.append(f"  join eliminated: {binding} (unused, cardinality-safe)")
-    if report.pushed_group_by:
-        lines.append("  group-by pushed below the join (pre-aggregated fact)")
-    for predicate in report.pushed_predicates:
-        lines.append(f"  predicate pushed into subquery: {predicate}")
-    if select.where is not None:
-        lines.append(f"  filter: {ast.render(select.where)}")
-    aggregates = find_aggregates(
-        [item.expression for item in select.items], catalog.is_aggregate
-    )
-    if aggregates or select.group_by:
-        keys = ", ".join(ast.render(g) for g in select.group_by) or "()"
-        names = ", ".join(a.call.name for a in aggregates)
-        lines.append(f"  aggregate: [{names}] group by {keys}")
-    lines.append(f"  project: {len(select.items)} columns")
-    estimated = _estimate_seconds(catalog, report.optimized, params)
-    lines.append(f"  estimated simulated seconds: {estimated:.3f}")
-    return "\n".join(lines)
-
-
-def _describe_source(
-    catalog: Catalog, source: ast.FromSource, params
-) -> str:
-    if isinstance(source, ast.DerivedTable):
-        return f"(subquery) {source.alias}"
-    if catalog.has_view(source.name):
-        return f"view {source.name}"
-    table = catalog.table(source.name)
-    return (
-        f"table {table.name} ({table.nominal_rows:.0f} rows x "
-        f"{table.width} cols)"
-    )
-
-
-def _estimate_seconds(catalog: Catalog, select: ast.Select, params) -> float:
-    total = params.sql_statement_overhead
-    total += len(select.items) * params.sql_parse_per_term
-    rows = 1.0
-    for source in list(select.from_sources) + [j.source for j in select.joins]:
-        if isinstance(source, ast.TableName) and catalog.has_table(source.name):
-            table = catalog.table(source.name)
-            total += (
-                table.nominal_rows
-                * (params.scan_row + table.width * params.scan_value)
-                / params.amps
-            )
-            rows = max(rows, table.nominal_rows)
-    nodes = sum(len(ast.walk(item.expression)) for item in select.items)
-    total += rows * nodes * params.sql_eval_node / params.amps
-    total += len(select.items) * params.sql_spool_cell
-    return total
+    return build_plan(catalog, select, CostParameters()).text()

@@ -2,8 +2,9 @@
 
 Grammar (informal):
 
-    statement   := select | create_table | create_view | insert | delete
-                 | drop_table | drop_view
+    statement   := explain | select | create_table | create_view | insert
+                 | delete | drop_table | drop_view
+    explain     := EXPLAIN [ANALYZE] statement
     select      := SELECT [DISTINCT-less] item ("," item)*
                    [FROM source ("," source)* join*]
                    [WHERE expr] [GROUP BY expr ("," expr)*] [HAVING expr]
@@ -110,6 +111,8 @@ class _Parser:
     # ------------------------------------------------------------- statements
     def parse_statement(self) -> ast.Statement:
         token = self.peek()
+        if token.is_keyword("EXPLAIN"):
+            return self._parse_explain()
         if token.is_keyword("SELECT"):
             return self.parse_select()
         if token.is_keyword("CREATE"):
@@ -123,6 +126,13 @@ class _Parser:
         if token.is_keyword("DROP"):
             return self._parse_drop()
         raise self.error("expected a statement")
+
+    def _parse_explain(self) -> ast.Explain:
+        self.expect_keyword("EXPLAIN")
+        analyze = bool(self.accept_keyword("ANALYZE"))
+        if self.peek().is_keyword("EXPLAIN"):
+            raise self.error("cannot nest EXPLAIN inside EXPLAIN")
+        return ast.Explain(self.parse_statement(), analyze)
 
     def parse_select(self) -> ast.Select:
         self.expect_keyword("SELECT")

@@ -1,0 +1,463 @@
+"""EXPLAIN plan trees: operators, optimizer decisions, cost estimates.
+
+This is the introspection surface ``EXPLAIN [ANALYZE]`` exposes.  A
+:class:`Plan` is built *analytically*: the statement is run through the
+:class:`~repro.dbms.sql.optimizer.QueryOptimizer`, the optimized AST is
+shaped into a tree of :class:`PlanNode` operators (scan, join, filter,
+aggregate, project, sort, limit), and each operator is annotated with
+
+* the optimizer decisions that produced it (eliminated joins, pushed
+  predicates, group-by pushdown, partition fan-out), and
+* its per-operator estimate in *simulated seconds* from the cost-model
+  constants in :class:`~repro.dbms.cost.CostParameters` — the same
+  constants the executor charges, applied to catalog row counts.
+
+For ``EXPLAIN ANALYZE`` the executor runs the optimized statement under
+a :class:`~repro.dbms.trace.Tracer` and calls :meth:`Plan.attach_trace`,
+which pairs each operator with its measured :class:`~repro.dbms.trace.
+Span` — per-operator wall clock, row counts, and the per-partition task
+spans underneath the aggregate.  Estimated simulated seconds and actual
+wall clock answer different questions (see ``docs/cost_model.md``) and
+are deliberately shown side by side.
+
+Plan shape is part of the public API: tests and benchmarks assert
+things like "the nLQ model build is exactly one scan" via
+:attr:`Plan.scans` instead of inferring it from timings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.dbms.catalog import Catalog
+from repro.dbms.cost import CostParameters
+from repro.dbms.metrics import QueryMetrics
+from repro.dbms.sql import ast
+from repro.dbms.sql.optimizer import OptimizationReport, QueryOptimizer
+from repro.dbms.sql.planner import find_aggregates
+from repro.dbms.trace import Span
+
+
+@dataclass
+class PlanNode:
+    """One operator of an EXPLAIN plan tree."""
+
+    operator: str
+    detail: str = ""
+    #: analytical cost-model estimate for this operator alone
+    estimated_seconds: float = 0.0
+    #: estimated input/output cardinality where the catalog knows it
+    estimated_rows: float | None = None
+    #: optimizer decisions and structural annotations
+    notes: list[str] = field(default_factory=list)
+    children: list["PlanNode"] = field(default_factory=list)
+    #: measured span, attached by EXPLAIN ANALYZE (None otherwise)
+    span: Span | None = None
+
+    def walk(self) -> Iterator["PlanNode"]:
+        """This node and every descendant, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, operator: str) -> list["PlanNode"]:
+        return [node for node in self.walk() if node.operator == operator]
+
+    @property
+    def actual_seconds(self) -> float | None:
+        """Measured wall clock (EXPLAIN ANALYZE only)."""
+        return self.span.seconds if self.span is not None else None
+
+    def render(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        line = f"{pad}{self.operator}: {self.detail}" if self.detail \
+            else f"{pad}{self.operator}"
+        if self.estimated_seconds:
+            line += f"  [est {self.estimated_seconds:.3f}s]"
+        if self.span is not None:
+            line += f"  (actual {self.span.seconds * 1e3:.3f} ms)"
+        lines = [line]
+        for note in self.notes:
+            lines.append(f"{pad}  note: {note}")
+        if self.span is not None and self.span.children:
+            for child_span in self.span.children:
+                lines.extend(child_span.render(indent + 1))
+        for child in self.children:
+            lines.extend(child.render(indent + 1))
+        return lines
+
+
+@dataclass
+class Plan:
+    """A complete EXPLAIN result: operator tree + decisions (+ trace)."""
+
+    statement: ast.Select
+    root: PlanNode
+    report: OptimizationReport
+    analyze: bool = False
+    #: filled by :meth:`attach_trace` after an ANALYZE execution
+    trace: Span | None = None
+    metrics: QueryMetrics | None = None
+
+    @property
+    def optimized(self) -> ast.Select:
+        """The statement EXPLAIN described and ANALYZE executed."""
+        return self.report.optimized
+
+    def nodes(self) -> list[PlanNode]:
+        return list(self.root.walk())
+
+    def find(self, operator: str) -> list[PlanNode]:
+        return self.root.find(operator)
+
+    @property
+    def scans(self) -> list[PlanNode]:
+        """Every base-table scan in the plan (the paper's unit of cost:
+        'one scan' is the claim EXPLAIN lets tests assert)."""
+        return self.root.find("scan")
+
+    @property
+    def estimated_seconds(self) -> float:
+        return sum(node.estimated_seconds for node in self.root.walk())
+
+    # -------------------------------------------------------------- analyze
+    def attach_trace(self, trace: Span, metrics: QueryMetrics) -> None:
+        """Pair measured spans with plan operators after execution.
+
+        Operators and spans are matched by name in preorder — both trees
+        are produced from the same optimized statement, so the k-th
+        ``aggregate`` span belongs to the k-th ``aggregate`` node (and
+        likewise for scan/project/sort).  Join spans are emitted
+        innermost-first by the left-deep evaluator while plan preorder
+        lists them outermost-first, so that pairing is reversed.
+        Per-partition spans nested under ``task`` spans stay with their
+        aggregate; filters have no span of their own (predicate
+        evaluation happens inside the scan or accumulation that absorbs
+        it).
+        """
+        self.trace = trace
+        self.metrics = metrics
+        join_operators = ("join", "cross join", "left outer join")
+        join_nodes = [
+            node for node in self.root.walk()
+            if node.operator in join_operators
+        ]
+        join_spans = _operator_spans(trace, "join")
+        for node, span in zip(join_nodes, reversed(join_spans)):
+            node.span = span
+        for operator in ("scan", "aggregate", "sort"):
+            nodes = self.root.find(operator)
+            spans = _operator_spans(trace, operator)
+            for node, span in zip(nodes, spans):
+                node.span = span
+        project_spans = _operator_spans(trace, "project")
+        if not project_spans:
+            # Aggregate queries fuse projection into finalization (one
+            # pass packs states and builds output rows), so the project
+            # operator's measured time is the finalize span.
+            project_spans = _operator_spans(trace, "finalize")
+        for node, span in zip(self.root.find("project"), project_spans):
+            node.span = span
+
+    # --------------------------------------------------------------- render
+    def render(self) -> list[str]:
+        header = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        lines = [header]
+        lines.extend(self.root.render(1))
+        lines.append(
+            f"estimated simulated seconds: {self.estimated_seconds:.3f}"
+        )
+        if self.metrics is not None:
+            lines.append(
+                "actual wall-clock seconds: "
+                f"{self.metrics.total_seconds:.6f} "
+                f"(workers={self.metrics.workers}, "
+                f"rows={self.metrics.rows_processed}, "
+                f"partitions={self.metrics.partitions_processed})"
+            )
+        return lines
+
+    def text(self) -> str:
+        return "\n".join(self.render())
+
+
+def _operator_spans(trace: Span, name: str) -> list[Span]:
+    """Spans named *name* in preorder, excluding anything nested under a
+    per-partition ``task`` span (those belong to the aggregate node that
+    fanned them out, not to a plan operator of their own)."""
+    found: list[Span] = []
+
+    def visit(span: Span) -> None:
+        if span.name == "task":
+            return
+        if span.name == name:
+            found.append(span)
+        for child in span.children:
+            visit(child)
+
+    visit(trace)
+    return found
+
+
+# ------------------------------------------------------------------ builder
+def build_plan(
+    catalog: Catalog,
+    select: ast.Select,
+    params: CostParameters,
+    analyze: bool = False,
+) -> Plan:
+    """Build the plan tree EXPLAIN renders (and ANALYZE executes)."""
+    report = QueryOptimizer(catalog).optimize(select)
+    builder = _PlanBuilder(catalog, params)
+    root = builder.select_node(report.optimized, report)
+    return Plan(statement=select, root=root, report=report, analyze=analyze)
+
+
+class _PlanBuilder:
+    def __init__(self, catalog: Catalog, params: CostParameters) -> None:
+        self._catalog = catalog
+        self._params = params
+
+    # ------------------------------------------------------------- operators
+    def select_node(
+        self,
+        select: ast.Select,
+        report: OptimizationReport | None = None,
+    ) -> PlanNode:
+        params = self._params
+        current, rows = self._input_tree(select)
+
+        if select.where is not None:
+            nodes = len(ast.walk(select.where))
+            current = PlanNode(
+                "filter",
+                ast.render(select.where),
+                estimated_seconds=rows * nodes * params.sql_eval_node
+                / params.amps,
+                estimated_rows=rows,
+                children=[current],
+            )
+
+        aggregates = self._aggregates(select)
+        group_count = 1
+        if aggregates or select.group_by:
+            current = self._aggregate_node(select, aggregates, rows, current)
+            rows = float(group_count)
+
+        current = self._project_node(select, rows, current)
+
+        if select.order_by:
+            keys = ", ".join(
+                ast.render(expr) + ("" if ascending else " DESC")
+                for expr, ascending in select.order_by
+            )
+            comparisons = rows * math.log2(rows) if rows > 1 else 0.0
+            current = PlanNode(
+                "sort",
+                keys,
+                estimated_seconds=comparisons * params.sort_compare
+                / params.amps,
+                estimated_rows=rows,
+                children=[current],
+            )
+        if select.limit is not None:
+            current = PlanNode(
+                "limit", str(select.limit), estimated_rows=float(select.limit),
+                children=[current],
+            )
+
+        if report is not None:
+            for binding in report.eliminated_joins:
+                current.notes.append(
+                    f"join eliminated: {binding} (unused, cardinality-safe)"
+                )
+            if report.pushed_group_by:
+                current.notes.append(
+                    "group-by pushed below the join (pre-aggregated fact)"
+                )
+            for predicate in report.pushed_predicates:
+                current.notes.append(
+                    f"predicate pushed into subquery: {predicate}"
+                )
+        return current
+
+    def _input_tree(self, select: ast.Select) -> tuple[PlanNode, float]:
+        """The FROM clause as a left-deep tree; returns (node, est rows)."""
+        if not select.from_sources:
+            return PlanNode("values", "1 row", estimated_rows=1.0), 1.0
+        current, rows = self._source_node(select.from_sources[0])
+        for source in select.from_sources[1:]:
+            right, right_rows = self._source_node(source)
+            current, rows = self._join_node(
+                "cross join", "", current, rows, right, right_rows
+            )
+        for join in select.joins:
+            right, right_rows = self._source_node(join.source)
+            if join.condition is None:
+                operator, detail = "cross join", ""
+            else:
+                operator = "left outer join" if join.outer else "join"
+                detail = f"on {ast.render(join.condition)}"
+            current, rows = self._join_node(
+                operator, detail, current, rows, right, right_rows
+            )
+        return current, rows
+
+    def _join_node(
+        self,
+        operator: str,
+        detail: str,
+        left: PlanNode,
+        left_rows: float,
+        right: PlanNode,
+        right_rows: float,
+    ) -> tuple[PlanNode, float]:
+        # Nested-loop joins spool their output; without statistics we
+        # estimate the output at the larger input (the PK-join and
+        # one-row model-table shapes the workload actually uses).
+        rows = max(left_rows, right_rows)
+        node = PlanNode(
+            operator,
+            detail,
+            estimated_seconds=left_rows * right_rows
+            * self._params.sql_eval_node / self._params.amps,
+            estimated_rows=rows,
+            children=[left, right],
+        )
+        return node, rows
+
+    def _source_node(self, source: ast.FromSource) -> tuple[PlanNode, float]:
+        params = self._params
+        if isinstance(source, ast.DerivedTable):
+            child = self.select_node(source.select)
+            rows = child.estimated_rows or 1.0
+            node = PlanNode(
+                "subquery",
+                f"{source.alias} (spooled and re-scanned)",
+                estimated_seconds=rows
+                * (params.scan_row + params.sql_spool_row_cell) / params.amps,
+                estimated_rows=rows,
+                children=[child],
+            )
+            return node, rows
+        if self._catalog.has_view(source.name):
+            child = self.select_node(self._catalog.view(source.name))
+            rows = child.estimated_rows or 1.0
+            node = PlanNode(
+                "view",
+                f"{source.name} (expanded inline)",
+                estimated_rows=rows,
+                children=[child],
+            )
+            return node, rows
+        table = self._catalog.table(source.name)
+        rows = table.nominal_rows
+        per_row = params.scan_row + table.width * params.scan_value
+        node = PlanNode(
+            "scan",
+            f"table {table.name} ({rows:.0f} rows x {table.width} cols, "
+            f"{table.partition_count} partitions)",
+            estimated_seconds=rows * per_row / params.amps,
+            estimated_rows=rows,
+        )
+        return node, rows
+
+    def _aggregates(self, select: ast.Select):
+        # Mirrors the executor: ORDER BY expressions only contribute
+        # aggregates when the query already aggregates.
+        expressions = [item.expression for item in select.items]
+        if select.having is not None:
+            expressions.append(select.having)
+        calls = find_aggregates(expressions, self._catalog.is_aggregate)
+        if (calls or select.group_by) and select.order_by:
+            calls = find_aggregates(
+                expressions + [expr for expr, _ in select.order_by],
+                self._catalog.is_aggregate,
+            )
+        return calls
+
+    def _aggregate_node(
+        self,
+        select: ast.Select,
+        aggregates,
+        rows: float,
+        child: PlanNode,
+    ) -> PlanNode:
+        params = self._params
+        names = ", ".join(a.call.name for a in aggregates)
+        keys = ", ".join(ast.render(g) for g in select.group_by) or "()"
+        seconds = 0.0
+        if select.group_by:
+            seconds += rows * params.groupby_hash_row / params.amps
+        notes: list[str] = []
+        base = self._single_base_table(select)
+        partitions = params.amps
+        if base is not None:
+            partitions = base.partition_count
+            notes.append(
+                f"fan-out: {base.non_empty_partition_count} partition tasks "
+                f"over {base.partition_count} partitions of {base.name}"
+            )
+            notes.append("single-scan aggregation (no spool between scans)")
+        for aggregate in aggregates:
+            udf = self._catalog.aggregate_udf(aggregate.call.name)
+            if udf is None:
+                continue
+            profile = udf.cost_per_row(len(aggregate.call.args))
+            seconds += rows * (
+                params.udf_row_overhead
+                + profile.list_params * params.udf_param
+                + profile.string_chars * params.udf_string_char
+                + profile.arith_ops * params.udf_arith_op
+            ) / params.amps
+            seconds += (
+                partitions * udf.state_value_count() * params.udf_merge_value
+            )
+            seconds += udf.state_value_count() * params.udf_return_value
+            notes.append(
+                f"aggregate UDF {udf.name}: "
+                f"{udf.state_value_count()} state values/partition, "
+                f"merged across {partitions} partials"
+            )
+        node = PlanNode(
+            "aggregate",
+            f"[{names}] group by {keys}",
+            estimated_seconds=seconds,
+            estimated_rows=rows,
+            notes=notes,
+            children=[child],
+        )
+        return node
+
+    def _project_node(
+        self, select: ast.Select, rows: float, child: PlanNode
+    ) -> PlanNode:
+        params = self._params
+        nodes = sum(len(ast.walk(item.expression)) for item in select.items)
+        seconds = (
+            params.sql_statement_overhead
+            + len(select.items)
+            * (params.sql_parse_per_term + params.sql_spool_cell)
+            + rows * nodes * params.sql_eval_node / params.amps
+        )
+        return PlanNode(
+            "project",
+            f"{len(select.items)} columns",
+            estimated_seconds=seconds,
+            estimated_rows=rows,
+            children=[child],
+        )
+
+    def _single_base_table(self, select: ast.Select):
+        """The single stored table a one-source, no-join SELECT scans —
+        the shape whose aggregation is partition-parallel."""
+        if select.joins or len(select.from_sources) != 1:
+            return None
+        source = select.from_sources[0]
+        if not isinstance(source, ast.TableName):
+            return None
+        if not self._catalog.has_table(source.name):
+            return None
+        return self._catalog.table(source.name)

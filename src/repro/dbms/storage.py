@@ -119,6 +119,12 @@ class Partition:
     def column(self, position: int) -> list[Any]:
         return self._columns[position]
 
+    def has_cached_block(self, positions: Sequence[int]) -> bool:
+        """Whether :meth:`numeric_matrix` for this column selection would
+        be served from the block cache (EXPLAIN ANALYZE reports this per
+        partition task, making repeated-scan speedups visible)."""
+        return tuple(positions) in self._block_cache
+
     def rows(self) -> Iterator[tuple[Any, ...]]:
         return zip(*self._columns) if self._rows else iter(())
 
@@ -189,6 +195,12 @@ class Table:
     @property
     def partition_count(self) -> int:
         return len(self._partitions)
+
+    @property
+    def non_empty_partition_count(self) -> int:
+        """Partitions currently holding rows — the real task fan-out an
+        aggregate over this table produces (plan/trace annotation)."""
+        return sum(1 for p in self._partitions if p.row_count)
 
     @property
     def row_count(self) -> int:

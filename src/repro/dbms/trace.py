@@ -1,0 +1,176 @@
+"""Hierarchical span tracing for query execution (EXPLAIN ANALYZE).
+
+:mod:`repro.dbms.metrics` answers "how long did each *stage* take?" with
+four flat per-statement totals.  This module answers the finer question
+EXPLAIN ANALYZE needs: "where inside the plan did the time go?" — a tree
+of :class:`Span` records, one per plan operator and one per partition
+task, each carrying wall-clock seconds and free-form attributes (row
+counts, partition ids, block-cache hits, worker thread names).
+
+Tracing is **opt-in per statement** and free when off.  The executor
+holds :data:`NULL_TRACER` by default; its ``span()`` returns one shared
+no-op context manager, so the non-EXPLAIN hot path allocates no span
+objects, no generators and no dicts.  Only ``EXPLAIN ANALYZE`` swaps in
+a real :class:`Tracer` for the duration of the statement.
+
+Threading contract (mirrors :class:`~repro.dbms.metrics.StageTimer`):
+the :class:`Tracer` stack is touched from the coordinating thread only.
+Engine worker tasks never see the tracer — they build private
+:class:`Span` objects from their own ``perf_counter`` readings and
+return them with their partial results; the coordinator attaches them
+with :meth:`Tracer.attach` while merging, in partition order.  Because a
+task's span seconds are computed from the *same* timestamps the task
+reports to :class:`~repro.dbms.metrics.QueryMetrics`, the per-operator
+span sums reconcile with the stage totals exactly, not approximately.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class Span:
+    """One timed region of query execution.
+
+    ``seconds`` is wall-clock time on this machine (never simulated
+    cost); ``attributes`` carries operator-specific measurements such as
+    ``rows``, ``partition`` or ``cached``.
+    """
+
+    name: str
+    seconds: float = 0.0
+    attributes: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        """All descendant spans (including self) with the given name."""
+        return [span for span in self.walk() if span.name == name]
+
+    def total_seconds(self, name: str) -> float:
+        """Sum of ``seconds`` over all spans named *name* in this subtree.
+
+        Summation follows tree order (= partition/attach order), so the
+        floating-point total is reproducible and matches the order in
+        which :class:`~repro.dbms.metrics.QueryMetrics` summed the same
+        task-reported values.
+        """
+        total = 0.0
+        for span in self.walk():
+            if span.name == name:
+                total += span.seconds
+        return total
+
+    def render(self, indent: int = 0) -> list[str]:
+        """Human-readable lines for this subtree (EXPLAIN ANALYZE text)."""
+        attrs = "".join(
+            f" {key}={_format_value(value)}"
+            for key, value in self.attributes.items()
+        )
+        lines = [
+            f"{'  ' * indent}{self.name}: "
+            f"{self.seconds * 1e3:.3f} ms{attrs}"
+        ]
+        for child in self.children:
+            lines.extend(child.render(indent + 1))
+        return lines
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+class _NullSpanContext:
+    """The shared do-nothing context manager returned by NullTracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """Tracing disabled: every call is a no-op with zero allocation.
+
+    ``span()`` hands back one module-level context manager instance, so
+    executing a statement without EXPLAIN ANALYZE never creates span
+    objects (asserted by ``tests/test_explain.py``).
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str) -> _NullSpanContext:
+        return _NULL_CONTEXT
+
+    def attach(self, spans: "list[Span] | Span") -> None:
+        return None
+
+    @property
+    def root(self) -> None:
+        return None
+
+
+#: the executor's default tracer — one shared instance, nothing allocated
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects one statement's span tree on the coordinating thread."""
+
+    __slots__ = ("_root", "_stack")
+    enabled = True
+
+    def __init__(self, root_name: str = "statement") -> None:
+        self._root = Span(root_name)
+        self._stack: list[Span] = [self._root]
+
+    @property
+    def root(self) -> Span:
+        return self._root
+
+    @contextlib.contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Open a child span of the innermost open span and time it.
+
+        The measured wall clock can be overwritten before exit (see
+        :class:`~repro.dbms.metrics.StageTimer`'s span syncing) by
+        setting ``span.seconds`` to a non-zero value inside the block —
+        the context manager only fills it when still zero, so a stage
+        timer and its span always report the identical float.
+        """
+        span = Span(name)
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        started = time.perf_counter()
+        try:
+            yield span
+        finally:
+            if span.seconds == 0.0:
+                span.seconds = time.perf_counter() - started
+            self._stack.pop()
+
+    def attach(self, spans: "list[Span] | Span") -> None:
+        """Adopt externally built spans (worker-task results) as children
+        of the innermost open span, preserving the given order."""
+        if isinstance(spans, Span):
+            self._stack[-1].children.append(spans)
+        else:
+            self._stack[-1].children.extend(spans)
