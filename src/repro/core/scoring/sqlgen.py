@@ -12,12 +12,26 @@ For each model the paper compares two single-statement scoring routes
 
 The generator only produces SQL text; model tables must exist in the
 layouts written by :class:`repro.core.scoring.scorer.ModelScorer`.
+
+A third route — the ``*_inline_sql`` variants — embeds the (tiny) model
+as SQL literals instead of cross-joining model tables.  The statement
+then reads exactly one stored table, which is the shape the block-wise
+execution path (:mod:`repro.dbms.sql.vectorized`) accepts; the
+row-vs-vector scoring benchmark and parity tests use these.  Float
+parameters are rendered with ``repr`` (shortest round-trip form), so the
+literal re-parses to the identical double and both routes score with the
+same numbers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Sequence
+
+
+def _lit(value: float) -> str:
+    """A float literal that re-parses to the identical double."""
+    return repr(float(value))
 
 
 @dataclass
@@ -60,6 +74,23 @@ class ScoringSqlGenerator:
             f"FROM {self.table} t CROSS JOIN {beta_table} b"
         )
 
+    def regression_inline_sql(
+        self, intercept: float, coefficients: Sequence[float]
+    ) -> str:
+        """ŷ via ``linearregscore`` with the model inlined as literals —
+        a single-table statement the block-wise path can run."""
+        if len(coefficients) != self.d:
+            raise ValueError(
+                f"{self.d} dimensions need {self.d} coefficients, "
+                f"got {len(coefficients)}"
+            )
+        xs = ", ".join(f"t.{dim}" for dim in self.dimensions)
+        bs = ", ".join([_lit(intercept), *(_lit(b) for b in coefficients)])
+        return (
+            f"SELECT t.{self.id_column} AS {self.id_column}, "
+            f"linearregscore({xs}, {bs}) AS yhat FROM {self.table} t"
+        )
+
     # ------------------------------------------------------------------- PCA
     def _lambda_joins(self, k: int, lambda_table: str) -> str:
         """Join LAMBDA k times with aliasing, one alias per component j —
@@ -97,6 +128,25 @@ class ScoringSqlGenerator:
             f"SELECT {', '.join(items)} FROM {self.table} t "
             f"CROSS JOIN {mu_table} m {self._lambda_joins(k, lambda_table)}"
         )
+
+    def pca_inline_sql(
+        self, mu: Sequence[float], components: Sequence[Sequence[float]]
+    ) -> str:
+        """x′ via ``fascore`` calls with µ and Λ inlined as literals."""
+        if len(mu) != self.d:
+            raise ValueError(f"mu needs {self.d} values, got {len(mu)}")
+        xs = ", ".join(f"t.{dim}" for dim in self.dimensions)
+        mus = ", ".join(_lit(m) for m in mu)
+        items = [f"t.{self.id_column} AS {self.id_column}"]
+        for j, component in enumerate(components, start=1):
+            if len(component) != self.d:
+                raise ValueError(
+                    f"component {j} needs {self.d} values, "
+                    f"got {len(component)}"
+                )
+            lambdas = ", ".join(_lit(value) for value in component)
+            items.append(f"fascore({xs}, {mus}, {lambdas}) AS f{j}")
+        return f"SELECT {', '.join(items)} FROM {self.table} t"
 
     # --------------------------------------------------------- classification
     def _label_case(self, index_expr: str, labels: Sequence[int]) -> str:
@@ -171,6 +221,32 @@ class ScoringSqlGenerator:
             f"{self._label_case('s.idx', labels)} AS label FROM ({inner}) s"
         )
 
+    def naive_bayes_inline_sql(
+        self,
+        means: Sequence[Sequence[float]],
+        inverse_variances: Sequence[Sequence[float]],
+        biases: Sequence[float],
+    ) -> str:
+        """Arg-max class index via inlined-parameter ``nbscore`` calls.
+
+        Returns the 1-based class *index* (``idx``) rather than mapping
+        back to labels: the CASE label mapping is not block-compilable,
+        and the benchmark compares routes on the same output.
+        """
+        if not (len(means) == len(inverse_variances) == len(biases)):
+            raise ValueError("means, inverse_variances, biases must align")
+        xs = ", ".join(f"t.{dim}" for dim in self.dimensions)
+        scores = []
+        for mu, iv, bias in zip(means, inverse_variances, biases):
+            mus = ", ".join(_lit(m) for m in mu)
+            ivs = ", ".join(_lit(v) for v in iv)
+            scores.append(f"nbscore({xs}, {mus}, {ivs}, {_lit(bias)})")
+        return (
+            f"SELECT t.{self.id_column} AS {self.id_column}, "
+            f"classifyscore({', '.join(scores)}) AS idx "
+            f"FROM {self.table} t"
+        )
+
     # ------------------------------------------------------------ clustering
     def _centroid_joins(self, k: int, centroid_table: str) -> str:
         return " ".join(
@@ -189,6 +265,24 @@ class ScoringSqlGenerator:
             f"SELECT t.{self.id_column} AS {self.id_column}, "
             f"clusterscore({', '.join(distances)}) AS j "
             f"FROM {self.table} t {self._centroid_joins(k, centroid_table)}"
+        )
+
+    def clustering_inline_sql(self, centroids: Sequence[Sequence[float]]) -> str:
+        """J via ``clusterscore`` over inlined-centroid distances — one
+        table, one scan, block-compilable."""
+        xs = ", ".join(f"t.{dim}" for dim in self.dimensions)
+        distances = []
+        for j, centroid in enumerate(centroids, start=1):
+            if len(centroid) != self.d:
+                raise ValueError(
+                    f"centroid {j} needs {self.d} values, got {len(centroid)}"
+                )
+            cs = ", ".join(_lit(value) for value in centroid)
+            distances.append(f"kmeansdistance({xs}, {cs})")
+        return (
+            f"SELECT t.{self.id_column} AS {self.id_column}, "
+            f"clusterscore({', '.join(distances)}) AS j "
+            f"FROM {self.table} t"
         )
 
     def clustering_expression_sql(self, k: int, centroid_table: str = "c") -> str:

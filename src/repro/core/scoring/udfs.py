@@ -17,12 +17,23 @@ All are variadic (the engine imposes no parameter-count cap of its own;
 the *paper's* observation that some DBMSs cap parameters is modeled by
 the string-passing aggregate variant instead).  NULL inputs yield NULL,
 as SQL scalar functions do.
+
+Every UDF also implements :meth:`~repro.dbms.udf.ScalarUdf.compute_batch`
+so the block-wise SELECT path can score a whole partition block with
+dense numpy kernels instead of one Python call per row.  The kernels
+are written for **bit-identical** results against :meth:`compute`:
+sums accumulate per dimension from a zero vector (matching the row
+path's left-associated ``sum()``), squares use ``diff * diff``, and
+NULL rows (any NaN argument) come out NaN — the executor restores them
+to None.  Argument-count validation is shared between both paths.
 """
 
 from __future__ import annotations
 
 import math
 from typing import Any
+
+import numpy as np
 
 from repro.dbms.database import Database
 from repro.dbms.udf import RowCost, ScalarUdf
@@ -47,15 +58,20 @@ def _floats(args: tuple[Any, ...], udf_name: str) -> "list[float] | None":
 class LinearRegScoreUdf(ScalarUdf):
     """ŷ = β₀ + Σ βₐ·xₐ from 2d + 1 scalar parameters."""
 
+    supports_batch = True
+
     def __init__(self, name: str = "linearregscore") -> None:
         super().__init__(name)
 
-    def compute(self, *args: Any) -> Any:
-        if len(args) < 3 or len(args) % 2 == 0:
+    def _validate_count(self, count: int) -> None:
+        if count < 3 or count % 2 == 0:
             raise UdfArgumentError(
                 f"UDF {self.name!r} expects (x1..xd, b0, b1..bd) — an odd "
-                f"count of at least 3 arguments, got {len(args)}"
+                f"count of at least 3 arguments, got {count}"
             )
+
+    def compute(self, *args: Any) -> Any:
+        self._validate_count(len(args))
         values = _floats(args, self.name)
         if values is None:
             return None
@@ -65,6 +81,17 @@ class LinearRegScoreUdf(ScalarUdf):
         beta = values[d + 1 :]
         return intercept + sum(b * v for b, v in zip(beta, x))
 
+    def compute_batch(self, args: np.ndarray) -> np.ndarray:
+        self._validate_count(args.shape[1])
+        d = (args.shape[1] - 1) // 2
+        # Per-dimension accumulation from zero replays the row path's
+        # sum() association exactly; NaN (NULL) propagates through the
+        # arithmetic, so NULL rows come out NaN with no extra masking.
+        acc = np.zeros(args.shape[0])
+        for a in range(d):
+            acc += args[:, d + 1 + a] * args[:, a]
+        return args[:, d] + acc
+
     def cost_per_row(self, arg_count: int) -> RowCost:
         d = (arg_count - 1) // 2
         return RowCost(list_params=arg_count, arith_ops=d)
@@ -73,15 +100,20 @@ class LinearRegScoreUdf(ScalarUdf):
 class FaScoreUdf(ScalarUdf):
     """One coordinate of x′ = Λᵀ(x − µ): Σ (xₐ − µₐ)·Λₐⱼ from 3d params."""
 
+    supports_batch = True
+
     def __init__(self, name: str = "fascore") -> None:
         super().__init__(name)
 
-    def compute(self, *args: Any) -> Any:
-        if len(args) < 3 or len(args) % 3 != 0:
+    def _validate_count(self, count: int) -> None:
+        if count < 3 or count % 3 != 0:
             raise UdfArgumentError(
                 f"UDF {self.name!r} expects (x1..xd, mu1..mud, l1j..ldj) — "
-                f"a multiple of 3 arguments, got {len(args)}"
+                f"a multiple of 3 arguments, got {count}"
             )
+
+    def compute(self, *args: Any) -> Any:
+        self._validate_count(len(args))
         values = _floats(args, self.name)
         if values is None:
             return None
@@ -91,6 +123,14 @@ class FaScoreUdf(ScalarUdf):
         component = values[2 * d :]
         return sum((xa - ma) * la for xa, ma, la in zip(x, mu, component))
 
+    def compute_batch(self, args: np.ndarray) -> np.ndarray:
+        self._validate_count(args.shape[1])
+        d = args.shape[1] // 3
+        acc = np.zeros(args.shape[0])
+        for a in range(d):
+            acc += (args[:, a] - args[:, d + a]) * args[:, 2 * d + a]
+        return acc
+
     def cost_per_row(self, arg_count: int) -> RowCost:
         d = arg_count // 3
         return RowCost(list_params=arg_count, arith_ops=2 * d)
@@ -99,15 +139,20 @@ class FaScoreUdf(ScalarUdf):
 class KMeansDistanceUdf(ScalarUdf):
     """Squared Euclidean distance (x − Cⱼ)ᵀ(x − Cⱼ) from 2d params."""
 
+    supports_batch = True
+
     def __init__(self, name: str = "kmeansdistance") -> None:
         super().__init__(name)
 
-    def compute(self, *args: Any) -> Any:
-        if len(args) < 2 or len(args) % 2 != 0:
+    def _validate_count(self, count: int) -> None:
+        if count < 2 or count % 2 != 0:
             raise UdfArgumentError(
                 f"UDF {self.name!r} expects (x1..xd, c1j..cdj) — an even "
-                f"count of arguments, got {len(args)}"
+                f"count of arguments, got {count}"
             )
+
+    def compute(self, *args: Any) -> Any:
+        self._validate_count(len(args))
         values = _floats(args, self.name)
         if values is None:
             return None
@@ -116,6 +161,17 @@ class KMeansDistanceUdf(ScalarUdf):
             (xa - ca) ** 2 for xa, ca in zip(values[:d], values[d:])
         )
 
+    def compute_batch(self, args: np.ndarray) -> np.ndarray:
+        self._validate_count(args.shape[1])
+        d = args.shape[1] // 2
+        acc = np.zeros(args.shape[0])
+        for a in range(d):
+            diff = args[:, a] - args[:, d + a]
+            # diff * diff, not diff ** 2: a correctly rounded pow(x, 2)
+            # equals x * x, matching the row path's ``(xa - ca) ** 2``.
+            acc += diff * diff
+        return acc
+
     def cost_per_row(self, arg_count: int) -> RowCost:
         d = arg_count // 2
         return RowCost(list_params=arg_count, arith_ops=2 * d)
@@ -123,6 +179,9 @@ class KMeansDistanceUdf(ScalarUdf):
 
 class ClusterScoreUdf(ScalarUdf):
     """J such that d_J ≤ d_j for all j — the nearest-centroid subscript."""
+
+    supports_batch = True
+    batch_integer_result = True
 
     def __init__(self, name: str = "clusterscore") -> None:
         super().__init__(name)
@@ -142,6 +201,20 @@ class ClusterScoreUdf(ScalarUdf):
                 best, best_j = distance, j
         return best_j
 
+    def compute_batch(self, args: np.ndarray) -> np.ndarray:
+        # In a block, NaN can only mean NULL (numeric_matrix maps None
+        # to NaN), so NULL rows come out NaN rather than raising the row
+        # path's literal-NaN error.
+        if args.shape[1] < 1:
+            raise UdfArgumentError(f"UDF {self.name!r} needs at least one distance")
+        null_rows = np.isnan(args).any(axis=1)
+        # +inf padding keeps argmin's first-minimum tie-break identical
+        # to the row path's strict ``<``.
+        safe = np.where(np.isnan(args), np.inf, args)
+        result = (np.argmin(safe, axis=1) + 1).astype(float)
+        result[null_rows] = np.nan
+        return result
+
     def cost_per_row(self, arg_count: int) -> RowCost:
         return RowCost(list_params=arg_count, arith_ops=arg_count)
 
@@ -153,6 +226,9 @@ class ClassifyScoreUdf(ScalarUdf):
     distances): Naive Bayes and LDA both score a point per class and
     pick the largest discriminant.
     """
+
+    supports_batch = True
+    batch_integer_result = True
 
     def __init__(self, name: str = "classifyscore") -> None:
         super().__init__(name)
@@ -172,6 +248,17 @@ class ClassifyScoreUdf(ScalarUdf):
                 best, best_j = score, j
         return best_j
 
+    def compute_batch(self, args: np.ndarray) -> np.ndarray:
+        if args.shape[1] < 1:
+            raise UdfArgumentError(f"UDF {self.name!r} needs at least one score")
+        null_rows = np.isnan(args).any(axis=1)
+        # −inf padding: argmax keeps the first maximum, the row path's
+        # strict ``>`` tie-break.
+        safe = np.where(np.isnan(args), -np.inf, args)
+        result = (np.argmax(safe, axis=1) + 1).astype(float)
+        result[null_rows] = np.nan
+        return result
+
     def cost_per_row(self, arg_count: int) -> RowCost:
         return RowCost(list_params=arg_count, arith_ops=arg_count)
 
@@ -187,15 +274,20 @@ class NaiveBayesScoreUdf(ScalarUdf):
     same SELECT, exactly like ``fascore`` is called once per component.
     """
 
+    supports_batch = True
+
     def __init__(self, name: str = "nbscore") -> None:
         super().__init__(name)
 
-    def compute(self, *args: Any) -> Any:
-        if len(args) < 4 or (len(args) - 1) % 3 != 0:
+    def _validate_count(self, count: int) -> None:
+        if count < 4 or (count - 1) % 3 != 0:
             raise UdfArgumentError(
                 f"UDF {self.name!r} expects (x1..xd, mu1..mud, iv1..ivd, "
-                f"bias) — 3d + 1 arguments, got {len(args)}"
+                f"bias) — 3d + 1 arguments, got {count}"
             )
+
+    def compute(self, *args: Any) -> Any:
+        self._validate_count(len(args))
         values = _floats(args, self.name)
         if values is None:
             return None
@@ -209,6 +301,15 @@ class NaiveBayesScoreUdf(ScalarUdf):
             for xa, ma, iv in zip(x, mu, inverse_variance)
         )
         return bias - 0.5 * quadratic
+
+    def compute_batch(self, args: np.ndarray) -> np.ndarray:
+        self._validate_count(args.shape[1])
+        d = (args.shape[1] - 1) // 3
+        acc = np.zeros(args.shape[0])
+        for a in range(d):
+            diff = args[:, a] - args[:, d + a]
+            acc += (diff * diff) * args[:, 2 * d + a]
+        return args[:, -1] - 0.5 * acc
 
     def cost_per_row(self, arg_count: int) -> RowCost:
         d = (arg_count - 1) // 3

@@ -94,10 +94,20 @@ class Database:
         Charging constants; defaults are calibrated to the paper.
     executor_workers:
         Real OS threads the execution engine uses to run per-partition
-        aggregation concurrently.  The default of 1 executes serially
-        and bit-identically to the seed engine; any value produces the
-        same query results (partials always merge in partition order) —
-        only the wall clock changes.
+        aggregation and block-wise projection concurrently.  The default
+        of 1 executes serially and bit-identically to the seed engine;
+        any value produces the same query results (partials always merge
+        in partition order) — only the wall clock changes.
+    vectorized_select:
+        Whether eligible single-table SELECTs run block-wise (see
+        :mod:`repro.dbms.sql.vectorized`); True by default.  Turning it
+        off forces the reference row path — parity tests and the
+        row-vs-vector benchmark flip this toggle.
+
+    A database holding a parallel engine owns a persistent thread pool;
+    :meth:`close` releases it (the database stays usable — the pool is
+    lazily re-created).  ``Database`` is also a context manager that
+    closes on exit.
     """
 
     def __init__(
@@ -105,6 +115,7 @@ class Database:
         amps: int = 20,
         cost_parameters: CostParameters | None = None,
         executor_workers: int = 1,
+        vectorized_select: bool = True,
     ) -> None:
         params = cost_parameters or CostParameters()
         params.amps = amps
@@ -113,6 +124,7 @@ class Database:
         self._executor = Executor(
             self.catalog, self.cost, engine=PartitionEngine(executor_workers)
         )
+        self._executor.vectorized_select = vectorized_select
 
     @property
     def executor_workers(self) -> int:
@@ -121,7 +133,28 @@ class Database:
 
     @executor_workers.setter
     def executor_workers(self, workers: int) -> None:
+        old = self._executor.engine
         self._executor.engine = PartitionEngine(workers)
+        old.close()
+
+    @property
+    def vectorized_select(self) -> bool:
+        """Whether eligible SELECTs run block-wise (row path when False)."""
+        return self._executor.vectorized_select
+
+    @vectorized_select.setter
+    def vectorized_select(self, enabled: bool) -> None:
+        self._executor.vectorized_select = enabled
+
+    def close(self) -> None:
+        """Shut down the engine's persistent thread pool (idempotent)."""
+        self._executor.engine.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------- SQL
     def execute(self, sql: str) -> QueryResult:

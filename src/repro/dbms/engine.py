@@ -28,6 +28,13 @@ Two invariants the executor relies on:
 ``workers=1`` (the default everywhere) bypasses the pool entirely and
 runs tasks inline, preserving the seed engine's bit-identical behaviour
 and zero thread overhead.
+
+The thread pool is **persistent**: it is created lazily on the first
+parallel ``map`` call and reused by every subsequent one, so iterative
+workloads (K-means/EM issue one scan per iteration) stop paying pool
+construction and teardown per query.  :meth:`PartitionEngine.close`
+shuts the pool down; ``Database.close()`` (and its context manager)
+call it.  A closed engine simply re-creates the pool on next use.
 """
 
 from __future__ import annotations
@@ -49,6 +56,11 @@ class PartitionEngine:
         if workers < 1:
             raise ValueError(f"worker count must be >= 1, got {workers}")
         self._workers = workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        #: pools created over this engine's lifetime (regression tests
+        #: assert repeated queries reuse one pool instead of churning)
+        self.pools_created = 0
 
     @property
     def workers(self) -> int:
@@ -57,6 +69,32 @@ class PartitionEngine:
     @property
     def parallel(self) -> bool:
         return self._workers > 1
+
+    def _acquire_pool(self) -> ThreadPoolExecutor:
+        """The persistent pool, created lazily on first parallel use."""
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    pool = ThreadPoolExecutor(
+                        max_workers=self._workers,
+                        thread_name_prefix="repro-amp",
+                    )
+                    self._pool = pool
+                    self.pools_created += 1
+        return pool
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent).
+
+        The engine stays usable: the next parallel ``map`` lazily
+        creates a fresh pool.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def map(
         self,
@@ -109,14 +147,11 @@ class PartitionEngine:
         if self._workers == 1 or len(run_tasks) <= 1:
             results = [task() for task in run_tasks]
         else:
-            pool_size = min(self._workers, len(run_tasks))
-            with ThreadPoolExecutor(
-                max_workers=pool_size, thread_name_prefix="repro-amp"
-            ) as pool:
-                futures = [pool.submit(task) for task in run_tasks]
-                # result() re-raises the task's exception; iterating in
-                # submission order keeps error attribution deterministic.
-                results = [future.result() for future in futures]
+            pool = self._acquire_pool()
+            futures = [pool.submit(task) for task in run_tasks]
+            # result() re-raises the task's exception; iterating in
+            # submission order keeps error attribution deterministic.
+            results = [future.result() for future in futures]
         if spans is not None:
             spans.extend(span for span in task_spans if span is not None)
         return results

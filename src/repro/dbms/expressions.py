@@ -8,9 +8,20 @@ closures — evaluated once per row with no per-row dispatch on node types.
 :func:`compile_vector_expression` additionally compiles *numeric*
 expressions (literals, column refs, arithmetic, a few math functions)
 into numpy-array functions.  The executor uses it as a fast path for
-aggregate arguments over full scans; any expression it cannot handle
-falls back to the row path, so semantics never change — NULLs are
-carried as NaN and restored afterwards.
+aggregate arguments over full scans and for block-wise SELECT
+evaluation (see :mod:`repro.dbms.sql.vectorized`); any expression it
+cannot handle falls back to the row path, so semantics never change —
+NULLs are carried as NaN and restored afterwards.  An optional
+*call_compiler* hook lets the caller vectorize function calls the
+generic compiler does not know (batched scalar UDFs).
+
+:func:`compile_vector_predicate` compiles WHERE predicates to
+three-valued truth *vectors*: 1.0 true, 0.0 false, 0.5 unknown.
+Kleene logic then becomes elementwise arithmetic — AND is ``minimum``,
+OR is ``maximum``, NOT is ``1 − x`` — which reproduces the row path's
+NULL semantics exactly (NOT NULL stays unknown, FALSE AND NULL is
+false, ...).  The executor keeps the rows whose truth value is exactly
+1.0, matching the row path's ``predicate(row) is True``.
 
 SQL three-valued logic: NULL propagates through arithmetic and
 comparisons; AND/OR follow Kleene logic; WHERE treats unknown as false
@@ -253,13 +264,35 @@ def _kleene_or(a: Any, b: Any) -> Any:
 
 # --------------------------------------------------------------- vector path
 VectorFunction = Callable[[np.ndarray], np.ndarray]
+CallCompiler = Callable[[ast.FuncCall], "VectorFunction | None"]
+
+
+def _vector_sqrt(values: np.ndarray) -> np.ndarray:
+    # The row path raises for negative inputs (NULLs propagate as NaN,
+    # and NaN < 0 is False, so they never trip the check).
+    bad = values < 0
+    if bad.any():
+        raise ExecutionError(
+            f"sqrt of negative value {float(values[bad][0])}"
+        )
+    return np.sqrt(values)
+
+
+def _vector_ln(values: np.ndarray) -> np.ndarray:
+    bad = values <= 0
+    if bad.any():
+        raise ExecutionError(
+            f"ln of non-positive value {float(values[bad][0])}"
+        )
+    return np.log(values)
+
 
 _VECTOR_MATH: dict[str, Callable[..., np.ndarray]] = {
     "abs": np.abs,
-    "sqrt": np.sqrt,
+    "sqrt": _vector_sqrt,
     "exp": np.exp,
-    "ln": np.log,
-    "log": np.log,
+    "ln": _vector_ln,
+    "log": _vector_ln,
     "power": np.power,
 }
 
@@ -277,9 +310,25 @@ def referenced_columns(expression: ast.Expression) -> list[ast.ColumnRef]:
     return refs
 
 
+def referenced_columns_of_all(
+    expressions: Sequence[ast.Expression],
+) -> list[ast.ColumnRef]:
+    """Distinct column references across *expressions*, in order."""
+    refs: list[ast.ColumnRef] = []
+    seen: set[tuple[str | None, str]] = set()
+    for expression in expressions:
+        for ref in referenced_columns(expression):
+            key = (ref.table, ref.name.lower())
+            if key not in seen:
+                seen.add(key)
+                refs.append(ref)
+    return refs
+
+
 def compile_vector_expression(
     expression: ast.Expression,
     resolver: ColumnResolver,
+    call_compiler: CallCompiler | None = None,
 ) -> VectorFunction | None:
     """Compile a numeric expression over a column-block matrix.
 
@@ -288,6 +337,11 @@ def compile_vector_expression(
     Returns ``None`` when the expression uses features the vector path
     does not support (CASE, UDFs, strings, NULL-sensitive logic) — the
     caller must then use the row path.
+
+    *call_compiler*, when given, is consulted first for every
+    :class:`~repro.dbms.sql.ast.FuncCall`: it may return a block
+    function for calls the generic compiler cannot handle (batched
+    scalar UDFs) or ``None`` to fall through to the builtin math table.
     """
     if isinstance(expression, ast.Literal):
         if expression.value is None:
@@ -307,14 +361,16 @@ def compile_vector_expression(
         return lambda block: block[:, position]
 
     if isinstance(expression, ast.Unary) and expression.op == "-":
-        operand = compile_vector_expression(expression.operand, resolver)
+        operand = compile_vector_expression(
+            expression.operand, resolver, call_compiler
+        )
         if operand is None:
             return None
         return lambda block: -operand(block)
 
     if isinstance(expression, ast.Binary) and expression.op in ("+", "-", "*", "/", "MOD"):
-        left = compile_vector_expression(expression.left, resolver)
-        right = compile_vector_expression(expression.right, resolver)
+        left = compile_vector_expression(expression.left, resolver, call_compiler)
+        right = compile_vector_expression(expression.right, resolver, call_compiler)
         if left is None or right is None:
             return None
         op = expression.op
@@ -342,14 +398,104 @@ def compile_vector_expression(
 
         return divide
 
-    if isinstance(expression, ast.FuncCall) and expression.name in VECTORIZABLE_SCALARS:
+    if isinstance(expression, ast.FuncCall):
+        if call_compiler is not None:
+            compiled_call = call_compiler(expression)
+            if compiled_call is not None:
+                return compiled_call
+        if expression.name not in VECTORIZABLE_SCALARS:
+            return None
         compiled = [
-            compile_vector_expression(arg, resolver) for arg in expression.args
+            compile_vector_expression(arg, resolver, call_compiler)
+            for arg in expression.args
         ]
         if any(arg is None for arg in compiled):
             return None
         math_fn = _VECTOR_MATH[expression.name]
         args: Sequence[VectorFunction] = compiled  # type: ignore[assignment]
         return lambda block: math_fn(*(arg(block) for arg in args))
+
+    return None
+
+
+# ---------------------------------------------------- vector predicates (3VL)
+_VECTOR_COMPARISONS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "=": np.equal,
+    "<>": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+def compile_vector_predicate(
+    expression: ast.Expression,
+    resolver: ColumnResolver,
+    call_compiler: CallCompiler | None = None,
+) -> VectorFunction | None:
+    """Compile a WHERE predicate to a three-valued truth vector.
+
+    Truth values are encoded as floats — 0.0 false, 0.5 unknown (NULL),
+    1.0 true — so Kleene connectives are elementwise ``minimum`` /
+    ``maximum`` / ``1 − x``: exactly min/max/negation over the ordering
+    F < U < T, the standard arithmetization of three-valued logic.
+    Comparisons with a NaN (NULL) operand yield 0.5.  Returns ``None``
+    for anything outside {comparisons, AND, OR, NOT, IS [NOT] NULL over
+    numeric vector expressions}; the caller then uses the row path.
+    """
+    if isinstance(expression, ast.Binary):
+        op = expression.op
+        compare = _VECTOR_COMPARISONS.get(op)
+        if compare is not None:
+            left = compile_vector_expression(
+                expression.left, resolver, call_compiler
+            )
+            right = compile_vector_expression(
+                expression.right, resolver, call_compiler
+            )
+            if left is None or right is None:
+                return None
+
+            def comparison(block: np.ndarray) -> np.ndarray:
+                a = left(block)
+                b = right(block)
+                truth = compare(a, b).astype(float)
+                unknown = np.isnan(a) | np.isnan(b)
+                if unknown.any():
+                    truth[unknown] = 0.5
+                return truth
+
+            return comparison
+        if op in ("AND", "OR"):
+            left_tv = compile_vector_predicate(
+                expression.left, resolver, call_compiler
+            )
+            right_tv = compile_vector_predicate(
+                expression.right, resolver, call_compiler
+            )
+            if left_tv is None or right_tv is None:
+                return None
+            combine = np.minimum if op == "AND" else np.maximum
+            return lambda block: combine(left_tv(block), right_tv(block))
+        return None
+
+    if isinstance(expression, ast.Unary) and expression.op == "NOT":
+        operand_tv = compile_vector_predicate(
+            expression.operand, resolver, call_compiler
+        )
+        if operand_tv is None:
+            return None
+        return lambda block: 1.0 - operand_tv(block)
+
+    if isinstance(expression, ast.IsNull):
+        operand = compile_vector_expression(
+            expression.operand, resolver, call_compiler
+        )
+        if operand is None:
+            return None
+        if expression.negated:
+            return lambda block: (~np.isnan(operand(block))).astype(float)
+        return lambda block: np.isnan(operand(block)).astype(float)
 
     return None

@@ -54,10 +54,17 @@ class QueryMetrics:
     rows_processed: int = 0
     #: non-empty partitions that contributed a partial state
     partitions_processed: int = 0
-    #: per-partition tasks handed to the engine (0 = no aggregate stage)
+    #: per-partition tasks handed to the engine (aggregate fan-out or
+    #: block-wise projection; 0 = neither ran)
     parallel_tasks: int = 0
     #: number of groups produced by aggregation (1 for a grand aggregate)
     groups: int = 0
+    #: summed per-task time spent in block-wise WHERE + projection
+    #: (vectorized SELECT path only; not one of the four paper stages)
+    project_seconds: float = 0.0
+    #: partition block-cache hits/misses this statement incurred
+    block_cache_hits: int = 0
+    block_cache_misses: int = 0
 
     def to_dict(self) -> dict[str, float | int]:
         """A plain-dict snapshot; inverse of :meth:`from_dict`.

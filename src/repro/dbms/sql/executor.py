@@ -46,11 +46,18 @@ from repro.dbms.expressions import (
     compile_row_expression,
     compile_vector_expression,
     referenced_columns,
+    referenced_columns_of_all,
 )
 from repro.dbms.functions import AGGREGATE_BUILTINS, SCALAR_BUILTINS, AggregateFunction
 from repro.dbms.schema import Column, TableSchema
 from repro.dbms.sql import ast
 from repro.dbms.sql.plan import Plan, build_plan
+from repro.dbms.sql.vectorized import (
+    BlockItem,
+    RawColumnItem,
+    VectorizedSelectPlan,
+    plan_vectorized_select,
+)
 from repro.dbms.sql.planner import (
     AggregateCall,
     Binder,
@@ -143,6 +150,10 @@ class Executor:
         self.tracer = NULL_TRACER
         #: plan of the most recent EXPLAIN [ANALYZE] statement, else None
         self.last_plan: Plan | None = None
+        #: whether eligible projections run block-wise (see
+        #: :mod:`repro.dbms.sql.vectorized`); toggled via
+        #: ``Database.vectorized_select`` — row path when False
+        self.vectorized_select = True
 
     # --------------------------------------------------------------- dispatch
     def execute(self, statement: ast.Statement) -> Relation:
@@ -196,7 +207,11 @@ class Executor:
                 f"{type(inner).__name__}"
             )
         plan = build_plan(
-            self._catalog, inner, self._cost.params, analyze=statement.analyze
+            self._catalog,
+            inner,
+            self._cost.params,
+            analyze=statement.analyze,
+            vectorized_select=self.vectorized_select,
         )
         if statement.analyze:
             tracer = Tracer()
@@ -445,6 +460,20 @@ class Executor:
         )
         self._charge_scalar_udf_calls(charged_expressions, env.nominal_rows)
 
+        # All analytical charges above are identical for both paths —
+        # the block path is a pure wall-clock optimization, invisible to
+        # the simulated-seconds benchmarks.
+        if (
+            self.vectorized_select
+            and env.base_table is not None
+            and not env._materialized
+        ):
+            decision = plan_vectorized_select(self._catalog, select)
+            if decision.plan is not None:
+                return self._execute_projection_vectorized(
+                    env, binder, items, decision.plan
+                )
+
         with self.tracer.span("scan") as scan_span, StageTimer(
             self.last_metrics, "scan", scan_span
         ):
@@ -466,6 +495,7 @@ class Executor:
             ]
             out_rows = [tuple(fn(row) for fn in compiled) for row in rows]
             if project_span is not None:
+                project_span.attributes["strategy"] = "row"
                 project_span.attributes["rows"] = len(out_rows)
         out_columns = [
             BoundColumn(None, output_name(item, position))
@@ -478,6 +508,148 @@ class Executor:
         # ORDER BY may reference source columns not in the select list.
         order_context = _OrderContext(rows, binder, None)
         return result, order_context
+
+    def _execute_projection_vectorized(
+        self,
+        env: Relation,
+        binder: Binder,
+        items: Sequence[ast.SelectItem],
+        plan: VectorizedSelectPlan,
+    ) -> "tuple[Relation, _OrderContext]":
+        """Run one block-wise projection: one engine task per non-empty
+        partition, each materializing its column block, applying the
+        WHERE truth vector, and evaluating the select items as numpy
+        functions (filter first, then project — so, like the row path,
+        item expressions never see filtered-out rows).
+
+        Results concatenate in partition order, so the output row order
+        equals the row path's scan order exactly.  Raw column items are
+        served from the partition's Python value lists; block items
+        restore NaN to None (and 1-based subscripts to int) per row.
+        """
+        table = plan.table
+        positions = plan.positions
+        where_fn = plan.where_fn
+        plan_items = plan.items
+
+        numbered = [
+            (index, partition)
+            for index, partition in enumerate(table.partitions)
+            if partition.row_count
+        ]
+        partitions = [partition for _, partition in numbered]
+
+        def make_task(partition):
+            def task() -> tuple[list[tuple], int, float, float]:
+                scan_start = time.perf_counter()
+                block = partition.numeric_matrix(positions)
+                project_start = time.perf_counter()
+                keep_list: list[int] | None = None
+                if where_fn is None:
+                    sub = block
+                else:
+                    keep = np.flatnonzero(where_fn(block) == 1.0)
+                    sub = block[keep]
+                    keep_list = keep.tolist()
+                columns: list[list[Any]] = []
+                for item in plan_items:
+                    if isinstance(item, RawColumnItem):
+                        source = partition.column(item.position)
+                        if keep_list is None:
+                            columns.append(list(source))
+                        else:
+                            columns.append([source[i] for i in keep_list])
+                    else:
+                        values = item.fn(sub)
+                        if item.integer_result:
+                            columns.append(
+                                [
+                                    None if v != v else int(v)
+                                    for v in values.tolist()
+                                ]
+                            )
+                        else:
+                            # v != v is the NaN test; NaN carried NULL.
+                            columns.append(
+                                [
+                                    None if v != v else v
+                                    for v in values.tolist()
+                                ]
+                            )
+                out = list(zip(*columns)) if columns else []
+                done = time.perf_counter()
+                return (
+                    out,
+                    block.shape[0],
+                    project_start - scan_start,
+                    done - project_start,
+                )
+
+            return task
+
+        tasks = [make_task(p) for p in partitions]
+        metrics = self.last_metrics
+        hits_before = sum(p.cache_hits for p in partitions)
+        misses_before = sum(p.cache_misses for p in partitions)
+        out_rows: list[tuple] = []
+        with self.tracer.span("project") as project_span:
+            task_spans: list[Span] | None = None
+            cached_blocks: list[bool] | None = None
+            if self.tracer.enabled:
+                # Checked before the tasks run (they populate the
+                # cache), so ANALYZE shows pre-built blocks.
+                cached_blocks = [
+                    partition.has_cached_block(positions)
+                    for partition in partitions
+                ]
+                task_spans = []
+                results = self.engine.map(tasks, task_spans)
+                self.tracer.attach(task_spans)
+            else:
+                results = self.engine.map(tasks)
+            metrics.parallel_tasks += len(partitions)
+            for index, result in enumerate(results):
+                rows, scanned, scan_seconds, project_seconds = result
+                metrics.scan_seconds += scan_seconds
+                metrics.project_seconds += project_seconds
+                metrics.rows_processed += scanned
+                metrics.partitions_processed += 1
+                if task_spans is not None:
+                    span = task_spans[index]
+                    span.attributes["partition"] = numbered[index][0]
+                    span.attributes["rows"] = len(rows)
+                    span.attributes["strategy"] = "vectorized-scan"
+                    if cached_blocks is not None:
+                        span.attributes["cached_block"] = cached_blocks[index]
+                    span.children.append(Span("scan", seconds=scan_seconds))
+                    span.children.append(
+                        Span("project", seconds=project_seconds)
+                    )
+                out_rows.extend(rows)
+            if project_span is not None:
+                project_span.attributes["strategy"] = "vectorized-scan"
+                project_span.attributes["rows"] = len(out_rows)
+        # Counters are written only by each partition's own task and
+        # read after result() — a happens-before edge, no lock needed.
+        metrics.block_cache_hits += (
+            sum(p.cache_hits for p in partitions) - hits_before
+        )
+        metrics.block_cache_misses += (
+            sum(p.cache_misses for p in partitions) - misses_before
+        )
+        out_columns = [
+            BoundColumn(None, output_name(item, position))
+            for position, item in enumerate(items)
+        ]
+        self._cost.charge_spool_rows(
+            len(out_rows) * env.row_scale, len(out_columns)
+        )
+        result = Relation(
+            columns=out_columns, rows=out_rows, row_scale=env.row_scale
+        )
+        # The planner guaranteed ORDER BY resolves against the output
+        # columns, so no pre-projection rows are ever needed.
+        return result, _OrderContext([], binder, None)
 
     def _expand_stars(
         self, items: Sequence[ast.SelectItem], binder: Binder
@@ -924,6 +1096,8 @@ class Executor:
             return task
 
         tasks = [make_task(p) for p in partitions]
+        hits_before = sum(p.cache_hits for p in partitions)
+        misses_before = sum(p.cache_misses for p in partitions)
         task_spans: list[Span] | None = None
         cached_blocks: list[bool] | None = None
         if self.tracer.enabled:
@@ -939,6 +1113,12 @@ class Executor:
         else:
             results = self.engine.map(tasks)
         self.last_metrics.parallel_tasks += len(partitions)
+        self.last_metrics.block_cache_hits += (
+            sum(p.cache_hits for p in partitions) - hits_before
+        )
+        self.last_metrics.block_cache_misses += (
+            sum(p.cache_misses for p in partitions) - misses_before
+        )
         self._merge_partition_partials(
             results,
             aggregates,
@@ -1159,20 +1339,6 @@ def _sort_key(value: Any) -> tuple:
 
 def _empty_result() -> Relation:
     return Relation(columns=[], rows=[])
-
-
-def referenced_columns_of_all(
-    expressions: Sequence[ast.Expression],
-) -> list[ast.ColumnRef]:
-    refs: list[ast.ColumnRef] = []
-    seen: set[tuple[str | None, str]] = set()
-    for expression in expressions:
-        for ref in referenced_columns(expression):
-            key = (ref.table, ref.name.lower())
-            if key not in seen:
-                seen.add(key)
-                refs.append(ref)
-    return refs
 
 
 def _matrix_resolver(

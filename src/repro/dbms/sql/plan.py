@@ -37,6 +37,7 @@ from repro.dbms.metrics import QueryMetrics
 from repro.dbms.sql import ast
 from repro.dbms.sql.optimizer import OptimizationReport, QueryOptimizer
 from repro.dbms.sql.planner import find_aggregates
+from repro.dbms.sql.vectorized import plan_vectorized_select
 from repro.dbms.trace import Span
 
 
@@ -207,18 +208,30 @@ def build_plan(
     select: ast.Select,
     params: CostParameters,
     analyze: bool = False,
+    vectorized_select: bool = True,
 ) -> Plan:
-    """Build the plan tree EXPLAIN renders (and ANALYZE executes)."""
+    """Build the plan tree EXPLAIN renders (and ANALYZE executes).
+
+    *vectorized_select* mirrors the executor's toggle so the project
+    operator's ``strategy:`` note reports what execution would really
+    do.
+    """
     report = QueryOptimizer(catalog).optimize(select)
-    builder = _PlanBuilder(catalog, params)
+    builder = _PlanBuilder(catalog, params, vectorized_select)
     root = builder.select_node(report.optimized, report)
     return Plan(statement=select, root=root, report=report, analyze=analyze)
 
 
 class _PlanBuilder:
-    def __init__(self, catalog: Catalog, params: CostParameters) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        params: CostParameters,
+        vectorized_select: bool = True,
+    ) -> None:
         self._catalog = catalog
         self._params = params
+        self._vectorized_select = vectorized_select
 
     # ------------------------------------------------------------- operators
     def select_node(
@@ -242,11 +255,14 @@ class _PlanBuilder:
 
         aggregates = self._aggregates(select)
         group_count = 1
-        if aggregates or select.group_by:
+        aggregated = bool(aggregates or select.group_by)
+        if aggregated:
             current = self._aggregate_node(select, aggregates, rows, current)
             rows = float(group_count)
 
         current = self._project_node(select, rows, current)
+        if not aggregated:
+            self._annotate_projection_strategy(select, current)
 
         if select.order_by:
             keys = ", ".join(
@@ -449,6 +465,40 @@ class _PlanBuilder:
             estimated_rows=rows,
             children=[child],
         )
+
+    def _annotate_projection_strategy(
+        self, select: ast.Select, project_node: PlanNode
+    ) -> None:
+        """Note whether the projection runs block-wise or row-wise.
+
+        Runs the same :func:`plan_vectorized_select` analysis the
+        executor runs, so the EXPLAIN note and actual execution can
+        never disagree.  Only single-base-table shapes get a note at
+        all — joins and derived tables are self-evidently row-wise.
+        """
+        if self._single_base_table(select) is None:
+            return
+        if not self._vectorized_select:
+            project_node.notes.append(
+                "strategy: row-scan (vectorized SELECT disabled)"
+            )
+            return
+        decision = plan_vectorized_select(self._catalog, select)
+        if decision.plan is not None:
+            table = decision.plan.table
+            detail = (
+                f"{table.non_empty_partition_count} partition tasks over "
+                f"{table.partition_count} partitions of {table.name}"
+            )
+            if decision.plan.batch_udf_names:
+                detail += "; batched UDFs: " + ", ".join(
+                    decision.plan.batch_udf_names
+                )
+            project_node.notes.append(f"strategy: vectorized-scan ({detail})")
+        else:
+            project_node.notes.append(
+                f"strategy: row-scan ({decision.reason})"
+            )
 
     def _single_base_table(self, select: ast.Select):
         """The single stored table a one-source, no-join SELECT scans —

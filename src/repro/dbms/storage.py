@@ -12,13 +12,18 @@ Python's builtin ``hash``, which is randomized per process for strings),
 so a table loads into the same layout under any ``PYTHONHASHSEED`` and
 after a persistence round-trip.
 
-Data is stored column-wise inside each partition so the aggregate-UDF
-fast path can hand numpy blocks to vectorized accumulators without
-changing the per-row semantics.  Each partition caches the float block
-for a given column selection until the partition is mutated: repeated
-aggregate scans (iterative algorithms, benchmark sweeps) then skip the
-Python-level list→array conversion, leaving pure GIL-releasing numpy
-work for the parallel engine's threads.
+Data is stored column-wise inside each partition so the vectorized
+execution paths (aggregate accumulation and block-wise SELECT) can hand
+numpy blocks to dense kernels without changing the per-row semantics.
+Each partition caches the float block for a given column selection
+until the partition is mutated: repeated scans (iterative algorithms,
+scoring sweeps) then skip the Python-level list→array conversion,
+leaving pure GIL-releasing numpy work for the parallel engine's
+threads.  The cache is a small LRU (:data:`BLOCK_CACHE_CAPACITY`
+distinct column selections per partition) so mixed workloads cannot
+grow it without bound, and each partition counts its lifetime cache
+hits and misses — the executor surfaces the per-statement delta in
+:class:`~repro.dbms.metrics.QueryMetrics`.
 
 A table may carry a *row scale*: benchmarks store ``n / scale`` physical
 rows but the cost model charges for ``n`` (every per-row charge is
@@ -29,6 +34,7 @@ physical rows.
 from __future__ import annotations
 
 import zlib
+from collections import OrderedDict
 from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
@@ -36,6 +42,10 @@ import numpy as np
 from repro.dbms.schema import TableSchema
 from repro.dbms.types import coerce_value
 from repro.errors import ConstraintViolation, SchemaError
+
+#: distinct column selections each partition keeps cached as float
+#: blocks; the least recently used entry is evicted beyond this
+BLOCK_CACHE_CAPACITY = 8
 
 
 def stable_key_hash(key: Any) -> int:
@@ -71,7 +81,15 @@ class Partition:
     def __init__(self, width: int) -> None:
         self._columns: list[list[Any]] = [[] for _ in range(width)]
         self._rows = 0
-        self._block_cache: dict[tuple[int, ...], np.ndarray] = {}
+        self._block_cache: "OrderedDict[tuple[int, ...], np.ndarray]" = (
+            OrderedDict()
+        )
+        #: lifetime block-cache counters; only this partition's engine
+        #: task touches them during a scan, and the coordinator reads
+        #: them after the task completes (the future's result is the
+        #: happens-before edge), so no locking is needed
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def row_count(self) -> int:
@@ -132,10 +150,11 @@ class Partition:
         """The selected columns as a float matrix (NULL becomes NaN).
 
         Shape is ``(rows, len(positions))``; used by the vectorized
-        aggregate-UDF path, which must produce bit-identical state to
-        the per-row reference path.  The block is cached per column
-        selection until the partition is mutated; callers must treat it
-        as read-only.
+        execution paths, which must produce bit-identical results to
+        the per-row reference path.  Blocks are cached per column
+        selection in a small LRU (:data:`BLOCK_CACHE_CAPACITY` entries,
+        cleared when the partition is mutated); callers must treat a
+        returned block as read-only.
         """
         key = tuple(positions)
         if self._rows == 0 or not key:
@@ -143,11 +162,16 @@ class Partition:
             return np.empty((self._rows, len(key)))
         cached = self._block_cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
+            self._block_cache.move_to_end(key)
             return cached
+        self.cache_misses += 1
         stacked = np.empty((self._rows, len(key)))
         for out_index, position in enumerate(key):
             stacked[:, out_index] = self._column_as_floats(position)
         self._block_cache[key] = stacked
+        while len(self._block_cache) > BLOCK_CACHE_CAPACITY:
+            self._block_cache.popitem(last=False)
         return stacked
 
     def _column_as_floats(self, position: int) -> np.ndarray:
@@ -217,18 +241,20 @@ class Table:
         return len(self.schema)
 
     # ---------------------------------------------------------------- inserts
-    def _partition_for(self, row: Sequence[Any]) -> Partition:
+    def _partition_index_for(self, row: Sequence[Any]) -> int:
         """Pick the owning partition: stable-hash the primary key when
         there is one (Teradata's hash distribution), round-robin
         otherwise.  The hash is ``PYTHONHASHSEED``-independent, so the
         layout is identical across processes and after reload."""
         if self._pk_position is not None:
             key = row[self._pk_position]
-            index = stable_key_hash(key) % len(self._partitions)
-        else:
-            index = self._next_partition
-            self._next_partition = (self._next_partition + 1) % len(self._partitions)
-        return self._partitions[index]
+            return stable_key_hash(key) % len(self._partitions)
+        index = self._next_partition
+        self._next_partition = (self._next_partition + 1) % len(self._partitions)
+        return index
+
+    def _partition_for(self, row: Sequence[Any]) -> Partition:
+        return self._partitions[self._partition_index_for(row)]
 
     def _check_row(self, row: Sequence[Any]) -> tuple[Any, ...]:
         if len(row) != len(self.schema):
@@ -259,11 +285,41 @@ class Table:
         self._partition_for(coerced).append(coerced)
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert rows, batching the per-partition appends.
+
+        Rows are validated and routed in input order (so round-robin
+        routing and PK bookkeeping match a loop of :meth:`insert`
+        exactly), staged per target partition, then flushed with one
+        :meth:`Partition.extend_columns` per partition — each partition's
+        block cache is cleared once per batch instead of once per row.
+        If a row fails validation, the validated prefix is still
+        inserted (matching the per-row loop's behaviour) and the error
+        propagates.
+        """
+        if len(self.schema) == 0:
+            # Zero-width partitions cannot be extended column-wise.
+            count = 0
+            for row in rows:
+                self.insert(row)
+                count += 1
+            return count
+        staged: list[list[tuple[Any, ...]]] = [[] for _ in self._partitions]
         count = 0
-        for row in rows:
-            self.insert(row)
-            count += 1
+        try:
+            for row in rows:
+                coerced = self._check_row(row)
+                staged[self._partition_index_for(coerced)].append(coerced)
+                count += 1
+        except Exception:
+            self._flush_staged(staged)
+            raise
+        self._flush_staged(staged)
         return count
+
+    def _flush_staged(self, staged: Sequence[Sequence[tuple[Any, ...]]]) -> None:
+        for partition, rows in zip(self._partitions, staged):
+            if rows:
+                partition.extend_columns(list(zip(*rows)))
 
     def bulk_load_arrays(self, columns: dict[str, np.ndarray | Sequence[Any]]) -> int:
         """Fast bulk load from column arrays (the workload-generator path).

@@ -109,7 +109,21 @@ class ScalarUdf:
 
     Subclass and override :meth:`compute`, or wrap a plain function with
     :func:`scalar_udf`.
+
+    A subclass may additionally implement :meth:`compute_batch` and set
+    ``supports_batch = True`` to let the block-wise SELECT path (see
+    :mod:`repro.dbms.sql.vectorized`) evaluate the UDF over whole
+    partition blocks at once — a pure execution fast path that must
+    return exactly the values :meth:`compute` would produce row by row
+    (parity tests enforce this, bit for bit).
     """
+
+    #: set true in subclasses that implement :meth:`compute_batch`
+    supports_batch = False
+    #: batch results are 1-based subscripts (argmin/argmax scores); the
+    #: executor restores them to Python ints per row, as the row path
+    #: returns them
+    batch_integer_result = False
 
     def __init__(self, name: str, arity: int | None = None) -> None:
         if not name:
@@ -118,6 +132,18 @@ class ScalarUdf:
         self.arity = arity
 
     def compute(self, *args: Any) -> Any:
+        raise NotImplementedError
+
+    def compute_batch(self, args: np.ndarray) -> np.ndarray:
+        """Optional vectorized :meth:`compute` over an argument block.
+
+        *args* is a ``(rows, arg_count)`` float matrix with NaN carrying
+        NULL; the result is one float per row, NaN where the row's
+        result is NULL.  NULL-in → NULL-out must hold per row (any NaN
+        argument makes that row's result NaN), and argument-count
+        validation must raise the same :class:`UdfArgumentError` the row
+        path raises — the executor relies on both paths failing alike.
+        """
         raise NotImplementedError
 
     def __call__(self, *args: Any) -> Any:
