@@ -1,0 +1,98 @@
+"""Supervision must be free when it is off.
+
+The fault-injection harness and the retry/timeout machinery ride the
+same partition task path every query takes.  Their contract is that the
+default configuration — :data:`~repro.dbms.faults.NULL_FAULTS`, zero
+retries, no timeout — costs one attribute check per task: identical
+results, zero new counters, and wall clock within noise of a build
+without supervision knobs (asserted here as a loose ratio between the
+default engine and a fully armed-but-never-tripping one).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.nlq_udf import register_nlq_udfs
+from repro.dbms.database import Database
+from repro.dbms.faults import NULL_FAULTS, FaultPlan, FaultSpec
+from repro.dbms.schema import dataset_schema, dimension_names
+
+
+def _build_db(n: int, d: int, **kwargs) -> Database:
+    db = Database(amps=16, executor_workers=4, **kwargs)
+    rng = np.random.default_rng(7)
+    db.create_table("x", dataset_schema(d))
+    columns: dict[str, np.ndarray] = {"i": np.arange(1, n + 1)}
+    for name in dimension_names(d):
+        columns[name] = rng.normal(25.0, 8.0, n)
+    db.load_columns("x", columns)
+    register_nlq_udfs(db, max_d=d)
+    return db
+
+
+def _best_of(repeats: int, run) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_null_faults_hot_path(benchmark):
+    """Default config: no supervision wrapper, no counters, same rows."""
+    db = _build_db(n=100_000, d=8)
+    sql = f"SELECT nlq_tri(8, {', '.join(dimension_names(8))}) FROM x"
+
+    assert db.faults is NULL_FAULTS
+    assert not db._executor.engine.supervised
+
+    result = benchmark(db.execute, sql)
+
+    metrics = result.metrics
+    assert metrics.task_retries == 0
+    assert metrics.task_timeouts == 0
+    assert metrics.fallbacks == 0
+    assert not metrics.fallback_reason
+    db.close()
+
+
+def test_armed_but_silent_supervision_within_noise():
+    """A plan that never trips must not change results, and the
+    supervised path must stay within a loose wall-clock factor of the
+    bare one (it adds a wrapper call + one ``fire()`` per task)."""
+    n, d = 200_000, 8
+    sql = f"SELECT nlq_tri({d}, {', '.join(dimension_names(d))}) FROM x"
+
+    bare = _build_db(n, d)
+    # Armed at every site, but filtered to a partition index that does
+    # not exist — fire() runs for real and never trips.
+    silent = FaultPlan(
+        [FaultSpec(site, partition=99) for site in sorted(
+            {"partition.scan", "block.materialize", "engine.task"}
+        )]
+    )
+    armed = _build_db(n, d, faults=silent, task_retries=2)
+
+    baseline_rows = bare.execute(sql).rows
+    armed_rows = armed.execute(sql).rows
+    assert armed_rows == baseline_rows  # bit-identical under supervision
+    assert silent.trips() == 0
+    assert armed._executor.last_metrics.task_retries == 0
+    assert armed._executor.last_metrics.fallbacks == 0
+
+    bare_seconds = _best_of(5, lambda: bare.execute(sql))
+    armed_seconds = _best_of(5, lambda: armed.execute(sql))
+    ratio = armed_seconds / bare_seconds
+    print(
+        f"\nbare={bare_seconds * 1e3:.1f} ms "
+        f"armed={armed_seconds * 1e3:.1f} ms ratio={ratio:.2f}x"
+    )
+    # Loose bound: per-task supervision is O(workers) python calls per
+    # statement; anything past 1.5x would mean a hot-path regression.
+    assert ratio < 1.5
+    bare.close()
+    armed.close()

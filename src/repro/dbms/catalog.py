@@ -8,6 +8,7 @@ scenario (Section 3.6) is executed.
 
 from __future__ import annotations
 
+from repro.dbms.faults import NULL_FAULTS, FaultPlan, NullFaults
 from repro.dbms.functions import AGGREGATE_BUILTINS, SCALAR_BUILTINS
 from repro.dbms.schema import TableSchema, validate_identifier
 from repro.dbms.sql import ast
@@ -23,6 +24,16 @@ class Catalog:
         self._scalar_udfs: dict[str, ScalarUdf] = {}
         self._aggregate_udfs: dict[str, AggregateUdf] = {}
         self.default_partitions = default_partitions
+        #: fault-injection plan handed to every table this catalog
+        #: creates (storage-level ``insert.flush`` site); installed by
+        #: ``Database(faults=...)``
+        self.faults: FaultPlan | NullFaults = NULL_FAULTS
+
+    def install_faults(self, faults: "FaultPlan | NullFaults") -> None:
+        """Point this catalog — and every existing table — at *faults*."""
+        self.faults = faults
+        for table in self._tables.values():
+            table.faults = faults
 
     # ------------------------------------------------------------------ tables
     def create_table(
@@ -45,6 +56,7 @@ class Catalog:
             partitions=partitions or self.default_partitions,
             row_scale=row_scale,
         )
+        table.faults = self.faults
         self._tables[key] = table
         return table
 

@@ -17,6 +17,7 @@ import numpy as np
 from repro.dbms.catalog import Catalog
 from repro.dbms.cost import CostModel, CostParameters
 from repro.dbms.engine import PartitionEngine
+from repro.dbms.faults import NULL_FAULTS, FaultPlan, NullFaults
 from repro.dbms.metrics import QueryMetrics
 from repro.dbms.schema import TableSchema
 from repro.dbms.sql.executor import Executor, Relation
@@ -103,6 +104,21 @@ class Database:
         :mod:`repro.dbms.sql.vectorized`); True by default.  Turning it
         off forces the reference row path — parity tests and the
         row-vs-vector benchmark flip this toggle.
+    faults:
+        A :class:`~repro.dbms.faults.FaultPlan` to inject failures,
+        delays, and flaky behaviour at the engine's fault sites (see
+        ``docs/fault_tolerance.md``).  The default ``None`` installs the
+        no-op plan, which costs one attribute check on the hot path.
+    task_timeout_seconds:
+        Per-task wall-clock budget for parallel partition tasks; a task
+        exceeding it fails the statement with
+        :class:`~repro.errors.PartitionTimeoutError` attribution.
+        ``None`` (the default) means no timeout.
+    task_retries:
+        Bounded retry count for *idempotent* partition tasks (pure
+        scans).  0 — the default — preserves fail-fast seed behaviour.
+    task_retry_backoff_seconds:
+        Base of the exponential backoff slept between retry attempts.
 
     A database holding a parallel engine owns a persistent thread pool;
     :meth:`close` releases it (the database stays usable — the pool is
@@ -116,15 +132,27 @@ class Database:
         cost_parameters: CostParameters | None = None,
         executor_workers: int = 1,
         vectorized_select: bool = True,
+        faults: "FaultPlan | NullFaults | None" = None,
+        task_timeout_seconds: float | None = None,
+        task_retries: int = 0,
+        task_retry_backoff_seconds: float = 0.01,
     ) -> None:
         params = cost_parameters or CostParameters()
         params.amps = amps
         self.cost = CostModel(params=params)
         self.catalog = Catalog(default_partitions=amps)
-        self._executor = Executor(
-            self.catalog, self.cost, engine=PartitionEngine(executor_workers)
+        engine = PartitionEngine(
+            executor_workers,
+            timeout_seconds=task_timeout_seconds,
+            max_retries=task_retries,
+            retry_backoff_seconds=task_retry_backoff_seconds,
+            faults=faults if faults is not None else NULL_FAULTS,
         )
+        self._executor = Executor(self.catalog, self.cost, engine=engine)
         self._executor.vectorized_select = vectorized_select
+        if faults is not None:
+            self._executor.faults = faults
+            self.catalog.install_faults(faults)
 
     @property
     def executor_workers(self) -> int:
@@ -134,8 +162,39 @@ class Database:
     @executor_workers.setter
     def executor_workers(self, workers: int) -> None:
         old = self._executor.engine
-        self._executor.engine = PartitionEngine(workers)
+        # Keep timeout/retry/fault configuration across worker swaps.
+        self._executor.engine = old.configured_like(workers)
         old.close()
+
+    @property
+    def faults(self) -> "FaultPlan | NullFaults":
+        """The installed fault plan (``NULL_FAULTS`` when none)."""
+        return self._executor.faults
+
+    @faults.setter
+    def faults(self, faults: "FaultPlan | NullFaults | None") -> None:
+        plan = faults if faults is not None else NULL_FAULTS
+        self._executor.faults = plan
+        self._executor.engine.faults = plan
+        self.catalog.install_faults(plan)
+
+    @property
+    def task_timeout_seconds(self) -> float | None:
+        """Per-task wall-clock budget (None = unbounded)."""
+        return self._executor.engine.timeout_seconds
+
+    @task_timeout_seconds.setter
+    def task_timeout_seconds(self, seconds: float | None) -> None:
+        self._executor.engine.timeout_seconds = seconds
+
+    @property
+    def task_retries(self) -> int:
+        """Bounded retry count for idempotent partition tasks."""
+        return self._executor.engine.max_retries
+
+    @task_retries.setter
+    def task_retries(self, retries: int) -> None:
+        self._executor.engine.max_retries = retries
 
     @property
     def vectorized_select(self) -> bool:

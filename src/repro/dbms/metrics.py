@@ -62,9 +62,23 @@ class QueryMetrics:
     #: summed per-task time spent in block-wise WHERE + projection
     #: (vectorized SELECT path only; not one of the four paper stages)
     project_seconds: float = 0.0
-    #: partition block-cache hits/misses this statement incurred
+    #: partition block-cache hits/misses this statement incurred.
+    #: Summed from per-task local counts merged in partition order —
+    #: never read from shared partition counters while workers run, so
+    #: a straggler task from an earlier (timed-out) statement can never
+    #: tear this statement's numbers.
     block_cache_hits: int = 0
     block_cache_misses: int = 0
+    #: engine task retries spent by this statement (idempotent tasks
+    #: only; see PartitionEngine.max_retries)
+    task_retries: int = 0
+    #: engine task timeouts observed by this statement
+    task_timeouts: int = 0
+    #: vectorized→row degradations this statement performed (the block
+    #: path raised at runtime and the row path re-ran the work)
+    fallbacks: int = 0
+    #: why the last degradation happened ("" when fallbacks == 0)
+    fallback_reason: str = ""
 
     def to_dict(self) -> dict[str, float | int]:
         """A plain-dict snapshot; inverse of :meth:`from_dict`.

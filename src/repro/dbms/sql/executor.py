@@ -41,6 +41,7 @@ import numpy as np
 from repro.dbms.catalog import Catalog
 from repro.dbms.cost import CostModel
 from repro.dbms.engine import PartitionEngine
+from repro.dbms.faults import NULL_FAULTS, FaultPlan, NullFaults
 from repro.dbms.metrics import QueryMetrics, StageTimer
 from repro.dbms.expressions import (
     compile_row_expression,
@@ -154,6 +155,62 @@ class Executor:
         #: :mod:`repro.dbms.sql.vectorized`); toggled via
         #: ``Database.vectorized_select`` — row path when False
         self.vectorized_select = True
+        #: fault-injection plan for executor-level sites
+        #: (``partition.scan``, ``block.materialize``,
+        #: ``udf.compute_batch``); installed by ``Database(faults=...)``
+        self.faults: FaultPlan | NullFaults = NULL_FAULTS
+
+    # ----------------------------------------------------------- supervision
+    def _engine_map(
+        self,
+        tasks: Sequence[Callable[[], Any]],
+        spans: "list[Span] | None" = None,
+        partition_ids: "Sequence[int] | None" = None,
+    ) -> list[Any]:
+        """Run per-partition scan tasks on the engine, folding the
+        engine's retry/timeout counters into this statement's metrics —
+        also when the map fails (a degraded statement still reports the
+        retries its failed attempt spent)."""
+        engine = self.engine
+        try:
+            # Every executor fan-out is a pure partition scan, so the
+            # engine's bounded retries may safely re-run a task.
+            return engine.map(
+                tasks, spans, idempotent=True, partition_ids=partition_ids
+            )
+        finally:
+            self.last_metrics.task_retries += engine.last_task_retries
+            self.last_metrics.task_timeouts += engine.last_task_timeouts
+
+    def _rollback_metrics(self, snapshot: "dict[str, Any]") -> None:
+        """Restore metrics to *snapshot*, keeping the retry/timeout
+        counters the failed attempt accrued (real events the degraded
+        statement must still report)."""
+        metrics = self.last_metrics
+        task_retries = metrics.task_retries
+        task_timeouts = metrics.task_timeouts
+        for name, value in snapshot.items():
+            setattr(metrics, name, value)
+        metrics.task_retries = task_retries
+        metrics.task_timeouts = task_timeouts
+
+    def _note_failed_span(self, operator: str, exc: BaseException) -> None:
+        """Mark the span a failed vectorized attempt left behind.
+
+        The attempt's ``with tracer.span(...)`` already closed (the
+        exception unwound it), so the span is the last child of the
+        innermost open span.  Marking it ``failed`` keeps it visible in
+        the ANALYZE trace while :func:`~repro.dbms.sql.plan.
+        _operator_spans` skips it when pairing spans with plan
+        operators — the row-path retry's span is the one that pairs.
+        """
+        current = self.tracer.current
+        if current is None or not current.children:
+            return
+        last = current.children[-1]
+        if last.name == operator:
+            last.attributes["failed"] = True
+            last.attributes["error"] = _describe_failure(exc)
 
     # --------------------------------------------------------------- dispatch
     def execute(self, statement: ast.Statement) -> Relation:
@@ -463,16 +520,32 @@ class Executor:
         # All analytical charges above are identical for both paths —
         # the block path is a pure wall-clock optimization, invisible to
         # the simulated-seconds benchmarks.
+        fallback_reason: str | None = None
         if (
             self.vectorized_select
             and env.base_table is not None
             and not env._materialized
         ):
-            decision = plan_vectorized_select(self._catalog, select)
+            decision = plan_vectorized_select(self._catalog, select, self.faults)
             if decision.plan is not None:
-                return self._execute_projection_vectorized(
-                    env, binder, items, decision.plan
-                )
+                snapshot = self.last_metrics.to_dict()
+                try:
+                    return self._execute_projection_vectorized(
+                        env, binder, items, decision.plan
+                    )
+                except Exception as exc:
+                    # Graceful degradation: the block path is an
+                    # optimization, never a correctness requirement.  A
+                    # runtime failure (kernel bug, injected fault, task
+                    # timeout) retries on the reference row path once,
+                    # with the failed attempt's metrics unwound so the
+                    # statement reports row-path numbers plus the
+                    # fallback itself.
+                    fallback_reason = _describe_failure(exc)
+                    self._note_failed_span("project", exc)
+                    self._rollback_metrics(snapshot)
+                    self.last_metrics.fallbacks += 1
+                    self.last_metrics.fallback_reason = fallback_reason
 
         with self.tracer.span("scan") as scan_span, StageTimer(
             self.last_metrics, "scan", scan_span
@@ -495,7 +568,11 @@ class Executor:
             ]
             out_rows = [tuple(fn(row) for fn in compiled) for row in rows]
             if project_span is not None:
-                project_span.attributes["strategy"] = "row"
+                if fallback_reason is None:
+                    project_span.attributes["strategy"] = "row"
+                else:
+                    project_span.attributes["strategy"] = "row (fallback)"
+                    project_span.attributes["fallback_reason"] = fallback_reason
                 project_span.attributes["rows"] = len(out_rows)
         out_columns = [
             BoundColumn(None, output_name(item, position))
@@ -538,11 +615,14 @@ class Executor:
             if partition.row_count
         ]
         partitions = [partition for _, partition in numbered]
+        faults = self.faults
 
-        def make_task(partition):
-            def task() -> tuple[list[tuple], int, float, float]:
+        def make_task(pid, partition):
+            def task() -> tuple[list[tuple], int, float, float, bool]:
                 scan_start = time.perf_counter()
-                block = partition.numeric_matrix(positions)
+                if faults.enabled:
+                    faults.fire("block.materialize", partition=pid)
+                block, cache_hit = partition.numeric_matrix_with_stats(positions)
                 project_start = time.perf_counter()
                 keep_list: list[int] | None = None
                 if where_fn is None:
@@ -583,14 +663,14 @@ class Executor:
                     block.shape[0],
                     project_start - scan_start,
                     done - project_start,
+                    cache_hit,
                 )
 
             return task
 
-        tasks = [make_task(p) for p in partitions]
+        tasks = [make_task(pid, p) for pid, p in numbered]
+        partition_ids = [index for index, _ in numbered]
         metrics = self.last_metrics
-        hits_before = sum(p.cache_hits for p in partitions)
-        misses_before = sum(p.cache_misses for p in partitions)
         out_rows: list[tuple] = []
         with self.tracer.span("project") as project_span:
             task_spans: list[Span] | None = None
@@ -603,17 +683,26 @@ class Executor:
                     for partition in partitions
                 ]
                 task_spans = []
-                results = self.engine.map(tasks, task_spans)
+                results = self._engine_map(tasks, task_spans, partition_ids)
                 self.tracer.attach(task_spans)
             else:
-                results = self.engine.map(tasks)
+                results = self._engine_map(tasks, partition_ids=partition_ids)
             metrics.parallel_tasks += len(partitions)
             for index, result in enumerate(results):
-                rows, scanned, scan_seconds, project_seconds = result
+                rows, scanned, scan_seconds, project_seconds, cache_hit = result
                 metrics.scan_seconds += scan_seconds
                 metrics.project_seconds += project_seconds
                 metrics.rows_processed += scanned
                 metrics.partitions_processed += 1
+                # Each task reports whether its own block came from the
+                # cache, so the statement totals are assembled from
+                # per-task locals in partition order — immune to a
+                # straggler task from another statement racing the
+                # shared partition counters.
+                if cache_hit:
+                    metrics.block_cache_hits += 1
+                else:
+                    metrics.block_cache_misses += 1
                 if task_spans is not None:
                     span = task_spans[index]
                     span.attributes["partition"] = numbered[index][0]
@@ -629,14 +718,6 @@ class Executor:
             if project_span is not None:
                 project_span.attributes["strategy"] = "vectorized-scan"
                 project_span.attributes["rows"] = len(out_rows)
-        # Counters are written only by each partition's own task and
-        # read after result() — a happens-before edge, no lock needed.
-        metrics.block_cache_hits += (
-            sum(p.cache_hits for p in partitions) - hits_before
-        )
-        metrics.block_cache_misses += (
-            sum(p.cache_misses for p in partitions) - misses_before
-        )
         out_columns = [
             BoundColumn(None, output_name(item, position))
             for position, item in enumerate(items)
@@ -825,12 +906,38 @@ class Executor:
             )
         )
         if use_vector:
+            snapshot = self.last_metrics.to_dict()
+            try:
+                with self.tracer.span("aggregate") as span:
+                    self._accumulate_vectorized(
+                        env, binder, aggregates, group_exprs, groups
+                    )
+                    if span is not None:
+                        span.attributes["strategy"] = "vectorized"
+                        span.attributes["groups"] = len(groups)
+                return groups
+            except Exception as exc:
+                # Graceful degradation: a failing batched kernel (or an
+                # injected fault / task timeout under it) retries on the
+                # row path once.  Partially merged group state and the
+                # failed attempt's metrics are discarded first, so the
+                # retry starts from the same blank slate serial
+                # execution would.
+                fallback_reason = _describe_failure(exc)
+                self._note_failed_span("aggregate", exc)
+                self._rollback_metrics(snapshot)
+                self.last_metrics.fallbacks += 1
+                self.last_metrics.fallback_reason = fallback_reason
+                groups.clear()
+                if not group_exprs:
+                    groups[()] = [spec.initialize() for spec in aggregates]
             with self.tracer.span("aggregate") as span:
-                self._accumulate_vectorized(
-                    env, binder, aggregates, group_exprs, groups
+                self._accumulate_rows_partitioned(
+                    env.base_table, aggregates, group_fns, where_fn, groups
                 )
                 if span is not None:
-                    span.attributes["strategy"] = "vectorized"
+                    span.attributes["strategy"] = "row-partitioned (fallback)"
+                    span.attributes["fallback_reason"] = fallback_reason
                     span.attributes["groups"] = len(groups)
             return groups
 
@@ -890,10 +997,13 @@ class Executor:
             if partition.row_count
         ]
         partitions = [partition for _, partition in numbered]
+        faults = self.faults
 
-        def make_task(partition):
+        def make_task(pid, partition):
             def task() -> tuple[dict[tuple, list[Any]], int, float, float]:
                 scan_start = time.perf_counter()
+                if faults.enabled:
+                    faults.fire("partition.scan", partition=pid)
                 rows = list(partition.rows())
                 accumulate_start = time.perf_counter()
                 local: dict[tuple, list[Any]] = {}
@@ -919,21 +1029,22 @@ class Executor:
 
             return task
 
-        tasks = [make_task(p) for p in partitions]
+        tasks = [make_task(pid, p) for pid, p in numbered]
+        partition_ids = [index for index, _ in numbered]
         task_spans: list[Span] | None = None
         if self.tracer.enabled:
             task_spans = []
-            results = self.engine.map(tasks, task_spans)
+            results = self._engine_map(tasks, task_spans, partition_ids)
             self.tracer.attach(task_spans)
         else:
-            results = self.engine.map(tasks)
+            results = self._engine_map(tasks, partition_ids=partition_ids)
         self.last_metrics.parallel_tasks += len(partitions)
         self._merge_partition_partials(
             results,
             aggregates,
             groups,
             task_spans=task_spans,
-            partition_ids=[index for index, _ in numbered],
+            partition_ids=partition_ids,
         )
 
     def _merge_partition_partials(
@@ -1048,11 +1159,14 @@ class Executor:
             if partition.row_count
         ]
         partitions = [partition for _, partition in numbered]
+        faults = self.faults
 
-        def make_task(partition):
-            def task() -> tuple[dict[tuple, list[Any]], int, float, float]:
+        def make_task(pid, partition):
+            def task() -> tuple[dict[tuple, list[Any]], int, float, float, bool]:
                 scan_start = time.perf_counter()
-                block = partition.numeric_matrix(positions)
+                if faults.enabled:
+                    faults.fire("block.materialize", partition=pid)
+                block, cache_hit = partition.numeric_matrix_with_stats(positions)
                 accumulate_start = time.perf_counter()
                 local: dict[tuple, list[Any]] = {}
                 if not group_exprs:
@@ -1091,13 +1205,13 @@ class Executor:
                     block.shape[0],
                     accumulate_start - scan_start,
                     done - accumulate_start,
+                    cache_hit,
                 )
 
             return task
 
-        tasks = [make_task(p) for p in partitions]
-        hits_before = sum(p.cache_hits for p in partitions)
-        misses_before = sum(p.cache_misses for p in partitions)
+        tasks = [make_task(pid, p) for pid, p in numbered]
+        partition_ids = [index for index, _ in numbered]
         task_spans: list[Span] | None = None
         cached_blocks: list[bool] | None = None
         if self.tracer.enabled:
@@ -1108,23 +1222,25 @@ class Executor:
                 for partition in partitions
             ]
             task_spans = []
-            results = self.engine.map(tasks, task_spans)
+            results = self._engine_map(tasks, task_spans, partition_ids)
             self.tracer.attach(task_spans)
         else:
-            results = self.engine.map(tasks)
+            results = self._engine_map(tasks, partition_ids=partition_ids)
         self.last_metrics.parallel_tasks += len(partitions)
-        self.last_metrics.block_cache_hits += (
-            sum(p.cache_hits for p in partitions) - hits_before
-        )
-        self.last_metrics.block_cache_misses += (
-            sum(p.cache_misses for p in partitions) - misses_before
-        )
+        # Per-task cache flags merged in partition order (see the
+        # projection path for why the shared partition counters are not
+        # read here).
+        for result in results:
+            if result[4]:
+                self.last_metrics.block_cache_hits += 1
+            else:
+                self.last_metrics.block_cache_misses += 1
         self._merge_partition_partials(
-            results,
+            [result[:4] for result in results],
             aggregates,
             groups,
             task_spans=task_spans,
-            partition_ids=[index for index, _ in numbered],
+            partition_ids=partition_ids,
             cached_blocks=cached_blocks,
         )
 
@@ -1339,6 +1455,15 @@ def _sort_key(value: Any) -> tuple:
 
 def _empty_result() -> Relation:
     return Relation(columns=[], rows=[])
+
+
+def _describe_failure(exc: BaseException) -> str:
+    """One-line ``fallback_reason`` text: exception type plus message,
+    truncated so a pathological message cannot bloat metrics or spans."""
+    text = f"{type(exc).__name__}: {exc}"
+    if len(text) > 200:
+        text = text[:197] + "..."
+    return text
 
 
 def _matrix_resolver(

@@ -82,6 +82,15 @@ class PlanNode:
         lines = [line]
         for note in self.notes:
             lines.append(f"{pad}  note: {note}")
+        if self.span is not None:
+            # Executed-route annotations (ANALYZE only): which strategy
+            # actually ran, and — on vectorized→row degradation — why.
+            strategy = self.span.attributes.get("strategy")
+            if strategy:
+                lines.append(f"{pad}  strategy: {strategy}")
+            reason = self.span.attributes.get("fallback_reason")
+            if reason:
+                lines.append(f"{pad}  fallback_reason: {reason}")
         if self.span is not None and self.span.children:
             for child_span in self.span.children:
                 lines.extend(child_span.render(indent + 1))
@@ -187,13 +196,16 @@ class Plan:
 def _operator_spans(trace: Span, name: str) -> list[Span]:
     """Spans named *name* in preorder, excluding anything nested under a
     per-partition ``task`` span (those belong to the aggregate node that
-    fanned them out, not to a plan operator of their own)."""
+    fanned them out, not to a plan operator of their own) and spans
+    marked ``failed`` (a vectorized attempt that degraded to the row
+    path — its replacement span is the one that pairs with the plan
+    operator; the failed span stays visible in the raw trace)."""
     found: list[Span] = []
 
     def visit(span: Span) -> None:
         if span.name == "task":
             return
-        if span.name == name:
+        if span.name == name and not span.attributes.get("failed"):
             found.append(span)
         for child in span.children:
             visit(child)

@@ -58,6 +58,7 @@ from repro.dbms.expressions import (
     compile_vector_predicate,
     referenced_columns_of_all,
 )
+from repro.dbms.faults import NULL_FAULTS, FaultPlan, NullFaults
 from repro.dbms.functions import SCALAR_BUILTINS
 from repro.dbms.sql import ast
 from repro.dbms.sql.planner import Binder, BoundColumn, output_name
@@ -125,12 +126,18 @@ def _fallback(reason: str) -> VectorizedDecision:
 
 
 def plan_vectorized_select(
-    catalog: Catalog, select: ast.Select
+    catalog: Catalog,
+    select: ast.Select,
+    faults: "FaultPlan | NullFaults" = NULL_FAULTS,
 ) -> VectorizedDecision:
     """Decide whether *select* can run block-wise, compiling it if so.
 
     Precondition: the caller has already established that *select* has
     no aggregates and no GROUP BY (those take the aggregation path).
+
+    *faults* arms the ``udf.compute_batch`` injection site inside the
+    compiled batch-UDF closures; the EXPLAIN plan builder calls with the
+    default (its analysis never executes the closures).
     """
     if select.joins or len(select.from_sources) != 1:
         return _fallback("query joins multiple sources")
@@ -195,7 +202,7 @@ def plan_vectorized_select(
 
     batch_udf_names: list[str] = []
     compile_call = _batch_call_compiler(
-        catalog, matrix_resolver, batch_udf_names
+        catalog, matrix_resolver, batch_udf_names, faults
     )
 
     where_fn: VectorFunction | None = None
@@ -304,6 +311,7 @@ def _batch_call_compiler(
     catalog: Catalog,
     resolver: Callable[[ast.ColumnRef], int],
     batch_udf_names: list[str],
+    faults: "FaultPlan | NullFaults" = NULL_FAULTS,
 ) -> Callable[[ast.FuncCall], VectorFunction | None]:
     """A call-compiler hook vectorizing batch-capable scalar UDF calls.
 
@@ -330,6 +338,8 @@ def _batch_call_compiler(
             batch_udf_names.append(udf.name)
 
         def run(block: np.ndarray) -> np.ndarray:
+            if faults.enabled:
+                faults.fire("udf.compute_batch", udf=udf.name)
             if compiled:
                 stacked = np.column_stack([fn(block) for fn in compiled])
             else:

@@ -39,6 +39,7 @@ from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.dbms.faults import NULL_FAULTS, FaultPlan, NullFaults
 from repro.dbms.schema import TableSchema
 from repro.dbms.types import coerce_value
 from repro.errors import ConstraintViolation, SchemaError
@@ -134,6 +135,26 @@ class Partition:
         if self._block_cache:
             self._block_cache.clear()
 
+    def rollback_rows(self, count: int) -> None:
+        """Remove the last *count* rows (batch-flush failure recovery).
+
+        Appends are strictly at the tail and DML is single-threaded, so
+        dropping the tail undoes exactly one earlier ``append`` /
+        ``extend_columns`` of the same size.
+        """
+        if count <= 0:
+            return
+        if count > self._rows:
+            raise SchemaError(
+                f"cannot roll back {count} rows from a "
+                f"{self._rows}-row partition"
+            )
+        for column in self._columns:
+            del column[-count:]
+        self._rows -= count
+        if self._block_cache:
+            self._block_cache.clear()
+
     def column(self, position: int) -> list[Any]:
         return self._columns[position]
 
@@ -156,15 +177,30 @@ class Partition:
         cleared when the partition is mutated); callers must treat a
         returned block as read-only.
         """
+        return self.numeric_matrix_with_stats(positions)[0]
+
+    def numeric_matrix_with_stats(
+        self, positions: Sequence[int]
+    ) -> tuple[np.ndarray, bool]:
+        """:meth:`numeric_matrix` plus whether it was a cache hit.
+
+        Engine tasks use this variant so each task counts its own hits
+        and misses locally and returns them with its partial result; the
+        coordinator sums the per-task counts in partition order.  The
+        statement's :class:`~repro.dbms.metrics.QueryMetrics` therefore
+        never reads the shared lifetime counters while workers are
+        running — a straggler task abandoned by an earlier statement's
+        timeout cannot tear the accounting.
+        """
         key = tuple(positions)
         if self._rows == 0 or not key:
             # Zero rows or a zero-column projection: nothing to cache.
-            return np.empty((self._rows, len(key)))
+            return np.empty((self._rows, len(key))), False
         cached = self._block_cache.get(key)
         if cached is not None:
             self.cache_hits += 1
             self._block_cache.move_to_end(key)
-            return cached
+            return cached, True
         self.cache_misses += 1
         stacked = np.empty((self._rows, len(key)))
         for out_index, position in enumerate(key):
@@ -172,7 +208,7 @@ class Partition:
         self._block_cache[key] = stacked
         while len(self._block_cache) > BLOCK_CACHE_CAPACITY:
             self._block_cache.popitem(last=False)
-        return stacked
+        return stacked, False
 
     def _column_as_floats(self, position: int) -> np.ndarray:
         column = self._columns[position]
@@ -202,6 +238,10 @@ class Table:
         self.name = name
         self.schema = schema
         self.row_scale = row_scale
+        #: fault-injection plan for the ``insert.flush`` site; the
+        #: catalog installs the database's plan here (NULL_FAULTS =
+        #: one attribute check on the hot path)
+        self.faults: FaultPlan | NullFaults = NULL_FAULTS
         self._partitions = [Partition(len(schema)) for _ in range(partitions)]
         self._pk_position = (
             schema.position_of(schema.primary_key)
@@ -292,9 +332,19 @@ class Table:
         exactly), staged per target partition, then flushed with one
         :meth:`Partition.extend_columns` per partition — each partition's
         block cache is cleared once per batch instead of once per row.
-        If a row fails validation, the validated prefix is still
-        inserted (matching the per-row loop's behaviour) and the error
-        propagates.
+
+        Failure semantics (see ``docs/fault_tolerance.md``):
+
+        * **Validation failure** (constraint violation, bad type) at row
+          *j*: the validated prefix — rows ``0..j-1`` — is still
+          inserted, matching the per-row loop's behaviour exactly, and
+          the error propagates.  The prefix is deterministic: validation
+          runs in input order.
+        * **Flush failure** (storage error, or the ``insert.flush``
+          fault site): partitions already flushed in this batch are
+          rolled back and the batch's primary keys are released, so the
+          table is bit-identical to its pre-batch state — a flush can
+          never leave a *partially* mutated table.
         """
         if len(self.schema) == 0:
             # Zero-width partitions cannot be extended column-wise.
@@ -304,22 +354,54 @@ class Table:
                 count += 1
             return count
         staged: list[list[tuple[Any, ...]]] = [[] for _ in self._partitions]
+        staged_keys: set[Any] = set()
         count = 0
         try:
             for row in rows:
                 coerced = self._check_row(row)
                 staged[self._partition_index_for(coerced)].append(coerced)
+                if self._pk_position is not None:
+                    staged_keys.add(coerced[self._pk_position])
                 count += 1
         except Exception:
-            self._flush_staged(staged)
+            self._flush_staged(staged, staged_keys)
             raise
-        self._flush_staged(staged)
+        self._flush_staged(staged, staged_keys)
         return count
 
-    def _flush_staged(self, staged: Sequence[Sequence[tuple[Any, ...]]]) -> None:
-        for partition, rows in zip(self._partitions, staged):
-            if rows:
+    def _flush_staged(
+        self,
+        staged: Sequence[Sequence[tuple[Any, ...]]],
+        staged_keys: set[Any],
+    ) -> None:
+        """Flush staged rows partition by partition, atomically.
+
+        If any per-partition flush raises (including the ``insert.flush``
+        fault site), every partition already extended by this batch is
+        rolled back and the batch's primary keys are removed from the PK
+        set before the error propagates — all-or-nothing at the flush
+        stage, so a retry of the same batch cannot hit phantom duplicate
+        keys.
+        """
+        faults = self.faults
+        flushed: list[tuple[Partition, int]] = []
+        try:
+            for index, (partition, rows) in enumerate(
+                zip(self._partitions, staged)
+            ):
+                if not rows:
+                    continue
+                if faults.enabled:
+                    faults.fire(
+                        "insert.flush", partition=index, table=self.name
+                    )
                 partition.extend_columns(list(zip(*rows)))
+                flushed.append((partition, len(rows)))
+        except BaseException:
+            for partition, added in flushed:
+                partition.rollback_rows(added)
+            self._pk_values -= staged_keys
+            raise
 
     def bulk_load_arrays(self, columns: dict[str, np.ndarray | Sequence[Any]]) -> int:
         """Fast bulk load from column arrays (the workload-generator path).

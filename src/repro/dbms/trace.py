@@ -127,6 +127,10 @@ class NullTracer:
     def root(self) -> None:
         return None
 
+    @property
+    def current(self) -> None:
+        return None
+
 
 #: the executor's default tracer — one shared instance, nothing allocated
 NULL_TRACER = NullTracer()
@@ -145,6 +149,16 @@ class Tracer:
     @property
     def root(self) -> Span:
         return self._root
+
+    @property
+    def current(self) -> Span:
+        """The innermost open span (the root between operators).
+
+        The executor's degradation path uses this to find — and mark
+        ``failed`` — the span a vectorized attempt left behind before
+        the row path opens its replacement span.
+        """
+        return self._stack[-1]
 
     @contextlib.contextmanager
     def span(self, name: str) -> Iterator[Span]:

@@ -55,6 +55,89 @@ class ExecutionError(DatabaseError):
     non-null path, bad cast, arity mismatch in a function call)."""
 
 
+class FaultInjected(DatabaseError):
+    """The default error raised by a fault-injection site.
+
+    Only ever raised when a :class:`repro.dbms.faults.FaultPlan` is
+    installed (tests, chaos engineering); production code paths never
+    construct it.  Carries the site name and the attributes the site
+    fired with, so chaos tests can assert exactly which injection
+    tripped.
+    """
+
+    def __init__(self, site: str, **attributes: object) -> None:
+        detail = ", ".join(f"{k}={v!r}" for k, v in attributes.items())
+        message = f"injected fault at {site!r}"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+        self.site = site
+        self.attributes = attributes
+
+
+class PartitionTimeoutError(DatabaseError):
+    """A per-partition engine task exceeded its ``timeout_seconds``.
+
+    The worker thread running the task cannot be killed, so the engine
+    abandons its pool (see ``PartitionEngine.map``) and reports the
+    timeout through :class:`PartitionExecutionError`; the stuck task is
+    accounted for by ``PartitionEngine.active_tasks`` until it finishes.
+    """
+
+    def __init__(
+        self, partition: int | None, timeout_seconds: float
+    ) -> None:
+        where = f"partition {partition}" if partition is not None else "task"
+        super().__init__(
+            f"{where} exceeded the {timeout_seconds:g}s task timeout"
+        )
+        self.partition = partition
+        self.timeout_seconds = timeout_seconds
+
+
+class PartitionExecutionError(DatabaseError):
+    """One or more per-partition engine tasks failed under parallel
+    execution.
+
+    Aggregates every *observed* task error with per-partition
+    attribution (``errors`` is a list of ``(partition, exception)``
+    pairs in partition order).  ``first_error`` — the failure of the
+    lowest-numbered failing partition — is deterministic across runs and
+    worker counts because the engine gathers results strictly in
+    submission order; it is also set as ``__cause__``.  Later siblings
+    may or may not have started before cancellation, so ``errors`` can
+    grow with scheduling, but its first entry never changes.
+    """
+
+    def __init__(
+        self,
+        errors: "list[tuple[int | None, BaseException]]",
+        cancelled: int = 0,
+    ) -> None:
+        if not errors:
+            raise ValueError("PartitionExecutionError needs >= 1 task error")
+        partition, first = errors[0]
+        where = f"partition {partition}" if partition is not None else "a task"
+        message = (
+            f"{len(errors)} partition task(s) failed "
+            f"({cancelled} cancelled before starting); first error in "
+            f"{where}: {type(first).__name__}: {first}"
+        )
+        super().__init__(message)
+        self.errors = errors
+        self.cancelled = cancelled
+
+    @property
+    def first_error(self) -> BaseException:
+        """The lowest-partition-number failure (deterministic identity)."""
+        return self.errors[0][1]
+
+    @property
+    def partitions(self) -> "list[int | None]":
+        """The partitions that reported errors, in partition order."""
+        return [partition for partition, _ in self.errors]
+
+
 class TypeMismatchError(ExecutionError):
     """A value could not be coerced to the declared SQL type."""
 

@@ -1,0 +1,236 @@
+"""Chaos suite: generated fault schedules over the parallel query path.
+
+Hypothesis generates small :class:`FaultPlan` schedules — crashes,
+delays, flaky-then-succeed faults, optionally combined with bounded
+retries and per-task timeouts — and every workload asserts the same
+contract:
+
+* the run **terminates** (no hang, no leaked running task: the engine's
+  ``active_tasks`` drains to zero), and
+* it either returns a **bit-identical reference answer** or raises a
+  **typed** :class:`~repro.errors.ReproError` with partition
+  attribution — never an untyped error, never silently wrong rows, and
+  (for DML) never a partially mutated table.
+
+Two reference answers are legal: the vectorized fault-free result and
+the row-path fault-free result.  They differ only in float summation
+order (block-wise ``np.sum`` associates differently than a per-row
+fold); a degraded statement reproduces the row path bit-for-bit.
+
+``CHAOS_SEED`` (env) varies the dataset and the fault plan's
+probability draws — CI runs three fixed seeds.  ``CHAOS_WORKERS``
+(default 4) sets the engine's thread count.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, example, given, settings, strategies as st
+
+from repro.core.nlq_udf import register_nlq_udfs
+from repro.core.scoring.sqlgen import ScoringSqlGenerator
+from repro.core.scoring.udfs import register_scoring_udfs
+from repro.dbms.database import Database
+from repro.dbms.faults import FaultPlan, FaultSpec
+from repro.dbms.schema import dataset_schema, dimension_names
+from repro.errors import PartitionExecutionError, ReproError
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+CHAOS_WORKERS = int(os.environ.get("CHAOS_WORKERS", "4"))
+
+N_ROWS, D = 80, 2
+_GEN = ScoringSqlGenerator("x", ["x1", "x2"])
+
+#: the workloads the acceptance criteria name: nLQ aggregation, GROUP BY
+#: sub-models, and vectorized scoring
+QUERIES = {
+    "nlq_aggregation": f"SELECT nlq_tri({D}, x1, x2) FROM x",
+    "groupby_submodels": (
+        "SELECT i MOD 4, sum(x1), sum(y), count(*) FROM x "
+        "GROUP BY i MOD 4 ORDER BY 1"
+    ),
+    "vectorized_scoring": _GEN.regression_inline_sql(2.0, [1.0, -2.0]),
+}
+
+_QUERY_SITES = [
+    "partition.scan",
+    "block.materialize",
+    "udf.compute_batch",
+    "engine.task",
+]
+
+
+def _fault_specs(sites):
+    return st.lists(
+        st.builds(
+            FaultSpec,
+            site=st.sampled_from(sites),
+            kind=st.sampled_from(["error", "delay", "flaky"]),
+            delay_seconds=st.sampled_from([0.0, 0.01, 0.25]),
+            times=st.sampled_from([None, 1, 2]),
+            skip_first=st.integers(min_value=0, max_value=2),
+            partition=st.sampled_from([None, 0, 1, 2, 3]),
+            probability=st.sampled_from([0.25, 0.6, 1.0]),
+        ),
+        min_size=0,
+        max_size=3,
+    )
+
+
+_CHAOS_SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    derandomize=True,  # per-seed variation comes from CHAOS_SEED
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(1000 + CHAOS_SEED)
+    X = rng.normal(50.0, 10.0, size=(N_ROWS, D))
+    y = 2.0 + X @ np.asarray([1.0, -2.0]) + rng.normal(0, 0.1, N_ROWS)
+    columns = {"i": np.arange(1, N_ROWS + 1), "y": y}
+    for index, name in enumerate(dimension_names(D)):
+        columns[name] = X[:, index]
+    return columns
+
+
+def _fresh_db(columns, vectorized: bool = True) -> Database:
+    db = Database(amps=4, executor_workers=CHAOS_WORKERS)
+    db.create_table("x", dataset_schema(D, with_y=True))
+    db.load_columns("x", columns)
+    register_nlq_udfs(db)
+    register_scoring_udfs(db)
+    db.vectorized_select = vectorized
+    return db
+
+
+@pytest.fixture(scope="module")
+def baselines(dataset):
+    """Fault-free reference rows per query: (vectorized, row-path)."""
+    out = {}
+    for name, sql in QUERIES.items():
+        with _fresh_db(dataset) as db:
+            vectorized = db.execute(sql).rows
+        with _fresh_db(dataset, vectorized=False) as db:
+            # Permanently failing the block path degrades aggregation to
+            # the row path too, so this run is row-path end to end.
+            db.faults = FaultPlan().fail("block.materialize")
+            row = db.execute(sql).rows
+        out[name] = (vectorized, row)
+    return out
+
+
+def _assert_drained(db: Database) -> None:
+    """No running task may outlive the statement (abandoned timed-out
+    tasks are allowed to finish on the orphaned pool, but must do so)."""
+    engine = db._executor.engine
+    deadline = time.perf_counter() + 10.0
+    while engine.active_tasks and time.perf_counter() < deadline:
+        time.sleep(0.005)
+    assert engine.active_tasks == 0
+
+
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+@given(
+    specs=_fault_specs(_QUERY_SITES),
+    retries=st.sampled_from([0, 1, 2]),
+    timeout=st.sampled_from([None, 0.1]),
+)
+# Pinned schedules: generated examples skew tame, so each interesting
+# regime is guaranteed at least once — degradation (block path dies),
+# fatal task error, flaky healed by retries, flaky exhausting the retry
+# budget, batched-UDF kernel failure, and delay-past-timeout.
+@example(specs=[FaultSpec("block.materialize")], retries=0, timeout=None)
+@example(specs=[FaultSpec("engine.task", partition=1)], retries=0, timeout=None)
+@example(
+    specs=[FaultSpec("engine.task", kind="flaky", times=1)],
+    retries=2,
+    timeout=None,
+)
+@example(
+    specs=[FaultSpec("engine.task", kind="flaky", times=3, partition=2)],
+    retries=1,
+    timeout=None,
+)
+@example(specs=[FaultSpec("udf.compute_batch")], retries=0, timeout=None)
+@example(
+    specs=[FaultSpec("engine.task", kind="delay", delay_seconds=0.25)],
+    retries=0,
+    timeout=0.1,
+)
+@example(
+    specs=[
+        FaultSpec("block.materialize", kind="flaky", times=2),
+        FaultSpec("partition.scan", partition=3),
+    ],
+    retries=0,
+    timeout=None,
+)
+@settings(**_CHAOS_SETTINGS)
+def test_query_chaos(query_name, baselines, dataset, specs, retries, timeout):
+    sql = QUERIES[query_name]
+    db = _fresh_db(dataset)
+    try:
+        db.faults = FaultPlan(specs, seed=CHAOS_SEED)
+        db.task_retries = retries
+        db.task_timeout_seconds = timeout
+        rows_before = db.table("x").row_count
+        try:
+            result = db.execute(sql)
+        except ReproError as error:
+            # A failed statement must be typed — and a parallel failure
+            # must attribute at least one partition.
+            if isinstance(error, PartitionExecutionError):
+                assert error.partitions
+                assert error.first_error is not None
+        else:
+            vectorized, row = baselines[query_name]
+            assert result.rows == vectorized or result.rows == row
+        _assert_drained(db)
+        # A SELECT never mutates the table, faulted or not.
+        assert db.table("x").row_count == rows_before
+        # The engine must be reusable after any outcome: a fault-free
+        # statement on the same database returns the reference answer.
+        db.faults = None
+        db.task_timeout_seconds = None
+        vectorized, row = baselines[query_name]
+        assert db.execute(sql).rows == vectorized
+    finally:
+        db.close()
+
+
+@given(specs=_fault_specs(["insert.flush"]))
+@example(specs=[FaultSpec("insert.flush")])
+@example(specs=[FaultSpec("insert.flush", partition=2)])
+@example(specs=[FaultSpec("insert.flush", kind="flaky", partition=0)])
+@example(specs=[FaultSpec("insert.flush", kind="delay", delay_seconds=0.01)])
+@settings(**_CHAOS_SETTINGS)
+def test_insert_many_chaos(specs):
+    db = Database(amps=4, executor_workers=CHAOS_WORKERS)
+    try:
+        db.execute("CREATE TABLE t (i INTEGER PRIMARY KEY, x FLOAT)")
+        db.faults = FaultPlan(specs, seed=CHAOS_SEED)
+        table = db.table("t")
+        rows = [(i, float(i)) for i in range(60)]
+        try:
+            inserted = table.insert_many(rows)
+        except ReproError:
+            # Flush failure is all-or-nothing: no partial batch, no
+            # partition left ahead of the others.
+            assert table.row_count == 0
+            assert all(p.row_count == 0 for p in table.partitions)
+        else:
+            assert inserted == 60
+            assert table.row_count == 60
+        # Disarm and retry: a rolled-back batch must have released its
+        # primary keys, so the identical rows insert cleanly.
+        db.faults = None
+        if table.row_count == 0:
+            assert table.insert_many(rows) == 60
+        assert sorted(r[0] for r in table.rows()) == list(range(60))
+    finally:
+        db.close()
