@@ -89,6 +89,81 @@ class GaussianMixtureModel:
         model.log_likelihood = final_log_likelihood
         return model
 
+    @classmethod
+    def fit_dbms(
+        cls,
+        db,
+        table: str,
+        dimensions: "list[str]",
+        k: int,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        variance_floor: float = 1e-6,
+        seed: int = 0,
+    ) -> "GaussianMixtureModel":
+        """DBMS-driven EM, one fused scan per iteration.
+
+        Each iteration installs the current mixture on the ``emiter``
+        aggregate UDF and runs one SELECT: the E step's responsibilities
+        and the weighted per-cluster summaries are computed inside the
+        scan, with no materialized responsibility table.  Initialization
+        replays :meth:`fit_matrix`'s RNG draws exactly; the per-cluster
+        matrix products are merged per partition, so parameters match an
+        in-memory fit to float merge-order (not bitwise).
+        """
+        from repro.core.fused import (
+            fused_call_sql,
+            register_fused_udfs,
+            unpack_fused_payload,
+        )
+
+        udf = register_fused_udfs(db)["emiter"]
+        X = db.table(table).numeric_matrix(dimensions)
+        n, d = X.shape
+        if not 1 <= k <= n:
+            raise ModelError(f"k must be in [1, {n}], got {k}")
+        rng = np.random.default_rng(seed)
+        means = X[rng.choice(n, size=k, replace=False)].astype(float)
+        global_variance = np.maximum(X.var(axis=0), variance_floor)
+        variances = np.tile(global_variance, (k, 1))
+        weights = np.full(k, 1.0 / k)
+        model = cls(means, variances, weights)
+        sql = fused_call_sql("emiter", table, dimensions)
+
+        previous = -np.inf
+        for iteration in range(1, max_iterations + 1):
+            udf.set_model(model)
+            payload = db.execute(sql).scalar()
+            groups, log_likelihood = unpack_fused_payload(payload)
+            Nj = np.zeros(k)
+            Lj = np.zeros((k, d))
+            Qj = np.zeros((k, d))
+            for j, stats in groups.items():
+                Nj[j - 1] = stats.n
+                Lj[j - 1] = stats.L
+                Qj[j - 1] = np.diag(stats.Q)
+            if np.any(Nj <= 0):
+                raise ModelError("a mixture component collapsed to zero weight")
+            means = Lj / Nj[:, None]
+            variances = np.maximum(
+                Qj / Nj[:, None] - means**2, variance_floor
+            )
+            weights = Nj / n
+            model = cls(means, variances, weights, log_likelihood, iteration)
+            if np.isfinite(previous) and (
+                log_likelihood - previous <= tolerance * max(abs(previous), 1.0)
+            ):
+                break
+            previous = log_likelihood
+        # One more fused scan evaluates the log-likelihood the *final*
+        # parameters achieve (the loop's value predates its M step).
+        udf.set_model(model)
+        _, final_log_likelihood = unpack_fused_payload(
+            db.execute(sql).scalar()
+        )
+        model.log_likelihood = final_log_likelihood
+        return model
+
     # --------------------------------------------------------------- scoring
     def _log_component_densities(self, X: np.ndarray) -> np.ndarray:
         """log w_j + log N(x | C_j, diag R_j) for each row and component."""

@@ -119,6 +119,106 @@ class KMeansModel:
         return model
 
     @classmethod
+    def fit_dbms(
+        cls,
+        db,
+        table: str,
+        dimensions: "list[str]",
+        k: int,
+        max_iterations: int = 10,
+        tolerance: float = 1e-4,
+        seed: int = 0,
+    ) -> "KMeansModel":
+        """DBMS-driven Lloyd iterations, one fused scan per iteration.
+
+        Each iteration installs the current centroids on the
+        ``kmeansiter`` aggregate UDF and runs one SELECT: assignment and
+        per-cluster (N, L, Q) aggregation happen inside the scan, with
+        no materialized assignment table.  Bit-identical to
+        :meth:`fit_dbms_two_scan` (the fused kernel replays the scoring
+        and GROUP BY arithmetic exactly), at half the scans.
+        """
+        from repro.core.fused import (
+            fused_call_sql,
+            register_fused_udfs,
+            unpack_fused_payload,
+        )
+
+        udf = register_fused_udfs(db)["kmeansiter"]
+        matrix = db.table(table).numeric_matrix(dimensions)
+        n = matrix.shape[0]
+        if not 1 <= k <= n:
+            raise ModelError(f"k must be in [1, {n}], got {k}")
+        centroids = _plus_plus_init(matrix, k, np.random.default_rng(seed))
+        model = cls(centroids, np.zeros((k, len(dimensions))), np.zeros(k))
+        sql = fused_call_sql("kmeansiter", table, dimensions)
+        for iteration in range(1, max_iterations + 1):
+            previous = model.centroids
+            udf.set_centroids(previous)
+            payload = db.execute(sql).scalar()
+            groups, _ = unpack_fused_payload(payload)
+            model = cls.from_group_summaries(groups, k, previous)
+            model.iterations = iteration
+            shift = float(np.max(np.abs(model.centroids - previous)))
+            if shift <= tolerance:
+                break
+        return model
+
+    @classmethod
+    def fit_dbms_two_scan(
+        cls,
+        db,
+        table: str,
+        dimensions: "list[str]",
+        k: int,
+        max_iterations: int = 10,
+        tolerance: float = 1e-4,
+        seed: int = 0,
+    ) -> "KMeansModel":
+        """The reference two-scan iteration the fused path replaces.
+
+        Scan 1 evaluates the assignment expression (``clusterscore``
+        over inlined ``kmeansdistance`` calls) across the table — the
+        pass that classically materializes the assignment table.  Scan 2
+        re-aggregates per-cluster (N, L, Q) with the GROUP BY nLQ UDF
+        keyed on the same expression.  Kept as the parity and benchmark
+        baseline for :meth:`fit_dbms`.
+        """
+        from repro.core.fused import assignment_expression
+        from repro.core.nlq_udf import compute_nlq_udf_groups, register_nlq_udfs
+        from repro.core.scoring.udfs import register_scoring_udfs
+        from repro.core.summary import MatrixType
+
+        # Register-if-missing: duplicate registration raises, and callers
+        # (the miner) may have installed these already.
+        if db.catalog.scalar_udf("clusterscore") is None:
+            register_scoring_udfs(db)
+        if db.catalog.aggregate_udf("nlq_diag") is None:
+            register_nlq_udfs(db)
+        matrix = db.table(table).numeric_matrix(dimensions)
+        n = matrix.shape[0]
+        if not 1 <= k <= n:
+            raise ModelError(f"k must be in [1, {n}], got {k}")
+        centroids = _plus_plus_init(matrix, k, np.random.default_rng(seed))
+        model = cls(centroids, np.zeros((k, len(dimensions))), np.zeros(k))
+        for iteration in range(1, max_iterations + 1):
+            previous = model.centroids
+            expression = assignment_expression(dimensions, previous)
+            # Scan 1: the assignment pass (its result set is the
+            # materialized assignment table the fused path avoids).
+            db.execute(f"SELECT {expression} FROM {table}")
+            # Scan 2: per-cluster summaries keyed by the assignment.
+            groups = compute_nlq_udf_groups(
+                db, table, dimensions, expression, MatrixType.DIAGONAL
+            )
+            model = cls.from_group_summaries(groups, k, previous)
+            model.iterations = iteration
+            shift = float(np.max(np.abs(model.centroids - previous)))
+            if shift <= tolerance:
+                break
+        return model
+
+    @classmethod
     def fit_incremental(
         cls,
         X: np.ndarray,
@@ -134,7 +234,10 @@ class KMeansModel:
         if not 1 <= k <= n:
             raise ModelError(f"k must be in [1, {n}], got {k}")
         rng = np.random.default_rng(seed)
-        centroids = _plus_plus_init(X[: max(k * 10, k)], k, rng)
+        # Seed across the *whole* dataset: sampling only a prefix biases
+        # the initial centroids toward the first partitions' rows when
+        # the data arrives partition-ordered.
+        centroids = _plus_plus_init(X, k, rng)
         counts = np.zeros(k)
         linear = np.zeros((k, d))
         quadratic = np.zeros((k, d))

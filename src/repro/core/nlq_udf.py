@@ -178,6 +178,29 @@ class _NlqUdfBase(AggregateUdf):
         )
         return pack_summary(stats)
 
+    def state_from_stats(self, stats: SummaryStatistics) -> _NlqState:
+        """Synthesize a finished aggregate state from an existing summary.
+
+        This is how the summary-matrix cache serves a statement without
+        scanning: the cached :class:`SummaryStatistics` is loaded into a
+        fresh state, and the ordinary :meth:`finalize` then produces the
+        exact payload a scan would have.  ``n == 0`` maps to the
+        unshaped state, whose finalize returns NULL like an empty scan.
+        """
+        state = self.initialize()
+        if stats.n == 0:
+            return state
+        state.shape_for(stats.d)
+        self._observed_d = stats.d
+        state.n = float(stats.n)
+        state.L = stats.L.copy()
+        state.Q = np.diag(stats.Q).copy() if state.diagonal else stats.Q.copy()
+        if stats.mins is not None:
+            state.mins = stats.mins.copy()
+        if stats.maxs is not None:
+            state.maxs = stats.maxs.copy()
+        return state
+
     # -------------------------------------------------------------- costing
     def state_value_count(self) -> int:
         """Static struct size in 8-byte values: d and n, L[MAX_d], the Q
@@ -201,6 +224,10 @@ class NlqListUdf(_NlqUdfBase):
     """
 
     supports_block = True
+    #: eligible for the database's summary-matrix cache: a grand
+    #: ``nlq_*(d, x1, ..., xd)`` call is exactly a (table, columns,
+    #: matrix type) summary, so its payload can be served from cache
+    summary_cacheable = True
 
     def accumulate(self, state: _NlqState, args: Sequence[Any]) -> _NlqState:
         if len(args) < 2:

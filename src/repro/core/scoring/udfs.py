@@ -40,6 +40,28 @@ from repro.dbms.udf import RowCost, ScalarUdf
 from repro.errors import UdfArgumentError
 
 
+def squared_distance_block(X: np.ndarray, centroid: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance of each row of *X* to *centroid*.
+
+    The shared kernel behind :class:`KMeansDistanceUdf` and the fused
+    clustering iteration (:mod:`repro.core.fused`): per-dimension
+    accumulation from a zero vector with ``diff * diff``, replaying the
+    row path's left-associated ``sum((xa - ca) ** 2)`` bit for bit.
+    *centroid* may be a 1-D vector (broadcast against every row) or an
+    ``(n, d)`` matrix of per-row centroid columns — subtracting a scalar
+    produces the same IEEE bits as subtracting a constant-filled column,
+    so both call shapes agree exactly.
+    """
+    d = X.shape[1]
+    acc = np.zeros(X.shape[0])
+    for a in range(d):
+        diff = X[:, a] - centroid[..., a]
+        # diff * diff, not diff ** 2: a correctly rounded pow(x, 2)
+        # equals x * x, matching the row path's ``(xa - ca) ** 2``.
+        acc += diff * diff
+    return acc
+
+
 def _floats(args: tuple[Any, ...], udf_name: str) -> "list[float] | None":
     """Validate numeric arguments; None (any NULL in → NULL out)."""
     values: list[float] = []
@@ -164,13 +186,7 @@ class KMeansDistanceUdf(ScalarUdf):
     def compute_batch(self, args: np.ndarray) -> np.ndarray:
         self._validate_count(args.shape[1])
         d = args.shape[1] // 2
-        acc = np.zeros(args.shape[0])
-        for a in range(d):
-            diff = args[:, a] - args[:, d + a]
-            # diff * diff, not diff ** 2: a correctly rounded pow(x, 2)
-            # equals x * x, matching the row path's ``(xa - ca) ** 2``.
-            acc += diff * diff
-        return acc
+        return squared_distance_block(args[:, :d], args[:, d:])
 
     def cost_per_row(self, arg_count: int) -> RowCost:
         d = arg_count // 2

@@ -1,0 +1,172 @@
+"""A database-level cache of summary matrices (n, L, Q).
+
+The sufficient statistics are tiny — O(d²) floats — while computing them
+costs a full table scan.  Since every model in the paper's framework is
+built *from* the statistics rather than from the data, a warehouse that
+remembers the summary per ``(table, column set, matrix type)`` can build
+the second and every later model over the same columns with zero rows
+scanned: repeat model builds become pure O(d²) math.
+
+Freshness is keyed on two per-table counters maintained by
+:class:`~repro.dbms.storage.Table`:
+
+* ``version`` — bumped on every successful mutation;
+* ``data_version`` — ``version`` as of the last *destructive* mutation
+  (``truncate``, which also backs DELETE and UPDATE).
+
+An entry whose recorded version equals the table's current version is
+served as-is (a **fresh hit**, zero rows scanned).  If only appends have
+happened since the entry was built (``entry version >=
+data_version``), the entry's :class:`~repro.core.incremental.
+IncrementalSummary` watermarks let it fold in exactly the appended
+suffix (a **stale hit**, O(new rows)).  Anything else — a destructive
+mutation, or a table object replaced via DROP/CREATE — forces a full
+rebuild (a **miss**, which warms the cache for the next build).  A
+stale *answer* is therefore impossible: every serve path re-validates
+against the live table counters first.
+
+The cache is **opt-in** (``Database.summary_cache_enabled = True``): a
+cache-served statement legitimately reports different wall-clock
+metrics (``rows_scanned == 0``) and bypasses scan-path fault sites, so
+it must never surprise code that asserts on those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.incremental import IncrementalSummary
+from repro.core.summary import MatrixType, SummaryStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dbms.database import Database
+    from repro.dbms.storage import Table
+
+#: cache key: (table name, column names, matrix type), case-normalized
+CacheKey = "tuple[str, tuple[str, ...], MatrixType]"
+
+
+@dataclass
+class _CacheEntry:
+    """One cached summary plus the freshness snapshot it was taken at."""
+
+    summary: IncrementalSummary
+    #: the Table *object* the entry was built against; a DROP/CREATE of
+    #: the same name yields a new object, which must read as a miss
+    table: "Table"
+    #: ``table.version`` as of the last (re)build or refresh
+    version: int
+
+
+class SummaryCache:
+    """Shared cache of :class:`SummaryStatistics` keyed per table/columns.
+
+    Not thread-safe by design: statements execute on the coordinating
+    thread (only partition scans fan out), so lookups are serial.
+    """
+
+    def __init__(self, db: "Database") -> None:
+        self._db = db
+        #: flipped by ``Database.summary_cache_enabled``; the executor
+        #: checks it before considering any statement for serving
+        self.enabled = True
+        self._entries: "dict[CacheKey, _CacheEntry]" = {}
+        #: lifetime counters (per-statement deltas live in QueryMetrics)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(
+        table: str, dimensions: Sequence[str], matrix_type: MatrixType
+    ) -> "CacheKey":
+        return (
+            table.lower(),
+            tuple(name.lower() for name in dimensions),
+            matrix_type,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------- lookup
+    def lookup(
+        self,
+        table: str,
+        dimensions: Sequence[str],
+        matrix_type: MatrixType,
+    ) -> "tuple[SummaryStatistics, bool, int]":
+        """The summary for *(table, dimensions, matrix_type)*.
+
+        Returns ``(stats, hit, rows_refreshed)``: *hit* is whether an
+        existing entry served the call (possibly after an incremental
+        watermark refresh of ``rows_refreshed`` appended rows); a miss
+        builds the entry with one full scan (``rows_refreshed`` = the
+        table's rows) so the next call is free.
+        """
+        table_obj = self._db.table(table)
+        key = self._key(table, dimensions, matrix_type)
+        entry = self._entries.get(key)
+        if (
+            entry is not None
+            and entry.table is table_obj
+            and entry.version >= table_obj.data_version
+        ):
+            if entry.version == table_obj.version:
+                self.hits += 1
+                return entry.summary.stats, True, 0
+            # Appends only since the entry was built: fold in the
+            # watermarked suffix, not the whole table.
+            refreshed = entry.summary.pending_rows()
+            entry.summary.refresh()
+            entry.version = table_obj.version
+            self.hits += 1
+            return entry.summary.stats, True, refreshed
+        summary = IncrementalSummary(self._db, table, dimensions, matrix_type)
+        refreshed = summary.pending_rows()
+        summary.refresh()
+        self._entries[key] = _CacheEntry(summary, table_obj, table_obj.version)
+        self.misses += 1
+        return summary.stats, False, refreshed
+
+    def probe(
+        self,
+        table: str,
+        dimensions: Sequence[str],
+        matrix_type: MatrixType,
+    ) -> "tuple[str, int]":
+        """Non-mutating freshness check for EXPLAIN annotations.
+
+        Returns ``(status, pending_rows)`` where status is ``"hit"``
+        (served with zero rows scanned), ``"stale"`` (served after an
+        incremental refresh of *pending_rows*) or ``"miss"`` (a full
+        scan would build the entry).
+        """
+        table_obj = self._db.table(table)
+        entry = self._entries.get(self._key(table, dimensions, matrix_type))
+        if (
+            entry is not None
+            and entry.table is table_obj
+            and entry.version >= table_obj.data_version
+        ):
+            if entry.version == table_obj.version:
+                return "hit", 0
+            return "stale", entry.summary.pending_rows()
+        return "miss", table_obj.row_count
+
+    # -------------------------------------------------------- maintenance
+    def invalidate(self, table: "str | None" = None) -> int:
+        """Drop entries for *table* (or everything); returns the count.
+
+        Version checks already make stale answers impossible — this is
+        for reclaiming memory or forcing a cold rebuild in benchmarks.
+        """
+        if table is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+        key_prefix = table.lower()
+        victims = [key for key in self._entries if key[0] == key_prefix]
+        for key in victims:
+            del self._entries[key]
+        return len(victims)

@@ -18,6 +18,8 @@ site                      fires
 ``partition.scan``        in a row-path partition task, before its scan
 ``block.materialize``     in a vectorized task, before the numpy block build
 ``udf.compute_batch``     inside a batched scalar-UDF kernel dispatch
+``udf.fused_iter``        in a vectorized task running a fused
+                          clustering-iteration UDF, before accumulation
 ``engine.task``           in the engine's task wrapper, before any task body
 ``insert.flush``          before each per-partition flush of ``insert_many``
 ========================  ====================================================
@@ -49,6 +51,7 @@ FAULT_SITES = frozenset(
         "partition.scan",
         "block.materialize",
         "udf.compute_batch",
+        "udf.fused_iter",
         "engine.task",
         "insert.flush",
     }

@@ -79,6 +79,19 @@ class QueryMetrics:
     fallbacks: int = 0
     #: why the last degradation happened ("" when fallbacks == 0)
     fallback_reason: str = ""
+    #: statements served from the database's summary-matrix cache
+    #: (entry existed and only its watermark suffix, if anything, was
+    #: re-read)
+    summary_cache_hits: int = 0
+    #: cache-eligible statements that had to build a fresh entry
+    summary_cache_misses: int = 0
+    #: full table scans this statement avoided via the summary cache
+    scans_saved: int = 0
+    #: physical rows read from table partitions.  Equals
+    #: ``rows_processed`` except when the summary cache serves a
+    #: statement: a fresh hit scans zero rows, a stale hit scans only
+    #: the un-watermarked suffix.
+    rows_scanned: int = 0
 
     def to_dict(self) -> dict[str, float | int]:
         """A plain-dict snapshot; inverse of :meth:`from_dict`.

@@ -71,7 +71,7 @@ from repro.dbms.storage import Table
 from repro.dbms.trace import NULL_TRACER, Span, Tracer
 from repro.dbms.types import SqlType
 from repro.dbms.udf import AggregateUdf
-from repro.errors import ExecutionError, PlanningError
+from repro.errors import ExecutionError, PlanningError, SchemaError
 
 
 @dataclass
@@ -157,8 +157,13 @@ class Executor:
         self.vectorized_select = True
         #: fault-injection plan for executor-level sites
         #: (``partition.scan``, ``block.materialize``,
-        #: ``udf.compute_batch``); installed by ``Database(faults=...)``
+        #: ``udf.compute_batch``, ``udf.fused_iter``); installed by
+        #: ``Database(faults=...)``
         self.faults: FaultPlan | NullFaults = NULL_FAULTS
+        #: opt-in summary-matrix cache, installed by
+        #: ``Database.summary_cache_enabled = True``; ``None`` (the
+        #: default) keeps every statement on the scan path
+        self.summary_cache: "Any | None" = None
 
     # ----------------------------------------------------------- supervision
     def _engine_map(
@@ -221,6 +226,13 @@ class Executor:
             return self._dispatch(statement)
         finally:
             self.last_metrics.total_seconds = time.perf_counter() - started
+            # rows_scanned equals rows_processed for every scan-path
+            # statement; only a summary-cache serve sets it lower (a
+            # fresh hit scans zero rows, a stale hit only the suffix).
+            self.last_metrics.rows_scanned = max(
+                self.last_metrics.rows_scanned,
+                self.last_metrics.rows_processed,
+            )
 
     def _dispatch(self, statement: ast.Statement) -> Relation:
         if isinstance(statement, ast.Explain):
@@ -270,6 +282,13 @@ class Executor:
             analyze=statement.analyze,
             vectorized_select=self.vectorized_select,
         )
+        # Probed before ANALYZE executes, so the note reports the cache
+        # state this statement actually saw (a miss that warms the cache
+        # still renders as the miss it was).
+        cache_note = self._summary_cache_note(plan.optimized)
+        if cache_note is not None:
+            for node in plan.find("aggregate"):
+                node.notes.append(cache_note)
         if statement.analyze:
             tracer = Tracer()
             self.tracer = tracer
@@ -799,11 +818,18 @@ class Executor:
             else None
         )
 
-        groups = self._accumulate_groups(
-            env, binder, aggregates, group_exprs, group_fns, where_fn
-        )
+        served = self._serve_from_summary_cache(select, env, aggregates)
+        if served is not None:
+            # The cache (or its incremental watermark refresh) already
+            # charged exactly the rows it re-read, so the per-row
+            # aggregation charges are skipped along with the scan.
+            groups = {(): [served]}
+        else:
+            groups = self._accumulate_groups(
+                env, binder, aggregates, group_exprs, group_fns, where_fn
+            )
 
-        self._charge_aggregate_costs(select, env, aggregates, len(groups))
+            self._charge_aggregate_costs(select, env, aggregates, len(groups))
 
         # Build the post-aggregation environment and rewrite select items.
         replacements: dict[str, ast.Expression] = {}
@@ -880,6 +906,136 @@ class Executor:
                         f"column {node.display()!r} must appear in GROUP BY "
                         "or inside an aggregate"
                     )
+
+    # ------------------------------------------------------ summary cache
+    def _static_summary_cache_target(
+        self, select: ast.Select
+    ) -> "tuple[Table, list[str], Any] | None":
+        """Statically decide whether *select* is one cacheable summary call.
+
+        Eligible shape: a grand aggregate (no GROUP BY / WHERE / HAVING /
+        joins) over exactly one base table, whose single aggregate is a
+        ``summary_cacheable`` UDF called in the list form — a leading
+        integer literal ``d`` followed by ``d`` numeric column
+        references.  Returns ``(table, dimension names, matrix type)``
+        or ``None``; never mutates cache state.
+        """
+        cache = self.summary_cache
+        if cache is None or not getattr(cache, "enabled", False):
+            return None
+        if (
+            select.group_by
+            or select.where is not None
+            or select.having is not None
+            or select.joins
+            or len(select.from_sources) != 1
+        ):
+            return None
+        source = select.from_sources[0]
+        if not isinstance(source, ast.TableName):
+            return None
+        if self._catalog.has_view(source.name) or not self._catalog.has_table(
+            source.name
+        ):
+            return None
+        table = self._catalog.table(source.name)
+        calls = self._collect_aggregates(select)
+        if len(calls) != 1:
+            return None
+        udf = self._catalog.aggregate_udf(calls[0].name)
+        if udf is None or not getattr(udf, "summary_cacheable", False):
+            return None
+        matrix_type = getattr(udf, "matrix_type", None)
+        if matrix_type is None:
+            return None
+        args = calls[0].call.args
+        if len(args) < 2:
+            return None
+        first = args[0]
+        if (
+            not isinstance(first, ast.Literal)
+            or isinstance(first.value, bool)
+            or not isinstance(first.value, int)
+            or first.value != len(args) - 1
+        ):
+            return None
+        dimensions: list[str] = []
+        for arg in args[1:]:
+            if not isinstance(arg, ast.ColumnRef):
+                return None
+            try:
+                column = table.schema.column(arg.name)
+            except SchemaError:
+                return None
+            if not column.sql_type.is_numeric:
+                return None
+            dimensions.append(column.name)
+        return table, dimensions, matrix_type
+
+    def _serve_from_summary_cache(
+        self,
+        select: ast.Select,
+        env: Relation,
+        aggregates: list["_AggregateSpec"],
+    ) -> "Any | None":
+        """Serve a cacheable summary statement without a full scan.
+
+        Returns a synthesized aggregate state carrying the cached
+        :class:`~repro.core.summary.SummaryStatistics` (finalize then
+        produces the exact payload a scan would), or ``None`` to stay on
+        the scan path.  A cache miss still builds and stores the entry —
+        the statement pays its one scan and every repeat is free.
+        """
+        target = self._static_summary_cache_target(select)
+        if target is None:
+            return None
+        table, dimensions, matrix_type = target
+        if env.base_table is not table or env._materialized:
+            return None
+        if len(aggregates) != 1:
+            return None
+        udf = aggregates[0].aggregate
+        if not hasattr(udf, "state_from_stats"):
+            return None
+        with self.tracer.span("summary-cache") as span:
+            stats, hit, refreshed = self.summary_cache.lookup(
+                table.name, dimensions, matrix_type
+            )
+            metrics = self.last_metrics
+            if hit:
+                metrics.summary_cache_hits += 1
+                metrics.scans_saved += 1
+            else:
+                metrics.summary_cache_misses += 1
+            metrics.rows_scanned += refreshed
+            if span is not None:
+                span.attributes["table"] = table.name
+                span.attributes["columns"] = ",".join(dimensions)
+                span.attributes["hit"] = hit
+                span.attributes["rows_refreshed"] = refreshed
+        return udf.state_from_stats(stats)
+
+    def _summary_cache_note(self, select: ast.Select) -> "str | None":
+        """The EXPLAIN annotation for a cache-eligible statement, from a
+        non-mutating probe of the cache's current state."""
+        target = self._static_summary_cache_target(select)
+        if target is None:
+            return None
+        table, dimensions, matrix_type = target
+        status, pending = self.summary_cache.probe(
+            table.name, dimensions, matrix_type
+        )
+        if status == "hit":
+            return (
+                "summary-cache hit: (n, L, Q) served from cache, "
+                "0 rows scanned"
+            )
+        if status == "stale":
+            return (
+                "summary-cache hit (stale): incremental refresh reads "
+                f"{pending} appended rows"
+            )
+        return "summary-cache miss: this scan warms the cache"
 
     def _accumulate_groups(
         self,
@@ -1160,6 +1316,14 @@ class Executor:
         ]
         partitions = [partition for _, partition in numbered]
         faults = self.faults
+        # Aggregates that declare a fault site (the fused clustering
+        # iteration UDFs) arm it per vectorized task, between block
+        # materialization and accumulation.
+        fused_udfs = [
+            (site, spec.call.name)
+            for spec in aggregates
+            if (site := getattr(spec.aggregate, "fault_site", None))
+        ]
 
         def make_task(pid, partition):
             def task() -> tuple[dict[tuple, list[Any]], int, float, float, bool]:
@@ -1167,6 +1331,9 @@ class Executor:
                 if faults.enabled:
                     faults.fire("block.materialize", partition=pid)
                 block, cache_hit = partition.numeric_matrix_with_stats(positions)
+                if faults.enabled:
+                    for site, udf_name in fused_udfs:
+                        faults.fire(site, partition=pid, udf=udf_name)
                 accumulate_start = time.perf_counter()
                 local: dict[tuple, list[Any]] = {}
                 if not group_exprs:
@@ -1235,6 +1402,15 @@ class Executor:
                 self.last_metrics.block_cache_hits += 1
             else:
                 self.last_metrics.block_cache_misses += 1
+        if task_spans is not None and fused_udfs:
+            # Zero-cost marker child so ANALYZE shows which tasks ran a
+            # fused clustering iteration (``_operator_spans`` skips
+            # spans under tasks, so pairing is unaffected).
+            marker = ",".join(name for _, name in fused_udfs)
+            for task_span in task_spans:
+                task_span.children.append(
+                    Span("fused-iteration", attributes={"udf": marker})
+                )
         self._merge_partition_partials(
             [result[:4] for result in results],
             aggregates,

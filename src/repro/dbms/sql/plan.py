@@ -449,6 +449,11 @@ class _PlanBuilder:
                 f"{udf.state_value_count()} state values/partition, "
                 f"merged across {partitions} partials"
             )
+            if getattr(udf, "fused_iteration", False):
+                notes.append(
+                    f"fused clustering iteration ({udf.name}): assignment "
+                    "+ (N, L, Q) accumulation in one scan"
+                )
         node = PlanNode(
             "aggregate",
             f"[{names}] group by {keys}",

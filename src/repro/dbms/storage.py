@@ -250,6 +250,15 @@ class Table:
         )
         self._pk_values: set[Any] = set()
         self._next_partition = 0
+        #: monotonically increasing mutation counter: bumped once per
+        #: successful insert / batch flush / bulk load / truncate.  The
+        #: database's summary-matrix cache keys freshness on it.
+        self.version = 0
+        #: ``version`` as of the last *destructive* mutation (truncate).
+        #: While a cache entry's version is >= this, only appends have
+        #: happened since it was built, so incremental watermark
+        #: refresh is sound; otherwise the entry must rebuild.
+        self.data_version = 0
 
     # ------------------------------------------------------------- properties
     @property
@@ -323,6 +332,7 @@ class Table:
     def insert(self, row: Sequence[Any]) -> None:
         coerced = self._check_row(row)
         self._partition_for(coerced).append(coerced)
+        self.version += 1
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
         """Insert rows, batching the per-partition appends.
@@ -402,6 +412,8 @@ class Table:
                 partition.rollback_rows(added)
             self._pk_values -= staged_keys
             raise
+        if flushed:
+            self.version += 1
 
     def bulk_load_arrays(self, columns: dict[str, np.ndarray | Sequence[Any]]) -> int:
         """Fast bulk load from column arrays (the workload-generator path).
@@ -438,6 +450,7 @@ class Table:
             partition.extend_columns(
                 [col[start:stop].tolist() for col in ordered]
             )
+        self.version += 1
         return total
 
     # ------------------------------------------------------------------ scans
@@ -475,3 +488,5 @@ class Table:
         ]
         self._pk_values.clear()
         self._next_partition = 0
+        self.version += 1
+        self.data_version = self.version

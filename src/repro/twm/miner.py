@@ -240,6 +240,9 @@ class WarehouseMiner:
 
         *method* selects the assignment/summary machinery:
 
+        * ``"fused"`` — one scan per iteration: the ``kmeansiter``
+          aggregate UDF fuses assignment and per-cluster summaries
+          (see ``docs/clustering.md``);
         * ``"udf"`` — group by ``clusterscore(kmeansdistance(...), ...)``
           and aggregate with the diagonal nLQ UDF;
         * ``"sql"`` — no UDFs at all: the nearest centroid is a generated
@@ -247,7 +250,7 @@ class WarehouseMiner:
           from the plain-SQL GROUP BY query (the route of the author's
           SQL K-means work, reference [15] of the paper).
         """
-        if method not in ("udf", "sql"):
+        if method not in ("fused", "udf", "sql"):
             raise ModelError(f"unknown kmeans method {method!r}")
         dims = list(dimensions) if dimensions is not None \
             else self.dimensions_of(table)
@@ -256,13 +259,25 @@ class WarehouseMiner:
             raise ModelError(
                 f"table {table!r} has {matrix.shape[0]} rows; need >= k={k}"
             )
-        sample_rows = min(matrix.shape[0], max(50 * k, 500))
-        centroids = _plus_plus_init(
-            matrix[:sample_rows], k, np.random.default_rng(seed)
-        )
+        # Seed across the whole dataset — sampling a prefix would bias
+        # the initial centroids toward the first partitions' rows.
+        centroids = _plus_plus_init(matrix, k, np.random.default_rng(seed))
+        fused_udf = None
+        fused_sql = None
+        if method == "fused":
+            from repro.core.fused import fused_call_sql, register_fused_udfs
+
+            fused_udf = register_fused_udfs(self.db)["kmeansiter"]
+            fused_sql = fused_call_sql("kmeansiter", table, dims)
         model = KMeansModel(centroids, np.zeros_like(centroids), np.zeros(k))
         for iteration in range(1, max_iterations + 1):
-            if method == "udf":
+            if method == "fused":
+                from repro.core.fused import unpack_fused_payload
+
+                fused_udf.set_centroids(model.centroids)
+                payload = self.db.execute(fused_sql).scalar()
+                groups, _ = unpack_fused_payload(payload)
+            elif method == "udf":
                 group_expr = self._assignment_expression(dims, model.centroids)
                 groups = compute_nlq_udf_groups(
                     self.db, table, dims, group_expr, MatrixType.DIAGONAL
@@ -327,12 +342,22 @@ class WarehouseMiner:
         table: str,
         k: int,
         dimensions: Sequence[str] | None = None,
+        method: str = "matrix",
         **kwargs,
     ) -> GaussianMixtureModel:
-        """EM clustering on the table's points (in-memory E step; the M
-        step consumes weighted sufficient statistics — see the module)."""
+        """EM clustering on the table's points.
+
+        ``method="matrix"`` runs the in-memory reference fit;
+        ``method="fused"`` drives the DBMS with one fused ``emiter``
+        scan per iteration (see ``docs/clustering.md``)."""
+        if method not in ("matrix", "fused"):
+            raise ModelError(f"unknown gaussian_mixture method {method!r}")
         dims = list(dimensions) if dimensions is not None \
             else self.dimensions_of(table)
+        if method == "fused":
+            return GaussianMixtureModel.fit_dbms(
+                self.db, table, dims, k, **kwargs
+            )
         matrix = self.db.table(table).numeric_matrix(dims)
         return GaussianMixtureModel.fit_matrix(matrix, k, **kwargs)
 
@@ -350,12 +375,9 @@ class WarehouseMiner:
     def _assignment_expression(
         dimensions: Sequence[str], centroids: np.ndarray
     ) -> str:
-        distances = []
-        xs = ", ".join(dimensions)
-        for centroid in centroids:
-            cs = ", ".join(repr(float(value)) for value in centroid)
-            distances.append(f"kmeansdistance({xs}, {cs})")
-        return f"clusterscore({', '.join(distances)})"
+        from repro.core.fused import assignment_expression
+
+        return assignment_expression(dimensions, centroids)
 
     @staticmethod
     def _assignment_case_expression(

@@ -29,6 +29,7 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, example, given, settings, strategies as st
 
+from repro.core.models.kmeans import KMeansModel
 from repro.core.nlq_udf import register_nlq_udfs
 from repro.core.scoring.sqlgen import ScoringSqlGenerator
 from repro.core.scoring.udfs import register_scoring_udfs
@@ -199,6 +200,108 @@ def test_query_chaos(query_name, baselines, dataset, specs, retries, timeout):
         db.task_timeout_seconds = None
         vectorized, row = baselines[query_name]
         assert db.execute(sql).rows == vectorized
+    finally:
+        db.close()
+
+
+_FUSED_SITES = [
+    "udf.fused_iter",
+    "block.materialize",
+    "engine.task",
+]
+
+_FUSED_K = 3
+
+
+def _fit_fused(db: Database) -> KMeansModel:
+    return KMeansModel.fit_dbms(
+        db, "x", dimension_names(D), _FUSED_K, seed=CHAOS_SEED
+    )
+
+
+@pytest.fixture(scope="module")
+def fused_baselines(dataset):
+    """Fault-free fused K-means fits: (vectorized, row-path)."""
+    with _fresh_db(dataset) as db:
+        vectorized = _fit_fused(db)
+    with _fresh_db(dataset) as db:
+        # A permanent error at the fused site degrades every iteration's
+        # statement to the row path, so this fit is row-path end to end.
+        db.faults = FaultPlan().fail("udf.fused_iter")
+        row = _fit_fused(db)
+    return vectorized, row
+
+
+def _models_identical(model: KMeansModel, reference: KMeansModel) -> bool:
+    return (
+        np.array_equal(model.centroids, reference.centroids)
+        and np.array_equal(model.radii, reference.radii)
+        and np.array_equal(model.weights, reference.weights)
+    )
+
+
+@given(
+    specs=_fault_specs(_FUSED_SITES),
+    retries=st.sampled_from([0, 1, 2]),
+    timeout=st.sampled_from([None, 0.1]),
+)
+# Pinned regimes for the fused iteration UDF: a permanent error at the
+# fused site (every statement degrades to the row path), a one-shot
+# error (one degraded iteration inside an otherwise vectorized fit), a
+# delay at the fused site, a fatal engine error, and delay-past-timeout.
+@example(specs=[FaultSpec("udf.fused_iter")], retries=0, timeout=None)
+@example(specs=[FaultSpec("udf.fused_iter", times=1)], retries=0, timeout=None)
+@example(
+    specs=[FaultSpec("udf.fused_iter", kind="delay", delay_seconds=0.01)],
+    retries=0,
+    timeout=None,
+)
+@example(
+    specs=[FaultSpec("engine.task", partition=2, times=1)],
+    retries=0,
+    timeout=None,
+)
+@example(
+    specs=[
+        FaultSpec("udf.fused_iter", kind="delay", delay_seconds=0.25),
+    ],
+    retries=0,
+    timeout=0.1,
+)
+@settings(**_CHAOS_SETTINGS)
+def test_fused_kmeans_chaos(fused_baselines, dataset, specs, retries, timeout):
+    """A fused K-means fit under faults: bit-identical or typed error.
+
+    Every armed run must terminate with either a model identical to a
+    fault-free fit (vectorized or row-path — a degraded iteration
+    replays the row-path arithmetic exactly) or a typed
+    :class:`ReproError`; the table is never mutated and the engine is
+    reusable afterwards.
+    """
+    db = _fresh_db(dataset)
+    try:
+        db.faults = FaultPlan(specs, seed=CHAOS_SEED)
+        db.task_retries = retries
+        db.task_timeout_seconds = timeout
+        rows_before = db.table("x").row_count
+        try:
+            model = _fit_fused(db)
+        except ReproError as error:
+            if isinstance(error, PartitionExecutionError):
+                assert error.partitions
+                assert error.first_error is not None
+        else:
+            assert any(
+                _models_identical(model, reference)
+                for reference in fused_baselines
+            )
+        _assert_drained(db)
+        # Fitting reads the table; faulted or not, it must never mutate.
+        assert db.table("x").row_count == rows_before
+        db.faults = None
+        db.task_timeout_seconds = None
+        clean = _fit_fused(db)
+        assert _models_identical(clean, fused_baselines[0])
     finally:
         db.close()
 
