@@ -1,0 +1,174 @@
+"""Multi-model build on one shared scan vs. four serial builds.
+
+Correlation, PCA, factor analysis and linear regression all consume
+sufficient statistics, so their four summary statements consolidate to
+ONE scan of X under the batch rewrite (``docs/plan_rewrites.md``).
+The claims:
+
+1. the consolidated plan really is one scan — asserted on plan
+   *shape*, not inferred from timings, and gated against the serial
+   baseline with ``plan_shape_gate``;
+2. every model built from the batched summaries is **bit-identical**
+   to the model built from its serially executed statement;
+3. at n = 100k, d = 8 the batch costs >= 2x less simulated time than
+   the four serial statements (the acceptance criterion — duplicate
+   elimination collapses the three identical base-summary statements
+   to one accumulator pass, and the scan is charged once).
+
+Both tests write ``BENCH_multimodel.json`` at the repo root (the smoke
+run at tiny scale, so CI always uploads an artifact; a full run
+overwrites it with the real sweep).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import (
+    BenchDataset,
+    batch_plan_shape,
+    plan_shape,
+    plan_shape_gate,
+    scaled_dataset,
+)
+from repro.core.models.correlation import CorrelationModel
+from repro.core.models.factor_analysis import FactorAnalysisModel
+from repro.core.models.pca import PCAModel
+from repro.core.models.regression import AugmentedSummary, LinearRegressionModel
+from repro.core.nlq_udf import nlq_call_sql
+from repro.core.packing import unpack_summary
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_multimodel.json"
+
+K = 2  # components kept by PCA / factor analysis
+
+
+def _statements(data: BenchDataset) -> list[str]:
+    """The four summary statements ``build_all_models`` batches: three
+    identical base (n, L, Q) builds and regression's augmented
+    Z = (1, X, y) summary."""
+    dims = data.dimensions
+    return [
+        nlq_call_sql(data.table, dims),          # correlation
+        nlq_call_sql(data.table, dims),          # pca — same summary
+        nlq_call_sql(data.table, dims),          # factor analysis — same
+        nlq_call_sql(data.table, ["1.0", *dims, "y"]),  # regression
+    ]
+
+
+def _models(results, dims: list[str]) -> dict[str, object]:
+    base = unpack_summary(results[0].scalar())
+    augmented = unpack_summary(results[3].scalar())
+    return {
+        "correlation": CorrelationModel.from_summary(base, dims),
+        "pca": PCAModel.from_summary(base, K),
+        "factor_analysis": FactorAnalysisModel.from_summary(base, K),
+        "regression": LinearRegressionModel.from_summary(
+            AugmentedSummary(augmented)
+        ),
+    }
+
+
+def _assert_identical(batched: dict, serial: dict) -> None:
+    assert np.array_equal(batched["correlation"].rho, serial["correlation"].rho)
+    assert np.array_equal(batched["pca"].components, serial["pca"].components)
+    assert np.array_equal(
+        batched["pca"].eigenvalues, serial["pca"].eigenvalues
+    )
+    assert np.array_equal(
+        batched["factor_analysis"].loadings,
+        serial["factor_analysis"].loadings,
+    )
+    assert batched["regression"].intercept == serial["regression"].intercept
+    assert np.array_equal(
+        batched["regression"].coefficients, serial["regression"].coefficients
+    )
+
+
+def _record(n: int, d: int) -> dict[str, float | int | str]:
+    data = scaled_dataset(n, d, with_y=True)
+    db = data.db
+    try:
+        statements = _statements(data)
+
+        # Claim 1: shape first — one scan, and no regression vs. the
+        # single-statement baseline plan.
+        batch_shape = batch_plan_shape(data, statements)
+        assert batch_shape.single_scan, (
+            f"expected one consolidated scan, got {batch_shape.scans}"
+        )
+        single = plan_shape(data, statements[0])
+        gate = plan_shape_gate(single, batch_shape)
+        assert gate is None, f"plan-shape gate failed: {gate}"
+
+        serial_results = [db.execute(sql) for sql in statements]
+        serial_seconds = sum(
+            result.simulated_seconds for result in serial_results
+        )
+        db.reset_clock()
+        batch_results = db.execute_batch(statements)
+        batch_seconds = batch_results[0].simulated_seconds
+        metrics = batch_results[0].metrics
+        assert metrics.statements_batched == 4
+        assert metrics.scans_saved == 3
+
+        # Claim 2: bit-identical models either way.
+        _assert_identical(
+            _models(batch_results, data.dimensions),
+            _models(serial_results, data.dimensions),
+        )
+    finally:
+        db.close()
+    return {
+        "n": n,
+        "d": d,
+        "models": 4,
+        "serial_simulated_seconds": serial_seconds,
+        "batch_simulated_seconds": batch_seconds,
+        "scans_saved": 3,
+        "speedup": serial_seconds / batch_seconds,
+    }
+
+
+def _write_json(records: list[dict[str, float | int | str]]) -> None:
+    BENCH_JSON.write_text(json.dumps(records, indent=2) + "\n")
+
+
+def test_multimodel_shared_scan_smoke(benchmark):
+    """Tiny always-on check: one scan, identical models, wall-clocked."""
+    record = _record(2_000, 4)
+    _write_json([record])
+    assert record["speedup"] >= 1.9
+
+    data = scaled_dataset(2_000, 4, with_y=True)
+    try:
+        statements = _statements(data)
+        benchmark(data.db.execute_batch, statements)
+    finally:
+        data.db.close()
+
+
+def test_multimodel_shared_scan_speedup_100k_d8():
+    """The acceptance benchmark: >=2x simulated at n=100k, d=8."""
+    records = [
+        _record(10_000, 4),
+        _record(100_000, 8),
+        _record(1_000_000, 8),
+    ]
+    _write_json(records)
+
+    for record in records:
+        print(
+            f"\nmultimodel n={record['n']:>9} d={record['d']} "
+            f"serial={record['serial_simulated_seconds']:8.2f}s "
+            f"batch={record['batch_simulated_seconds']:8.2f}s "
+            f"speedup={record['speedup']:.2f}x"
+        )
+
+    (acceptance,) = [r for r in records if r["n"] == 100_000]
+    assert acceptance["speedup"] >= 2.0, (
+        f"expected >=2x at n=100k d=8, got {acceptance['speedup']:.2f}x"
+    )

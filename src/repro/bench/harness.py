@@ -134,6 +134,52 @@ def plan_shape(data: BenchDataset, sql: str) -> "PlanShape":
     )
 
 
+def batch_plan_shape(
+    data: BenchDataset, statements: Sequence[str]
+) -> "PlanShape":
+    """The plan shape :meth:`Database.execute_batch` would run.
+
+    A consolidated batch reports ``scans == 1`` regardless of how many
+    statements ride it (later distinct statements carry ``shared-scan``
+    markers, which are not scans); a refused batch reports one scan per
+    statement.  Purely analytical, like :func:`plan_shape`.
+    """
+    plan = data.db.explain_batch(statements)
+    return PlanShape(
+        scans=len(plan.scans),
+        aggregates=len(plan.find("aggregate")),
+        joins=len(
+            [
+                node
+                for node in plan.nodes()
+                if node.operator in ("join", "cross join", "left outer join")
+            ]
+        ),
+        subqueries=len(plan.find("subquery")),
+        plan=plan,
+    )
+
+
+def plan_shape_gate(before: "PlanShape", after: "PlanShape") -> str | None:
+    """Reject a rewrite that regresses plan shape ("gates before
+    treatment"): a treatment plan may not scan, join, or spool more than
+    the baseline it claims to improve on.  Returns a description of the
+    regression, or ``None`` when the gate passes — benchmarks assert
+    ``plan_shape_gate(base, treated) is None`` before trusting any
+    speedup number.
+    """
+    regressions = []
+    if after.scans > before.scans:
+        regressions.append(f"scan regression: {before.scans} -> {after.scans}")
+    if after.joins > before.joins:
+        regressions.append(f"join regression: {before.joins} -> {after.joins}")
+    if after.subqueries > before.subqueries:
+        regressions.append(
+            f"subquery regression: {before.subqueries} -> {after.subqueries}"
+        )
+    return "; ".join(regressions) or None
+
+
 @dataclass
 class PlanShape:
     """Operator counts of one EXPLAIN plan (see :func:`plan_shape`)."""

@@ -145,11 +145,7 @@ class KMeansModel:
         )
 
         udf = register_fused_udfs(db)["kmeansiter"]
-        matrix = db.table(table).numeric_matrix(dimensions)
-        n = matrix.shape[0]
-        if not 1 <= k <= n:
-            raise ModelError(f"k must be in [1, {n}], got {k}")
-        centroids = _plus_plus_init(matrix, k, np.random.default_rng(seed))
+        centroids = _seed_centroids_dbms(db, table, dimensions, k, seed)
         model = cls(centroids, np.zeros((k, len(dimensions))), np.zeros(k))
         sql = fused_call_sql("kmeansiter", table, dimensions)
         for iteration in range(1, max_iterations + 1):
@@ -195,11 +191,7 @@ class KMeansModel:
             register_scoring_udfs(db)
         if db.catalog.aggregate_udf("nlq_diag") is None:
             register_nlq_udfs(db)
-        matrix = db.table(table).numeric_matrix(dimensions)
-        n = matrix.shape[0]
-        if not 1 <= k <= n:
-            raise ModelError(f"k must be in [1, {n}], got {k}")
-        centroids = _plus_plus_init(matrix, k, np.random.default_rng(seed))
+        centroids = _seed_centroids_dbms(db, table, dimensions, k, seed)
         model = cls(centroids, np.zeros((k, len(dimensions))), np.zeros(k))
         for iteration in range(1, max_iterations + 1):
             previous = model.centroids
@@ -306,3 +298,36 @@ def _plus_plus_init(X: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarr
         probabilities = distances / total
         centroids.append(X[rng.choice(n, p=probabilities)])
     return np.asarray(centroids, dtype=float)
+
+
+#: rows of the engine-side seeding sample; plenty for spreading k
+#: centroids while keeping the client-side footprint O(cap · d)
+SEED_SAMPLE_CAP = 1024
+
+
+def _seed_centroids_dbms(
+    db, table: str, dimensions: "list[str]", k: int, seed: int
+) -> np.ndarray:
+    """k-means++ centroids from a bounded, NULL-filtered engine sample.
+
+    Seeding needs a representative spread, not the full table: a bounded
+    reservoir sample gathered through the partition engine replaces the
+    full client-side materialization, and filtering incomplete rows
+    keeps NaN out of the seeded centroids (one NaN distance would poison
+    every later assignment).  Deterministic for a fixed *seed* at any
+    worker count.
+    """
+    from repro.dbms.sampling import reservoir_sample
+
+    n = db.table(table).row_count
+    if not 1 <= k <= n:
+        raise ModelError(f"k must be in [1, {n}], got {k}")
+    sample = reservoir_sample(
+        db, table, dimensions, cap=SEED_SAMPLE_CAP, seed=seed
+    )
+    if sample.shape[0] < k:
+        raise ModelError(
+            f"table {table!r} has {sample.shape[0]} complete rows over "
+            f"{dimensions}; need >= k={k}"
+        )
+    return _plus_plus_init(sample, k, np.random.default_rng(seed))

@@ -75,6 +75,11 @@ class SummaryCache:
         #: lifetime counters (per-statement deltas live in QueryMetrics)
         self.hits = 0
         self.misses = 0
+        # DROP TABLE (and DROP/CREATE of the same name) makes every
+        # entry for that name permanently dead — the identity check can
+        # never pass again — so evict eagerly instead of leaking them
+        # for the life of the session.
+        db.catalog.add_drop_listener(self.invalidate)
 
     @staticmethod
     def _key(

@@ -8,6 +8,8 @@ scenario (Section 3.6) is executed.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.dbms.faults import NULL_FAULTS, FaultPlan, NullFaults
 from repro.dbms.functions import AGGREGATE_BUILTINS, SCALAR_BUILTINS
 from repro.dbms.schema import TableSchema, validate_identifier
@@ -28,6 +30,11 @@ class Catalog:
         #: creates (storage-level ``insert.flush`` site); installed by
         #: ``Database(faults=...)``
         self.faults: FaultPlan | NullFaults = NULL_FAULTS
+        #: callbacks fired with the lowercased table name after a DROP;
+        #: caches keyed by table name (SummaryCache) subscribe here so a
+        #: DROP — or DROP/CREATE of the same name — can't leave
+        #: permanently dead entries behind
+        self._drop_listeners: list[Callable[[str], object]] = []
 
     def install_faults(self, faults: "FaultPlan | NullFaults") -> None:
         """Point this catalog — and every existing table — at *faults*."""
@@ -76,6 +83,12 @@ class Catalog:
                 return
             raise CatalogError(f"unknown table {name!r}")
         del self._tables[key]
+        for listener in self._drop_listeners:
+            listener(key)
+
+    def add_drop_listener(self, listener: Callable[[str], object]) -> None:
+        """Invoke *listener(lowercased_name)* after every table drop."""
+        self._drop_listeners.append(listener)
 
     def table_names(self) -> list[str]:
         return sorted(table.name for table in self._tables.values())

@@ -272,6 +272,112 @@ class Database:
             plan=self._executor.last_plan,
         )
 
+    def execute_batch(self, statements: "Sequence[str]") -> list[QueryResult]:
+        """Execute N SELECT statements, sharing one scan when provable.
+
+        The guarded rewrite pass (:mod:`repro.dbms.sql.rewrite`) checks
+        whether every statement is a single-table aggregate over the
+        same stored table.  If so, ONE partition-parallel scan feeds
+        every statement's accumulator states (identical statements
+        additionally share one accumulation), and each result is
+        bit-identical to executing that statement serially at any worker
+        count.  If not, the batch silently runs serially — the decision,
+        including the refusal reason, is inspectable via
+        :meth:`explain_batch`.
+
+        Returns one :class:`QueryResult` per input statement, in order.
+        A consolidated batch runs as one unit of work: its statements
+        share a single :class:`~repro.dbms.metrics.QueryMetrics` record
+        and report the batch's total simulated seconds.
+        """
+        from repro.dbms.sql.ast import Select
+        from repro.dbms.sql.parser import parse_statement
+        from repro.dbms.sql.rewrite import plan_batch
+
+        if not statements:
+            raise ValueError("empty statement batch")
+        selects = []
+        for index, sql in enumerate(statements):
+            statement = parse_statement(sql)
+            if not isinstance(statement, Select):
+                raise ValueError(
+                    f"execute_batch takes SELECT statements only; "
+                    f"statement {index + 1} is "
+                    f"{type(statement).__name__}"
+                )
+            selects.append(statement)
+        decision = plan_batch(self.catalog, selects)
+        self._executor.last_batch_decision = decision
+        if not decision.consolidated:
+            return [self.execute(sql) for sql in statements]
+        with self.cost.clock.span() as span:
+            relations = self._executor.execute_batch(selects, decision)
+        metrics = self._executor.last_metrics
+        return [
+            QueryResult(
+                columns=relation.column_names,
+                rows=relation.rows,
+                simulated_seconds=span.seconds,
+                metrics=metrics,
+            )
+            for relation in relations
+        ]
+
+    def explain_batch(
+        self, statements: "Sequence[str]", analyze: bool = False
+    ) -> Plan:
+        """The structured plan :meth:`execute_batch` would run.
+
+        A consolidated batch shows exactly one ``scan`` node — later
+        distinct statements carry ``shared-scan`` markers — plus the
+        rewrite pass's decision notes on the ``batch`` root; a refused
+        batch keeps all N scans and notes the refusing guard.
+        Analytical only by default (nothing executes, no time charged);
+        ``analyze=True`` executes the batch under span tracing and
+        attaches the measured spans.
+        """
+        from repro.dbms.sql.ast import Select
+        from repro.dbms.sql.parser import parse_statement
+        from repro.dbms.sql.rewrite import build_batch_plan, plan_batch
+        from repro.dbms.trace import NULL_TRACER, Tracer
+
+        if not statements:
+            raise ValueError("empty statement batch")
+        selects = []
+        for index, sql in enumerate(statements):
+            statement = parse_statement(sql)
+            if not isinstance(statement, Select):
+                raise ValueError(
+                    f"explain_batch takes SELECT statements only; "
+                    f"statement {index + 1} is "
+                    f"{type(statement).__name__}"
+                )
+            selects.append(statement)
+        decision = plan_batch(self.catalog, selects)
+        self._executor.last_batch_decision = decision
+        plan = build_batch_plan(
+            self.catalog,
+            selects,
+            self.cost.params,
+            decision,
+            self._executor.vectorized_select,
+        )
+        if analyze:
+            tracer = Tracer()
+            self._executor.tracer = tracer
+            try:
+                if decision.consolidated:
+                    self._executor.execute_batch(selects, decision)
+                else:
+                    for select in selects:
+                        self._executor.execute(select)
+            finally:
+                self._executor.tracer = NULL_TRACER
+            plan.analyze = True
+            plan.attach_trace(tracer.root, self._executor.last_metrics)
+        self._executor.last_plan = plan
+        return plan
+
     def explain(self, sql: str, analyze: bool = False) -> str:
         """EXPLAIN a SELECT: plan tree, rewrites, estimated cost.
 

@@ -92,6 +92,10 @@ class QueryMetrics:
     #: statement: a fresh hit scans zero rows, a stale hit scans only
     #: the un-watermarked suffix.
     rows_scanned: int = 0
+    #: statements that rode a consolidated batch (``execute_batch``
+    #: after the scan-consolidation rewrite proved they share a scan);
+    #: 0 for every serially executed statement
+    statements_batched: int = 0
 
     def to_dict(self) -> dict[str, float | int]:
         """A plain-dict snapshot; inverse of :meth:`from_dict`.

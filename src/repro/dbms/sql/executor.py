@@ -126,6 +126,117 @@ def _base_scan(table: Table, binding: str) -> Relation:
     )
 
 
+def _fold_rows_into(
+    rows: Sequence[tuple],
+    aggregates: list["_AggregateSpec"],
+    group_fns: list[Callable[[tuple], Any]],
+    where_fn: Callable[[tuple], Any] | None,
+) -> tuple[dict[tuple, list[Any]], int]:
+    """Fold *rows* into a fresh per-group partial-state dict.
+
+    The single row-path accumulation loop: partition tasks call it for
+    one partition's rows, and batched statements call it once per
+    statement against the same materialized rows — one source of truth,
+    so a batched statement's partials are the very floats its serial
+    execution would produce.  Returns ``(partials, rows folded)``.
+    """
+    local: dict[tuple, list[Any]] = {}
+    folded = 0
+    for row in rows:
+        if where_fn is not None and where_fn(row) is not True:
+            continue
+        key = tuple(fn(row) for fn in group_fns)
+        states = local.get(key)
+        if states is None:
+            states = [spec.initialize() for spec in aggregates]
+            local[key] = states
+        for index, spec in enumerate(aggregates):
+            states[index] = spec.accumulate_row(states[index], row)
+        folded += 1
+    return local, folded
+
+
+def _fold_vector_block(
+    block: "np.ndarray",
+    aggregates: list["_AggregateSpec"],
+    group_exprs: list[ast.Expression],
+    group_vector_fns: list[Any],
+) -> dict[tuple, list[Any]]:
+    """Fold one partition's column block into per-group partial states.
+
+    Vector-path counterpart of :func:`_fold_rows_into`, shared between
+    ``_accumulate_vectorized`` and the batch shared scan for the same
+    bit-parity reason.
+    """
+    local: dict[tuple, list[Any]] = {}
+    if not group_exprs:
+        partial = [spec.initialize() for spec in aggregates]
+        for index, spec in enumerate(aggregates):
+            partial[index] = spec.accumulate_vector(partial[index], block)
+        local[()] = partial
+    else:
+        key_arrays = [fn(block) for fn in group_vector_fns]
+        # Integral float keys become ints so vector- and row-path group
+        # keys compare equal (i MOD k on an INTEGER column).
+        keys = [
+            tuple(
+                int(v) if isinstance(v, float) and v.is_integer() else v
+                for v in key
+            )
+            for key in zip(*(array.tolist() for array in key_arrays))
+        ]
+        index_map: dict[tuple, list[int]] = {}
+        for row_index, key in enumerate(keys):
+            index_map.setdefault(key, []).append(row_index)
+        for key, row_indices in index_map.items():
+            slice_block = block[np.asarray(row_indices)]
+            partial = [spec.initialize() for spec in aggregates]
+            for index, spec in enumerate(aggregates):
+                partial[index] = spec.accumulate_vector(
+                    partial[index], slice_block
+                )
+            local[key] = partial
+    return local
+
+
+class _BatchStatement:
+    """Per-statement state threaded through a consolidated batch.
+
+    One of these exists per *distinct* statement (duplicates share it):
+    its compiled accessors, its accumulation strategy, its group states,
+    and finally its result relation.
+    """
+
+    def __init__(
+        self,
+        select: ast.Select,
+        env: Relation,
+        binder: "Binder",
+        aggregates: "list[_AggregateSpec]",
+        group_exprs: list[ast.Expression],
+        group_fns: list[Callable[[tuple], Any]],
+        where_fn: Callable[[tuple], Any] | None,
+    ) -> None:
+        self.select = select
+        self.env = env
+        self.binder = binder
+        self.aggregates = aggregates
+        self.group_exprs = group_exprs
+        self.group_fns = group_fns
+        self.where_fn = where_fn
+        self.groups: dict[tuple, list[Any]] = {}
+        #: served whole from the summary cache (no scan participation)
+        self.served = False
+        #: rides the vector path inside the shared scan (decided with
+        #: exactly the serial eligibility test)
+        self.use_vector = False
+        self.result: Relation | None = None
+        # Vector-path compilation products (set by _batch_fan_out).
+        self.vector_positions: list[int] = []
+        self.group_vector_fns: list[Any] = []
+        self.fused_udfs: list[tuple[str, str]] = []
+
+
 class Executor:
     """Executes statements against a catalog, charging a cost model.
 
@@ -164,6 +275,10 @@ class Executor:
         #: ``Database.summary_cache_enabled = True``; ``None`` (the
         #: default) keeps every statement on the scan path
         self.summary_cache: "Any | None" = None
+        #: the rewrite pass's decision for the most recent
+        #: ``execute_batch`` call (consolidated or refused-with-reason);
+        #: None until a batch runs
+        self.last_batch_decision: "Any | None" = None
 
     # ----------------------------------------------------------- supervision
     def _engine_map(
@@ -433,6 +548,316 @@ class Executor:
             result, order_context = self._execute_projection(select, env)
         result = self._apply_order_limit(select, result, order_context)
         return result
+
+    # ------------------------------------------------------- batch execution
+    def execute_batch(
+        self, selects: Sequence[ast.Select], decision: "Any"
+    ) -> list[Relation]:
+        """Run a consolidated batch: one shared scan, N statement results.
+
+        *decision* is the consolidated
+        :class:`~repro.dbms.sql.rewrite.BatchDecision` the rewrite pass
+        proved safe; refused batches never reach here (the database runs
+        them serially).  One metrics record covers the whole batch.
+        """
+        self.last_metrics = QueryMetrics(workers=self.engine.workers)
+        self.last_plan = None
+        started = time.perf_counter()
+        try:
+            return self._execute_batch_consolidated(selects, decision)
+        finally:
+            self.last_metrics.total_seconds = time.perf_counter() - started
+            self.last_metrics.rows_scanned = max(
+                self.last_metrics.rows_scanned,
+                self.last_metrics.rows_processed,
+            )
+
+    def _execute_batch_consolidated(
+        self, selects: Sequence[ast.Select], decision: "Any"
+    ) -> list[Relation]:
+        table = self._catalog.table(decision.table)
+        metrics = self.last_metrics
+        metrics.statements_batched += len(selects)
+        prepared: list[_BatchStatement] = []
+        for input_index in decision.distinct:
+            select = selects[input_index]
+            # Duplicates of this statement charge nothing — folding them
+            # into one accumulation is the rewrite's analytical saving.
+            self._cost.charge_sql_statement(len(select.items))
+            env = _base_scan(table, select.from_sources[0].binding_name)
+            binder = Binder(env.columns)
+            aggregate_calls = self._collect_aggregates(select)
+            aggregates = [
+                _AggregateSpec(
+                    call, self._aggregate_object(call.name), binder, self
+                )
+                for call in aggregate_calls
+            ]
+            group_exprs = list(select.group_by)
+            group_fns = [
+                compile_row_expression(
+                    expr, binder.resolve, self._scalar_registry
+                )
+                for expr in group_exprs
+            ]
+            where_fn = (
+                compile_row_expression(
+                    select.where, binder.resolve, self._scalar_registry
+                )
+                if select.where is not None
+                else None
+            )
+            stmt = _BatchStatement(
+                select, env, binder, aggregates, group_exprs, group_fns, where_fn
+            )
+            served = self._serve_from_summary_cache(select, env, aggregates)
+            if served is not None:
+                stmt.groups = {(): [served]}
+                stmt.served = True
+            elif not group_exprs:
+                # SQL semantics: a grand aggregate always yields one row.
+                stmt.groups[()] = [spec.initialize() for spec in aggregates]
+            prepared.append(stmt)
+
+        scan_statements = [stmt for stmt in prepared if not stmt.served]
+        if scan_statements:
+            # ONE scan charge for the whole batch — this replaces the
+            # per-statement charge serial execution makes in
+            # _relation_for_source.
+            self._cost.charge_scan(table.nominal_rows, table.width)
+            for stmt in scan_statements:
+                stmt.use_vector = self._batch_statement_vector_ready(stmt)
+            self._batch_shared_scan(table, scan_statements)
+            for stmt in scan_statements:
+                self._charge_aggregate_costs(
+                    stmt.select, stmt.env, stmt.aggregates, len(stmt.groups)
+                )
+
+        # Every input statement that would have scanned (cache serves
+        # already counted their own scans_saved) shares the one scan.
+        would_scan = sum(
+            1 for position in decision.assignment if not prepared[position].served
+        )
+        if would_scan:
+            metrics.scans_saved += would_scan - 1
+
+        for stmt in prepared:
+            result, order_context = self._finalize_aggregate(
+                stmt.select, stmt.aggregates, stmt.group_exprs, stmt.groups
+            )
+            stmt.result = self._apply_order_limit(
+                stmt.select, result, order_context
+            )
+        return [prepared[position].result for position in decision.assignment]
+
+    def _batch_statement_vector_ready(self, stmt: "_BatchStatement") -> bool:
+        """Exactly the vector-eligibility test serial execution applies.
+
+        Per statement, not per batch: vector- and row-path results are
+        each bit-identical to their serial counterpart but not to each
+        other, so a batched statement must ride the same path its serial
+        execution would.
+        """
+        return (
+            stmt.where_fn is None
+            and all(spec.vector_ready for spec in stmt.aggregates)
+            and self._vector_group_keys_ready(stmt.group_exprs, stmt.binder)
+            and self._referenced_columns_numeric(
+                stmt.env, stmt.aggregates, stmt.group_exprs, stmt.binder
+            )
+        )
+
+    def _batch_shared_scan(
+        self, table: Table, statements: "list[_BatchStatement]"
+    ) -> None:
+        """One fan-out feeding every statement's accumulators.
+
+        Mirrors the serial degradation contract: if any statement rides
+        the vector path and the fan-out fails, the whole batch rolls
+        back (metrics too, minus real retry/timeout counts) and retries
+        once with every statement on the row path; an all-row batch
+        propagates, as the serial row path does.
+        """
+        if any(stmt.use_vector for stmt in statements):
+            snapshot = self.last_metrics.to_dict()
+            try:
+                with self.tracer.span("aggregate") as span:
+                    self._batch_fan_out(table, statements)
+                    if span is not None:
+                        span.attributes["strategy"] = "shared-scan"
+                        span.attributes["statements"] = len(statements)
+                return
+            except Exception as exc:
+                fallback_reason = _describe_failure(exc)
+                self._note_failed_span("aggregate", exc)
+                self._rollback_metrics(snapshot)
+                self.last_metrics.fallbacks += 1
+                self.last_metrics.fallback_reason = fallback_reason
+                for stmt in statements:
+                    stmt.groups.clear()
+                    if not stmt.group_exprs:
+                        stmt.groups[()] = [
+                            spec.initialize() for spec in stmt.aggregates
+                        ]
+                    stmt.use_vector = False
+            with self.tracer.span("aggregate") as span:
+                self._batch_fan_out(table, statements)
+                if span is not None:
+                    span.attributes["strategy"] = "shared-scan row (fallback)"
+                    span.attributes["fallback_reason"] = fallback_reason
+                    span.attributes["statements"] = len(statements)
+            return
+        with self.tracer.span("aggregate") as span:
+            self._batch_fan_out(table, statements)
+            if span is not None:
+                span.attributes["strategy"] = "shared-scan"
+                span.attributes["statements"] = len(statements)
+
+    def _batch_fan_out(
+        self, table: Table, statements: "list[_BatchStatement]"
+    ) -> None:
+        """One partition-parallel pass feeding N accumulator sets per task.
+
+        Each task reads its partition once — rows if any statement is on
+        the row path, plus one column block per vector statement — and
+        folds every statement's partials with the same fold helpers the
+        serial paths use.  Partials merge strictly in partition order
+        per statement, so each statement's result is bit-identical to
+        its serial execution at any worker count.
+        """
+        row_stmts = [stmt for stmt in statements if not stmt.use_vector]
+        vector_stmts = [stmt for stmt in statements if stmt.use_vector]
+        for stmt in vector_stmts:
+            needed = referenced_columns_of_all(
+                [spec.call.call for spec in stmt.aggregates]
+                + list(stmt.group_exprs)
+            )
+            resolver_map = {
+                (ref.table, ref.name.lower()): index
+                for index, ref in enumerate(needed)
+            }
+            stmt.vector_positions = [stmt.binder.resolve(ref) for ref in needed]
+
+            def matrix_resolver(
+                ref: ast.ColumnRef, _map=resolver_map
+            ) -> int:
+                return _map[(ref.table, ref.name.lower())]
+
+            stmt.group_vector_fns = [
+                compile_vector_expression(expr, matrix_resolver)
+                for expr in stmt.group_exprs
+            ]
+            for spec in stmt.aggregates:
+                spec.prepare_vector(matrix_resolver)
+            stmt.fused_udfs = [
+                (site, spec.call.name)
+                for spec in stmt.aggregates
+                if (site := getattr(spec.aggregate, "fault_site", None))
+            ]
+
+        numbered = [
+            (index, partition)
+            for index, partition in enumerate(table.partitions)
+            if partition.row_count
+        ]
+        faults = self.faults
+        need_rows = bool(row_stmts)
+
+        def make_task(pid, partition):
+            def task() -> tuple[list[dict], list[bool], int, float, float]:
+                scan_start = time.perf_counter()
+                if need_rows and faults.enabled:
+                    faults.fire("partition.scan", partition=pid)
+                rows = list(partition.rows()) if need_rows else None
+                blocks: list[Any] = []
+                cache_hits: list[bool] = []
+                for stmt in vector_stmts:
+                    if faults.enabled:
+                        faults.fire("block.materialize", partition=pid)
+                    block, cache_hit = partition.numeric_matrix_with_stats(
+                        stmt.vector_positions
+                    )
+                    if faults.enabled:
+                        for site, udf_name in stmt.fused_udfs:
+                            faults.fire(site, partition=pid, udf=udf_name)
+                    blocks.append(block)
+                    cache_hits.append(cache_hit)
+                accumulate_start = time.perf_counter()
+                locals_out: list[dict[tuple, list[Any]]] = []
+                vector_index = 0
+                for stmt in statements:
+                    if stmt.use_vector:
+                        local = _fold_vector_block(
+                            blocks[vector_index],
+                            stmt.aggregates,
+                            stmt.group_exprs,
+                            stmt.group_vector_fns,
+                        )
+                        vector_index += 1
+                    else:
+                        local, _ = _fold_rows_into(
+                            rows, stmt.aggregates, stmt.group_fns, stmt.where_fn
+                        )
+                    locals_out.append(local)
+                done = time.perf_counter()
+                return (
+                    locals_out,
+                    cache_hits,
+                    partition.row_count,
+                    accumulate_start - scan_start,
+                    done - accumulate_start,
+                )
+
+            return task
+
+        tasks = [make_task(pid, p) for pid, p in numbered]
+        partition_ids = [index for index, _ in numbered]
+        task_spans: list[Span] | None = None
+        if self.tracer.enabled:
+            task_spans = []
+            results = self._engine_map(tasks, task_spans, partition_ids)
+            self.tracer.attach(task_spans)
+        else:
+            results = self._engine_map(tasks, partition_ids=partition_ids)
+        metrics = self.last_metrics
+        metrics.parallel_tasks += len(numbered)
+        for result in results:
+            for cache_hit in result[1]:
+                if cache_hit:
+                    metrics.block_cache_hits += 1
+                else:
+                    metrics.block_cache_misses += 1
+        with self.tracer.span("merge") as merge_span, StageTimer(
+            metrics, "merge", merge_span
+        ):
+            for index, result in enumerate(results):
+                locals_out, _, scanned, scan_seconds, accumulate_seconds = result
+                metrics.scan_seconds += scan_seconds
+                metrics.accumulate_seconds += accumulate_seconds
+                # Physical rows read ONCE per partition, however many
+                # statements they fed — the number the shared scan is for.
+                metrics.rows_processed += scanned
+                if any(locals_out):
+                    metrics.partitions_processed += 1
+                if task_spans is not None:
+                    span = task_spans[index]
+                    span.attributes["partition"] = partition_ids[index]
+                    span.attributes["rows"] = scanned
+                    span.attributes["statements"] = len(statements)
+                    span.children.append(Span("scan", seconds=scan_seconds))
+                    span.children.append(
+                        Span("accumulate", seconds=accumulate_seconds)
+                    )
+                for stmt, local in zip(statements, locals_out):
+                    for key, partial in local.items():
+                        states = stmt.groups.get(key)
+                        if states is None:
+                            stmt.groups[key] = partial
+                        else:
+                            for position, spec in enumerate(stmt.aggregates):
+                                states[position] = spec.merge(
+                                    states[position], partial[position]
+                                )
 
     # ------------------------------------------------------ FROM environment
     def _build_from_environment(self, select: ast.Select) -> Relation:
@@ -831,6 +1256,21 @@ class Executor:
 
             self._charge_aggregate_costs(select, env, aggregates, len(groups))
 
+        return self._finalize_aggregate(select, aggregates, group_exprs, groups)
+
+    def _finalize_aggregate(
+        self,
+        select: ast.Select,
+        aggregates: list["_AggregateSpec"],
+        group_exprs: list[ast.Expression],
+        groups: dict[tuple, list[Any]],
+    ) -> "tuple[Relation, _OrderContext]":
+        """Phase 4: finalize group states and project the result rows.
+
+        Shared by serial execution and ``execute_batch`` — a batched
+        statement's states take exactly this path, so the only thing the
+        batch changes is how the states were *accumulated*.
+        """
         # Build the post-aggregation environment and rewrite select items.
         replacements: dict[str, ast.Expression] = {}
         post_columns: list[BoundColumn] = []
@@ -1162,19 +1602,9 @@ class Executor:
                     faults.fire("partition.scan", partition=pid)
                 rows = list(partition.rows())
                 accumulate_start = time.perf_counter()
-                local: dict[tuple, list[Any]] = {}
-                folded = 0
-                for row in rows:
-                    if where_fn is not None and where_fn(row) is not True:
-                        continue
-                    key = tuple(fn(row) for fn in group_fns)
-                    states = local.get(key)
-                    if states is None:
-                        states = [spec.initialize() for spec in aggregates]
-                        local[key] = states
-                    for index, spec in enumerate(aggregates):
-                        states[index] = spec.accumulate_row(states[index], row)
-                    folded += 1
+                local, folded = _fold_rows_into(
+                    rows, aggregates, group_fns, where_fn
+                )
                 done = time.perf_counter()
                 return (
                     local,
@@ -1335,37 +1765,9 @@ class Executor:
                     for site, udf_name in fused_udfs:
                         faults.fire(site, partition=pid, udf=udf_name)
                 accumulate_start = time.perf_counter()
-                local: dict[tuple, list[Any]] = {}
-                if not group_exprs:
-                    partial = [spec.initialize() for spec in aggregates]
-                    for index, spec in enumerate(aggregates):
-                        partial[index] = spec.accumulate_vector(
-                            partial[index], block
-                        )
-                    local[()] = partial
-                else:
-                    key_arrays = [fn(block) for fn in group_vector_fns]  # type: ignore[misc]
-                    # Integral float keys become ints so vector- and
-                    # row-path group keys compare equal (i MOD k on an
-                    # INTEGER column).
-                    keys = [
-                        tuple(
-                            int(v) if isinstance(v, float) and v.is_integer() else v
-                            for v in key
-                        )
-                        for key in zip(*(array.tolist() for array in key_arrays))
-                    ]
-                    index_map: dict[tuple, list[int]] = {}
-                    for row_index, key in enumerate(keys):
-                        index_map.setdefault(key, []).append(row_index)
-                    for key, row_indices in index_map.items():
-                        slice_block = block[np.asarray(row_indices)]
-                        partial = [spec.initialize() for spec in aggregates]
-                        for index, spec in enumerate(aggregates):
-                            partial[index] = spec.accumulate_vector(
-                                partial[index], slice_block
-                            )
-                        local[key] = partial
+                local = _fold_vector_block(
+                    block, aggregates, group_exprs, group_vector_fns
+                )
                 done = time.perf_counter()
                 return (
                     local,

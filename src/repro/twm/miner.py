@@ -24,13 +24,17 @@ from repro.core.blockwise import NlqBlockUdf, compute_nlq_blockwise
 from repro.core.models.correlation import CorrelationModel
 from repro.core.models.em_mixture import GaussianMixtureModel
 from repro.core.models.factor_analysis import FactorAnalysisModel
-from repro.core.models.kmeans import KMeansModel, _plus_plus_init
+from repro.core.models.kmeans import (
+    KMeansModel,
+    _seed_centroids_dbms,
+)
 from repro.core.models.pca import PCAModel
 from repro.core.models.regression import LinearRegressionModel
 from repro.core.nlq_udf import (
     DEFAULT_MAX_D,
     compute_nlq_udf,
     compute_nlq_udf_groups,
+    nlq_call_sql,
     register_nlq_udfs,
 )
 from repro.core.scoring.scorer import ModelScorer
@@ -220,6 +224,68 @@ class WarehouseMiner:
         stats = self.summarize(table, dimensions, **kwargs)
         return FactorAnalysisModel.from_summary(stats, k)
 
+    def build_all_models(
+        self,
+        table: str,
+        target: str = "y",
+        k: int = 2,
+        dimensions: Sequence[str] | None = None,
+    ) -> "dict[str, object]":
+        """Correlation + PCA + factor analysis + regression, ONE scan.
+
+        All four techniques consume sufficient statistics, so their four
+        summary statements are batched through
+        :meth:`~repro.dbms.database.Database.execute_batch`: the rewrite
+        pass proves they share a scan of *table* (three are the *same*
+        statement and collapse to one accumulation; regression's
+        augmented Z = (1, X, y) summary rides the same pass), and each
+        model comes out bit-identical to its serial build.
+
+        Returns ``{"correlation", "pca", "factor_analysis",
+        "regression"}``.
+        """
+        dims = list(dimensions) if dimensions is not None \
+            else self.dimensions_of(table)
+        augmented = ["1.0", *dims, target]
+        if len(dims) > DEFAULT_MAX_D or len(augmented) > DEFAULT_MAX_D:
+            raise ModelError(
+                f"build_all_models supports up to d={DEFAULT_MAX_D - 2} "
+                f"dimensions (got {len(dims)})"
+            )
+        statements = [
+            nlq_call_sql(table, dims),       # correlation
+            nlq_call_sql(table, dims),       # pca — same summary
+            nlq_call_sql(table, dims),       # factor analysis — same
+            nlq_call_sql(table, augmented),  # regression over Z
+        ]
+        results = self.db.execute_batch(statements)
+        decision = self.db._executor.last_batch_decision
+        if decision is None or not decision.consolidated:
+            reason = decision.reason if decision is not None else "no decision"
+            raise ModelError(
+                f"expected a consolidated multi-model scan of {table!r}; "
+                f"rewrite refused: {reason}"
+            )
+
+        def stats_of(result, width: int) -> SummaryStatistics:
+            payload = result.scalar()
+            if payload is None:
+                return SummaryStatistics.zeros(width, MatrixType.TRIANGULAR)
+            from repro.core.packing import unpack_summary
+
+            return unpack_summary(payload)
+
+        base = stats_of(results[0], len(dims))
+        augmented_stats = stats_of(results[3], len(augmented))
+        return {
+            "correlation": CorrelationModel.from_summary(base, dims),
+            "pca": PCAModel.from_summary(base, k),
+            "factor_analysis": FactorAnalysisModel.from_summary(base, k),
+            "regression": LinearRegressionModel.from_summary(
+                AugmentedSummary(augmented_stats)
+            ),
+        }
+
     def kmeans(
         self,
         table: str,
@@ -254,14 +320,11 @@ class WarehouseMiner:
             raise ModelError(f"unknown kmeans method {method!r}")
         dims = list(dimensions) if dimensions is not None \
             else self.dimensions_of(table)
-        matrix = self.db.table(table).numeric_matrix(dims)
-        if matrix.shape[0] < k:
-            raise ModelError(
-                f"table {table!r} has {matrix.shape[0]} rows; need >= k={k}"
-            )
-        # Seed across the whole dataset — sampling a prefix would bias
-        # the initial centroids toward the first partitions' rows.
-        centroids = _plus_plus_init(matrix, k, np.random.default_rng(seed))
+        # Seed from a bounded NULL-filtered reservoir sample gathered
+        # through the engine (every partition contributes, so the seeds
+        # aren't biased toward the first partitions' rows) instead of
+        # materializing the whole table client-side.
+        centroids = _seed_centroids_dbms(self.db, table, dims, k, seed)
         fused_udf = None
         fused_sql = None
         if method == "fused":
@@ -316,8 +379,9 @@ class WarehouseMiner:
         groups = compute_nlq_udf_groups(
             self.db, table, dims, label, MatrixType.DIAGONAL
         )
-        summaries = {int(key): stats for key, stats in groups.items()}
-        return NaiveBayesModel.from_class_summaries(summaries)
+        return NaiveBayesModel.from_class_summaries(
+            self._class_summaries(groups, label)
+        )
 
     def lda(
         self,
@@ -334,8 +398,9 @@ class WarehouseMiner:
         groups = compute_nlq_udf_groups(
             self.db, table, dims, label, MatrixType.TRIANGULAR
         )
-        summaries = {int(key): stats for key, stats in groups.items()}
-        return LdaModel.from_class_summaries(summaries)
+        return LdaModel.from_class_summaries(
+            self._class_summaries(groups, label)
+        )
 
     def gaussian_mixture(
         self,
@@ -371,6 +436,38 @@ class WarehouseMiner:
         return ModelScorer(self.db, table, dims, id_column)
 
     # ------------------------------------------------------------- internals
+    @staticmethod
+    def _class_summaries(
+        groups: "dict[object, SummaryStatistics]", label: str
+    ) -> "dict[int, SummaryStatistics]":
+        """Per-class summaries keyed by validated integer class.
+
+        NULL labels are skipped (matching the NULL-skip semantics of the
+        aggregate UDF itself — an unlabeled row belongs to no class);
+        any non-integral label is a clear :class:`ModelError` instead of
+        a ``TypeError``/silent truncation deep in ``int()``.
+        """
+        summaries: dict[int, SummaryStatistics] = {}
+        for key, stats in groups.items():
+            # NULL labels group under None on the row path and NaN on
+            # the vector path; both mean "unlabeled row".
+            if key is None or (isinstance(key, float) and np.isnan(key)):
+                continue
+            if isinstance(key, bool) or not isinstance(key, (int, float)):
+                raise ModelError(
+                    f"label column {label!r} must hold integer classes; "
+                    f"got {key!r}"
+                )
+            if isinstance(key, float):
+                if not key.is_integer():
+                    raise ModelError(
+                        f"label column {label!r} must hold integer "
+                        f"classes; got non-integral value {key!r}"
+                    )
+                key = int(key)
+            summaries[key] = stats
+        return summaries
+
     @staticmethod
     def _assignment_expression(
         dimensions: Sequence[str], centroids: np.ndarray

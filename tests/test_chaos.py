@@ -337,3 +337,111 @@ def test_insert_many_chaos(specs):
         assert sorted(r[0] for r in table.rows()) == list(range(60))
     finally:
         db.close()
+
+
+# --------------------------------------------------- shared-scan batches
+#: a consolidated batch: the nLQ summary, GROUP BY sub-models, and a
+#: filtered aggregate all ride ONE scan of x (the WHERE statement runs
+#: as a late filter inside it)
+_BATCH = [
+    f"SELECT nlq_tri({D}, x1, x2) FROM x",
+    (
+        "SELECT i MOD 4, sum(x1), sum(y), count(*) FROM x "
+        "GROUP BY i MOD 4 ORDER BY 1"
+    ),
+    "SELECT sum(x1) FROM x WHERE x2 > 50.0",
+]
+
+_BATCH_SITES = [
+    "partition.scan",
+    "block.materialize",
+    "engine.task",
+]
+
+
+@pytest.fixture(scope="module")
+def batch_baselines(dataset):
+    """Fault-free per-statement reference rows: (vectorized, row-path).
+
+    A batch whose vector attempt fails degrades EVERY statement to the
+    shared-scan row path, which replays the serial row-path arithmetic
+    bit for bit — so each statement's faulted result must equal one of
+    these two serial baselines.
+    """
+    with _fresh_db(dataset) as db:
+        vectorized = [db.execute(sql).rows for sql in _BATCH]
+    with _fresh_db(dataset, vectorized=False) as db:
+        db.faults = FaultPlan().fail("block.materialize")
+        row = [db.execute(sql).rows for sql in _BATCH]
+    return vectorized, row
+
+
+@given(
+    specs=_fault_specs(_BATCH_SITES),
+    retries=st.sampled_from([0, 1, 2]),
+    timeout=st.sampled_from([None, 0.1]),
+)
+# Pinned regimes: batch-level degradation (the block path dies and all
+# statements fall back to the shared-scan row path together), a fatal
+# task error with partition attribution, flaky healed by retries, a
+# partition-scan fault inside the fused fan-out, and delay-past-timeout.
+@example(specs=[FaultSpec("block.materialize")], retries=0, timeout=None)
+@example(specs=[FaultSpec("engine.task", partition=1)], retries=0, timeout=None)
+@example(
+    specs=[FaultSpec("engine.task", kind="flaky", times=1)],
+    retries=2,
+    timeout=None,
+)
+@example(specs=[FaultSpec("partition.scan", partition=3)], retries=0, timeout=None)
+@example(
+    specs=[
+        FaultSpec("block.materialize", kind="flaky", times=2),
+        FaultSpec("partition.scan", partition=2),
+    ],
+    retries=1,
+    timeout=None,
+)
+@example(
+    specs=[FaultSpec("engine.task", kind="delay", delay_seconds=0.25)],
+    retries=0,
+    timeout=0.1,
+)
+@settings(**_CHAOS_SETTINGS)
+def test_batch_chaos(batch_baselines, dataset, specs, retries, timeout):
+    """A consolidated batch under faults: every statement bit-identical
+    to a serial baseline, or one typed error for the whole batch.
+
+    The fan-in merge must never mix a faulted partial into a result: a
+    statement either gets all partitions' accumulators (merged in
+    partition order) or the batch raises.  The table is never mutated
+    and the engine stays reusable.
+    """
+    db = _fresh_db(dataset)
+    try:
+        db.faults = FaultPlan(specs, seed=CHAOS_SEED)
+        db.task_retries = retries
+        db.task_timeout_seconds = timeout
+        rows_before = db.table("x").row_count
+        try:
+            results = db.execute_batch(list(_BATCH))
+        except ReproError as error:
+            if isinstance(error, PartitionExecutionError):
+                assert error.partitions
+                assert error.first_error is not None
+        else:
+            vectorized, row = batch_baselines
+            for result, vec_ref, row_ref in zip(results, vectorized, row):
+                assert result.rows == vec_ref or result.rows == row_ref
+        _assert_drained(db)
+        # A batch of SELECTs never mutates the table, faulted or not.
+        assert db.table("x").row_count == rows_before
+        # Disarm and re-run: the engine must be reusable, the rewrite
+        # must still consolidate, and the clean batch must reproduce
+        # the vectorized serial baseline exactly.
+        db.faults = None
+        db.task_timeout_seconds = None
+        clean = db.execute_batch(list(_BATCH))
+        assert db._executor.last_batch_decision.consolidated
+        assert [result.rows for result in clean] == batch_baselines[0]
+    finally:
+        db.close()

@@ -1,0 +1,227 @@
+"""Regression tests for three mining-path bugs.
+
+1. K-means seeding materialized the whole table client-side with
+   ``numeric_matrix`` — a single NULL row became NaN and poisoned every
+   centroid.  Seeding now draws a bounded, NULL-filtered reservoir
+   sample through the partition engine (:mod:`repro.dbms.sampling`),
+   deterministic for a fixed seed at any worker count.
+2. ``DROP TABLE`` left the table's entries in the
+   :class:`~repro.core.summary_cache.SummaryCache`; recreating the
+   table then served stale summaries.  The catalog now notifies the
+   cache on every drop.
+3. ``naive_bayes``/``lda`` crashed with a bare ``TypeError`` on
+   ``int(key)`` when the label column held NULLs (grouped under
+   None/NaN) or non-integral floats.  NULL-label groups are skipped and
+   non-integral labels raise a clear :class:`ModelError`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.models.kmeans import KMeansModel
+from repro.core.nlq_udf import nlq_call_sql, register_nlq_udfs
+from repro.dbms.database import Database
+from repro.dbms.sampling import reservoir_sample
+from repro.dbms.schema import dataset_schema, dimension_names
+from repro.errors import ModelError
+from repro.twm.miner import WarehouseMiner
+
+D = 2
+DIMS = dimension_names(D)
+
+
+def _clustering_db(
+    workers: int | None = None, null_rows: int = 0, register: bool = True
+) -> Database:
+    """x(i, x1, x2) with 60 seeded rows, the last *null_rows* of which
+    have a NULL in x1."""
+    kwargs = {} if workers is None else {"executor_workers": workers}
+    db = Database(amps=4, **kwargs)
+    rng = np.random.default_rng(11)
+    n = 60
+    X = rng.normal(10.0, 3.0, size=(n, D))
+    columns = {"i": np.arange(1, n + 1)}
+    for index, name in enumerate(DIMS):
+        columns[name] = X[:, index]
+    if null_rows:
+        x1 = columns["x1"].astype(object)
+        x1[-null_rows:] = None
+        columns["x1"] = x1
+    db.create_table("x", dataset_schema(D))
+    db.load_columns("x", columns)
+    if register:
+        register_nlq_udfs(db)
+    return db
+
+
+# ------------------------------------------------------- k-means seeding
+def test_kmeans_survives_null_rows():
+    """A NULL row must not poison the seeds: pre-fix, numeric_matrix
+    turned it into a NaN row and every centroid went NaN."""
+    with _clustering_db(null_rows=3) as db:
+        model = KMeansModel.fit_dbms(db, "x", DIMS, k=3, seed=5)
+    assert np.isfinite(model.centroids).all()
+    assert np.isfinite(model.radii).all()
+    assert model.weights.sum() == pytest.approx(1.0)
+
+
+def test_miner_kmeans_survives_null_rows():
+    with _clustering_db(null_rows=2, register=False) as db:
+        miner = WarehouseMiner(db)  # the miner registers the UDFs itself
+        model = miner.kmeans("x", k=2, seed=1)
+    assert np.isfinite(model.centroids).all()
+
+
+def test_seeding_deterministic_across_worker_counts():
+    fits = []
+    for workers in (1, 2, 4):
+        with _clustering_db(workers=workers, null_rows=2) as db:
+            fits.append(KMeansModel.fit_dbms(db, "x", DIMS, k=3, seed=7))
+    for model in fits[1:]:
+        assert np.array_equal(model.centroids, fits[0].centroids)
+        assert np.array_equal(model.radii, fits[0].radii)
+        assert np.array_equal(model.weights, fits[0].weights)
+
+
+def test_reservoir_sample_filters_nulls_and_bounds():
+    with _clustering_db(null_rows=5) as db:
+        sample = reservoir_sample(db, "x", DIMS, cap=16, seed=3)
+        again = reservoir_sample(db, "x", DIMS, cap=16, seed=3)
+        other_seed = reservoir_sample(db, "x", DIMS, cap=16, seed=4)
+        full = reservoir_sample(db, "x", DIMS, cap=10_000, seed=0)
+    assert sample.shape[1] == D
+    assert sample.shape[0] <= 16
+    assert np.isfinite(sample).all()
+    assert np.array_equal(sample, again)  # pure function of (data, seed)
+    assert not np.array_equal(sample, other_seed)
+    # A cap beyond the table returns exactly the complete rows.
+    assert full.shape[0] == 60 - 5
+    assert np.isfinite(full).all()
+
+
+def test_reservoir_sample_rejects_bad_cap():
+    with _clustering_db() as db:
+        with pytest.raises(ValueError, match="cap"):
+            reservoir_sample(db, "x", DIMS, cap=0)
+
+
+def test_kmeans_needs_k_complete_rows():
+    """All-NULL data leaves no complete rows; the error names that."""
+    with _clustering_db(null_rows=60) as db:
+        with pytest.raises(ModelError, match="complete rows"):
+            KMeansModel.fit_dbms(db, "x", DIMS, k=2, seed=0)
+
+
+# -------------------------------------------------- DROP TABLE eviction
+def test_drop_table_evicts_summary_cache(loaded_db):
+    db, _, _ = loaded_db
+    db.summary_cache_enabled = True
+    sql = nlq_call_sql("x", dimension_names(4))
+    db.execute(sql)
+    cache = db.summary_cache
+    assert len(cache) == 1
+    db.execute("DROP TABLE x")
+    assert len(cache) == 0
+
+
+def test_drop_table_api_evicts_summary_cache(loaded_db):
+    db, _, _ = loaded_db
+    db.summary_cache_enabled = True
+    db.execute(nlq_call_sql("x", dimension_names(4)))
+    assert len(db.summary_cache) == 1
+    db.drop_table("x")
+    assert len(db.summary_cache) == 0
+
+
+def test_recreated_table_is_not_served_stale_summaries():
+    """The actual corruption the bug caused: drop x, recreate it with
+    different data, and the cached summary of the *old* x answered."""
+    from repro.core.packing import unpack_summary
+
+    def load(db: Database, scale: float) -> None:
+        rng = np.random.default_rng(2)
+        n = 40
+        columns = {"i": np.arange(1, n + 1)}
+        for index, name in enumerate(DIMS):
+            columns[name] = rng.normal(scale, 1.0, n)
+        db.create_table("x", dataset_schema(D))
+        db.load_columns("x", columns)
+
+    with Database(amps=4) as db:
+        load(db, scale=5.0)
+        register_nlq_udfs(db)
+        db.summary_cache_enabled = True
+        sql = nlq_call_sql("x", DIMS)
+        first = unpack_summary(db.execute(sql).scalar())
+        db.execute("DROP TABLE x")
+        load(db, scale=50.0)
+        second = unpack_summary(db.execute(sql).scalar())
+    assert not np.allclose(first.L, second.L)
+    assert second.mean() == pytest.approx(np.full(D, 50.0), abs=1.0)
+
+
+# ------------------------------------------------- NULL / float labels
+def _labelled_db(labels) -> Database:
+    db = Database(amps=4)
+    db.execute(
+        "CREATE TABLE t (i INTEGER PRIMARY KEY, a FLOAT, b FLOAT, "
+        "label FLOAT)"
+    )
+    rng = np.random.default_rng(9)
+    for i, label in enumerate(labels, start=1):
+        a, b = (float(v) for v in rng.normal(0.0, 1.0, 2))
+        lit = "NULL" if label is None else repr(float(label))
+        db.execute(f"INSERT INTO t VALUES ({i}, {a!r}, {b!r}, {lit})")
+    return db
+
+
+_LABELS_WITH_NULLS = [0, 0, 0, 1, 1, 1, None, None]
+
+
+@pytest.mark.parametrize("method", ["naive_bayes", "lda"])
+def test_null_labels_are_skipped(method):
+    """Unlabelled rows must be ignored, not crash the GROUP BY fold.
+    Pre-fix this died with ``int(None)``/``int(nan)`` TypeErrors."""
+    with _labelled_db(_LABELS_WITH_NULLS) as db:
+        miner = WarehouseMiner(db)
+        model = getattr(miner, method)("t")
+    assert model.classes == [0, 1]
+
+
+@pytest.mark.parametrize("method", ["naive_bayes", "lda"])
+def test_non_integral_label_raises_model_error(method):
+    with _labelled_db([0, 0, 1, 1, 2.5, 2.5]) as db:
+        miner = WarehouseMiner(db)
+        with pytest.raises(ModelError, match="non-integral value 2.5"):
+            getattr(miner, method)("t")
+
+
+@pytest.mark.parametrize("method", ["naive_bayes", "lda"])
+def test_all_null_labels_raise_model_error(method):
+    """Skipping every group leaves nothing to model — a clear error,
+    not an empty classifier."""
+    with _labelled_db([None] * 6) as db:
+        miner = WarehouseMiner(db)
+        with pytest.raises(ModelError):
+            getattr(miner, method)("t")
+
+
+def test_integral_float_labels_accepted():
+    """1.0 and 2.0 are legitimate integer classes stored as FLOAT."""
+    with _labelled_db([1.0, 1.0, 1.0, 2.0, 2.0, 2.0]) as db:
+        miner = WarehouseMiner(db)
+        model = miner.naive_bayes("t")
+    assert model.classes == [1, 2]
+    assert all(isinstance(c, int) for c in model.classes)
+
+
+def test_nan_distance_poisoning_is_fixed_end_to_end():
+    """The original symptom: with NULLs present, every centroid ended
+    NaN because one NaN distance made every assignment NaN."""
+    with _clustering_db(null_rows=4) as db:
+        model = KMeansModel.fit_dbms_two_scan(db, "x", DIMS, k=2, seed=0)
+    assert not any(math.isnan(v) for v in model.centroids.ravel())
