@@ -1,0 +1,194 @@
+"""Serving throughput: micro-batched vs. naive per-request scoring.
+
+Real wall clock.  Both modes run the same kernels and return
+bit-identical values; what differs is dispatch.  The naive mode pays
+every fixed cost — model binding, argument-block construction, one
+kernel launch per UDF — once per request, on the requesting thread.
+The micro-batched mode funnels concurrent requests through the
+coalescing queue, so those fixed costs amortize over whole batches.
+
+Claims:
+
+1. answers are identical between the modes (asserted always);
+2. at 64 concurrent clients the micro-batched mode sustains **>= 3x**
+   the naive mode's scores/sec (the acceptance criterion).  At 1 client
+   micro-batching is expected to *lose* — the flusher waits
+   ``max_wait_ms`` for company that never comes; the sweep records that
+   honestly.
+
+Both tests write ``BENCH_serving.json`` at the repo root (the smoke run
+at tiny scale so CI always uploads an artifact; the full sweep
+overwrites it): one record per (mode, clients) with scores/sec and
+p50/p99 client-observed latency.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.models.kmeans import KMeansModel
+from repro.dbms.database import Database
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+D = 8
+K = 8
+MODEL = KMeansModel.fit_matrix(
+    np.random.default_rng(3).normal(25.0, 8.0, size=(400, D)), K, seed=3
+)
+POINTS = np.random.default_rng(9).normal(25.0, 8.0, size=(256, D))
+
+
+def _fresh_server(max_wait_ms: float = 2.0):
+    """A new db+server per measurement: clean metrics, cold queue."""
+    db = Database(amps=4)
+    server = db.serve(max_wait_ms=max_wait_ms, max_batch_size=64)
+    server.registry.register("m", MODEL)
+    return db, server
+
+
+def _percentile(values: "list[float]", q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _drive(
+    server, clients: int, requests_each: int, coalesce: bool
+) -> dict[str, float | int | str]:
+    """Run the client fleet; returns the measurement record."""
+    latencies: "list[list[float]]" = [[] for _ in range(clients)]
+    errors: "list[BaseException]" = []
+    gate = threading.Barrier(clients + 1)
+
+    def client(index: int) -> None:
+        try:
+            with server.session() as session:
+                gate.wait(timeout=30.0)
+                for shot in range(requests_each):
+                    point = POINTS[(index * requests_each + shot) % len(POINTS)]
+                    started = time.perf_counter()
+                    result = session.score("m", point, coalesce=coalesce)
+                    latencies[index].append(time.perf_counter() - started)
+                    assert len(result.values) == 1
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    gate.wait(timeout=30.0)
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    flat = [latency for per_client in latencies for latency in per_client]
+    total = clients * requests_each
+    snapshot = server.metrics.snapshot()
+    return {
+        "mode": "micro-batched" if coalesce else "naive",
+        "clients": clients,
+        "requests": total,
+        "seconds": elapsed,
+        "scores_per_second": total / elapsed,
+        "p50_latency_ms": _percentile(flat, 50.0) * 1e3,
+        "p99_latency_ms": _percentile(flat, 99.0) * 1e3,
+        "coalesce_factor": snapshot["coalesce_factor"],
+        "queue_depth_peak": snapshot["queue_depth_peak"],
+    }
+
+
+def _assert_modes_identical(server) -> None:
+    with server.session() as session:
+        for point in POINTS[:16]:
+            assert (
+                session.score("m", point).values
+                == session.score("m", point, coalesce=False).values
+            )
+
+
+def _run_sweep(
+    client_counts: "list[int]", requests_each: int
+) -> "list[dict[str, float | int | str]]":
+    records = []
+    for clients in client_counts:
+        for coalesce in (False, True):
+            db, server = _fresh_server()
+            try:
+                records.append(
+                    _drive(server, clients, requests_each, coalesce)
+                )
+            finally:
+                db.close()
+    return records
+
+
+def _write_json(records: "list[dict[str, float | int | str]]") -> None:
+    BENCH_JSON.write_text(json.dumps(records, indent=2) + "\n")
+
+
+def _print_records(records) -> None:
+    for record in records:
+        print(
+            f"\n{record['mode']:>13} clients={record['clients']:>3} "
+            f"{record['scores_per_second']:10.0f} scores/s "
+            f"p50={record['p50_latency_ms']:7.3f} ms "
+            f"p99={record['p99_latency_ms']:7.3f} ms "
+            f"coalesce={record['coalesce_factor']:.1f}"
+        )
+
+
+def test_serving_throughput_smoke(benchmark):
+    """Tiny always-on check: parity + coalescing happens, wall-clocked."""
+    db, server = _fresh_server()
+    try:
+        _assert_modes_identical(server)
+        with server.session() as session:
+            benchmark(session.score, "m", POINTS[0])
+        records = _run_sweep([1, 4], requests_each=20)
+        _write_json(records)
+        coalesced = [
+            r
+            for r in records
+            if r["mode"] == "micro-batched" and r["clients"] == 4
+        ]
+        assert coalesced[0]["coalesce_factor"] > 1.0, (
+            "4 concurrent clients should coalesce"
+        )
+    finally:
+        db.close()
+
+
+def test_serving_throughput_64_clients():
+    """The acceptance benchmark: micro-batched >= 3x naive at 64 clients."""
+    db, server = _fresh_server()
+    try:
+        _assert_modes_identical(server)
+    finally:
+        db.close()
+
+    records = _run_sweep([1, 8, 64], requests_each=100)
+    _write_json(records)
+    _print_records(records)
+
+    by_mode = {
+        (r["mode"], r["clients"]): r["scores_per_second"] for r in records
+    }
+    speedup = by_mode[("micro-batched", 64)] / by_mode[("naive", 64)]
+    print(f"\nmicro-batched vs naive at 64 clients: {speedup:.2f}x")
+    assert speedup >= 3.0, (
+        f"expected micro-batched >= 3x naive scores/sec at 64 clients, "
+        f"got {speedup:.2f}x"
+    )

@@ -221,6 +221,38 @@ class ScoringSqlGenerator:
             f"{self._label_case('s.idx', labels)} AS label FROM ({inner}) s"
         )
 
+    def lda_inline_sql(
+        self,
+        biases: Sequence[float],
+        weights: Sequence[Sequence[float]],
+    ) -> str:
+        """Arg-max class index via inlined-parameter ``linearregscore``
+        calls (the LDA discriminant is affine) and ``classifyscore``.
+
+        Like :meth:`naive_bayes_inline_sql` this returns the 1-based
+        class *index* — label mapping is not block-compilable — and
+        reads exactly one stored table, so the block-wise path accepts
+        it.  The serving layer uses it to EXPLAIN what a registry-bound
+        LDA model executes.
+        """
+        if len(biases) != len(weights):
+            raise ValueError("biases and weights must align per class")
+        xs = ", ".join(f"t.{dim}" for dim in self.dimensions)
+        scores = []
+        for bias, weight in zip(biases, weights):
+            if len(weight) != self.d:
+                raise ValueError(
+                    f"each weight vector needs {self.d} values, "
+                    f"got {len(weight)}"
+                )
+            ws = ", ".join(_lit(w) for w in weight)
+            scores.append(f"linearregscore({xs}, {_lit(bias)}, {ws})")
+        return (
+            f"SELECT t.{self.id_column} AS {self.id_column}, "
+            f"classifyscore({', '.join(scores)}) AS idx "
+            f"FROM {self.table} t"
+        )
+
     def naive_bayes_inline_sql(
         self,
         means: Sequence[Sequence[float]],

@@ -159,6 +159,33 @@ class SummaryCache:
             return "stale", entry.summary.pending_rows()
         return "miss", table_obj.row_count
 
+    def peek(
+        self,
+        table: "Table",
+        dimensions: Sequence[str],
+        matrix_type: MatrixType,
+        version: int,
+    ) -> "SummaryStatistics | None":
+        """The cached summary if one exists at exactly *version*, else None.
+
+        Unlike :meth:`lookup` this never scans, never refreshes, and
+        never mutates the cache — it is safe to call from serving
+        threads while writers advance the table.  A serving session
+        whose snapshot pinned ``table.version == version`` can use the
+        returned stats as a zero-scan snapshot-consistent read; any
+        other state (missing entry, different version, a dropped and
+        recreated table) returns None and the caller computes from its
+        own pinned snapshot.
+        """
+        entry = self._entries.get(
+            self._key(table.name, dimensions, matrix_type)
+        )
+        if entry is None or entry.table is not table:
+            return None
+        if entry.version != version:
+            return None
+        return entry.summary.stats
+
     # -------------------------------------------------------- maintenance
     def invalidate(self, table: "str | None" = None) -> int:
         """Drop entries for *table* (or everything); returns the count.

@@ -153,6 +153,10 @@ class Database:
         if faults is not None:
             self._executor.faults = faults
             self.catalog.install_faults(faults)
+        #: callbacks fired by :meth:`close` *before* the engine pool is
+        #: released; the serving layer subscribes here so in-flight
+        #: score requests drain instead of deadlocking on a dead pool
+        self._close_listeners: list[Any] = []
 
     @property
     def executor_workers(self) -> int:
@@ -239,9 +243,40 @@ class Database:
             self._executor.summary_cache = cache
         cache.enabled = enabled
 
+    def add_close_listener(self, listener: Any) -> None:
+        """Invoke *listener()* at the start of every :meth:`close`.
+
+        Listeners run before the engine pool is released and must be
+        idempotent (``close`` may be called more than once).  The
+        serving layer (:mod:`repro.serving`) registers its shutdown
+        here: queued score requests drain and new sessions are rejected
+        with a typed error before the pool they depend on disappears.
+        """
+        self._close_listeners.append(listener)
+
     def close(self) -> None:
-        """Shut down the engine's persistent thread pool (idempotent)."""
+        """Shut down the engine's persistent thread pool (idempotent).
+
+        Close listeners (a :class:`~repro.serving.ServingServer`, for
+        example) run first, so anything still executing through this
+        database finishes or is rejected in a typed way before the pool
+        goes away.
+        """
+        for listener in self._close_listeners:
+            listener()
         self._executor.engine.close()
+
+    def serve(self, **kwargs: Any) -> "Any":
+        """A :class:`~repro.serving.ServingServer` over this database.
+
+        Keyword arguments are forwarded to the server constructor
+        (``max_sessions``, ``max_batch_size``, ``max_wait_ms``,
+        ``max_queue_depth``).  Imported lazily: the serving layer sits
+        above both ``repro.dbms`` and ``repro.core``.
+        """
+        from repro.serving import ServingServer
+
+        return ServingServer(self, **kwargs)
 
     def __enter__(self) -> "Database":
         return self

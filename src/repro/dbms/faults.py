@@ -22,6 +22,10 @@ site                      fires
                           clustering-iteration UDF, before accumulation
 ``engine.task``           in the engine's task wrapper, before any task body
 ``insert.flush``          before each per-partition flush of ``insert_many``
+``serving.enqueue``       in the serving layer, before a score request is
+                          admitted to the micro-batch queue
+``serving.flush``         in the serving layer, before a coalesced batch is
+                          dispatched to the batched scoring kernels
 ========================  ====================================================
 
 Determinism contract: whether a given ``fire()`` call trips is a pure
@@ -54,6 +58,8 @@ FAULT_SITES = frozenset(
         "udf.fused_iter",
         "engine.task",
         "insert.flush",
+        "serving.enqueue",
+        "serving.flush",
     }
 )
 

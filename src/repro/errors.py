@@ -183,6 +183,40 @@ class ModelError(ReproError):
     """
 
 
+class ServingError(ReproError):
+    """Base class for errors raised by the model-serving layer
+    (:mod:`repro.serving`): session admission, snapshot reads, the
+    versioned model registry, and the micro-batching scorer."""
+
+
+class ServingClosedError(ServingError):
+    """The serving server has shut down (directly or via
+    ``Database.close``): new sessions and new score requests are
+    rejected.  Requests already queued when the shutdown began are
+    drained and answered, never dropped."""
+
+
+class ServingOverloadedError(ServingError):
+    """Admission control rejected the request: the micro-batch queue is
+    at ``max_queue_depth`` or the session pool is at ``max_sessions``.
+    The caller should back off and retry; nothing was enqueued."""
+
+
+class SnapshotInvalidatedError(ServingError):
+    """A snapshot read found its pinned table version destroyed.
+
+    Appends after the pin are fine — the snapshot keeps serving its
+    stale-but-consistent prefix — but a destructive mutation (TRUNCATE,
+    DROP/CREATE) discards the pinned rows, so every later read through
+    the snapshot raises this instead of returning torn data.
+    """
+
+
+class RegistryError(ServingError):
+    """A model-registry operation failed: unknown model name, unknown
+    version, an unregistrable model object, or an invalid model name."""
+
+
 class ExportError(ReproError):
     """The ODBC export simulator failed (bad path, unsupported type)."""
 

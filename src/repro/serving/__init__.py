@@ -1,0 +1,45 @@
+"""Concurrent model serving over the reproduction's database.
+
+The layer the paper's deployment story implies but never writes down:
+once models are built *inside* the DBMS and scored with UDFs, something
+has to answer many concurrent clients against live tables.  This
+package adds that something, in three pieces:
+
+* :class:`~repro.serving.server.ServingServer` /
+  :class:`~repro.serving.server.ServingSession` — a bounded session
+  pool over one :class:`~repro.dbms.database.Database` with
+  snapshot-consistent reads (:class:`~repro.serving.snapshot.TableSnapshot`);
+* :class:`~repro.serving.registry.ModelRegistry` — versioned,
+  catalog-resident model persistence (register → promote → score),
+  MADlib-style;
+* :class:`~repro.serving.batcher.MicroBatchScorer` — coalesces
+  concurrent small score requests into single batched-kernel dispatches
+  with per-request error isolation.
+
+See ``docs/serving.md`` for the full story, knobs and failure modes.
+"""
+
+from repro.serving.batcher import MicroBatchScorer, ScoreRequest
+from repro.serving.metrics import ServingMetrics
+from repro.serving.registry import (
+    ModelRegistry,
+    ModelVersion,
+    RegisteredModel,
+    component_table,
+)
+from repro.serving.server import ScoreResult, ServingServer, ServingSession
+from repro.serving.snapshot import TableSnapshot
+
+__all__ = [
+    "MicroBatchScorer",
+    "ModelRegistry",
+    "ModelVersion",
+    "RegisteredModel",
+    "ScoreRequest",
+    "ScoreResult",
+    "ServingMetrics",
+    "ServingServer",
+    "ServingSession",
+    "TableSnapshot",
+    "component_table",
+]

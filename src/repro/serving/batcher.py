@@ -1,0 +1,304 @@
+"""Micro-batched scoring: coalesce many small requests into one kernel.
+
+A naive serving loop pays the full dispatch cost — queue handoff, model
+lookup, argument-block construction, a numpy kernel launch — once per
+request, even when the request is a single row.  Under many concurrent
+clients those fixed costs dominate and the GIL serializes them.  The
+:class:`MicroBatchScorer` amortizes them instead: requests land in one
+bounded queue, a dedicated flusher thread waits up to ``max_wait_ms``
+for the batch to fill to ``max_batch_size`` rows, then scores the whole
+coalesced block with **one** ``compute_batch`` call per UDF — the same
+batched kernels the vectorized SELECT path uses, so a coalesced answer
+is bit-identical to a per-request one.
+
+Failure semantics:
+
+* a request that cannot be admitted (queue at ``max_queue_depth``,
+  scorer closed) fails alone, with a typed error, before touching the
+  queue — the ``serving.enqueue`` fault site fires here;
+* a batch whose coalesced kernel dispatch fails (the ``serving.flush``
+  fault site, or a poisoned request) **degrades to per-request
+  scoring**: every request is re-scored alone on the per-row reference
+  path, so an error reaches only the request that caused it and the
+  siblings still get bit-identical answers — the serving twin of the
+  engine's vectorized→row degradation;
+* :meth:`close` with ``drain=True`` (what ``Database.close`` triggers)
+  stops admissions immediately but answers everything already queued —
+  queued requests are never dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from repro.dbms.faults import NULL_FAULTS, FaultPlan, NullFaults
+from repro.dbms.metrics import QueryMetrics
+from repro.errors import (
+    ServingClosedError,
+    ServingError,
+    ServingOverloadedError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.metrics import ServingMetrics
+    from repro.serving.registry import RegisteredModel
+
+
+class ScoreRequest:
+    """One in-flight score request: a point block bound to one model
+    version, answered through an event the caller waits on."""
+
+    def __init__(self, model: "RegisteredModel", X: np.ndarray) -> None:
+        self.model = model
+        self.X = X
+        self.submitted_at = time.monotonic()
+        self.values: "list[Any] | None" = None
+        self.error: BaseException | None = None
+        #: how many requests the answering flush coalesced (1 = alone)
+        self.batched_with = 0
+        #: the flush's shared QueryMetrics record (None until answered)
+        self.metrics: QueryMetrics | None = None
+        self._done = threading.Event()
+
+    @property
+    def rows(self) -> int:
+        return int(self.X.shape[0])
+
+    def wait(self, timeout: "float | None" = None) -> "list[Any]":
+        """Block until answered; raise the per-request error if any."""
+        if not self._done.wait(timeout):
+            raise ServingError(
+                f"score request against {self.model.name!r} "
+                f"v{self.model.version} not answered within {timeout:g}s"
+            )
+        if self.error is not None:
+            raise self.error
+        assert self.values is not None
+        return self.values
+
+    def _resolve(self, batched_with: int, metrics: QueryMetrics) -> None:
+        self.batched_with = batched_with
+        self.metrics = metrics
+        self._done.set()
+
+
+class MicroBatchScorer:
+    """The bounded coalescing queue plus its flusher thread.
+
+    ``faults`` is a zero-argument callable returning the live fault
+    plan, so swapping ``db.faults`` mid-run arms the serving sites too.
+    The flusher thread is started lazily on the first submit and runs as
+    a daemon; :meth:`close` drains and joins it.
+    """
+
+    def __init__(
+        self,
+        metrics: "ServingMetrics",
+        max_batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+        max_queue_depth: int = 1024,
+        faults: "Callable[[], FaultPlan | NullFaults] | None" = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ServingError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ServingError("max_wait_ms must be >= 0")
+        if max_queue_depth < 1:
+            raise ServingError("max_queue_depth must be >= 1")
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.max_queue_depth = max_queue_depth
+        self._metrics = metrics
+        self._faults = faults if faults is not None else (lambda: NULL_FAULTS)
+        self._cond = threading.Condition()
+        self._queue: "deque[ScoreRequest]" = deque()
+        self._flusher: threading.Thread | None = None
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # ------------------------------------------------------------ admission
+    def submit(self, model: "RegisteredModel", X: np.ndarray) -> ScoreRequest:
+        """Admit one request; returns immediately with its handle."""
+        faults = self._faults()
+        if faults.enabled:
+            # Admission faults reach only this request, never the queue.
+            faults.fire(
+                "serving.enqueue", model=model.name, version=model.version
+            )
+        request = ScoreRequest(model, X)
+        with self._cond:
+            if self._closed:
+                self._metrics.record_rejected()
+                raise ServingClosedError(
+                    "serving is shut down; new score requests are rejected"
+                )
+            if len(self._queue) >= self.max_queue_depth:
+                self._metrics.record_rejected()
+                raise ServingOverloadedError(
+                    f"micro-batch queue is full "
+                    f"({self.max_queue_depth} requests waiting); back off "
+                    f"and retry"
+                )
+            self._queue.append(request)
+            self._metrics.record_enqueue(len(self._queue))
+            if self._flusher is None:
+                self._flusher = threading.Thread(
+                    target=self._run, name="serving-flusher", daemon=True
+                )
+                self._flusher.start()
+            self._cond.notify_all()
+        return request
+
+    def score_sync(self, model: "RegisteredModel", X: np.ndarray) -> ScoreRequest:
+        """Score one request alone, bypassing the queue entirely.
+
+        The naive per-request execution path the benchmark compares
+        micro-batching against: every fixed cost is paid per request.
+        Fault sites still fire, so chaos coverage is identical.
+        """
+        faults = self._faults()
+        if faults.enabled:
+            faults.fire(
+                "serving.enqueue", model=model.name, version=model.version
+            )
+        request = ScoreRequest(model, X)
+        self._flush([request])
+        return request
+
+    # ------------------------------------------------------------- shutdown
+    def close(self, drain: bool = True) -> None:
+        """Stop admissions; drain (default) or fail the queued requests.
+
+        Idempotent.  With ``drain=True`` every queued request is still
+        flushed and answered before the flusher exits; with
+        ``drain=False`` queued requests fail with
+        :class:`ServingClosedError` immediately.
+        """
+        with self._cond:
+            self._closed = True
+            if not drain:
+                while self._queue:
+                    request = self._queue.popleft()
+                    request.error = ServingClosedError(
+                        "serving shut down before this request was scored"
+                    )
+                    request._resolve(0, QueryMetrics())
+                    self._metrics.record_completion(
+                        time.monotonic() - request.submitted_at, failed=True
+                    )
+                self._metrics.record_dequeue(0)
+            self._cond.notify_all()
+            flusher = self._flusher
+        if flusher is not None and flusher is not threading.current_thread():
+            flusher.join(timeout=30.0)
+
+    # -------------------------------------------------------------- flusher
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:
+                    return  # closed and drained
+                head = self._queue[0]
+                deadline = head.submitted_at + self.max_wait_ms / 1e3
+                # Wait for the batch to fill — but never past the head
+                # request's deadline, and not at all once closing.
+                while not self._closed and self._queued_rows() < self.max_batch_size:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                batch = self._take_batch()
+                self._metrics.record_dequeue(len(self._queue))
+            self._flush(batch)
+
+    def _queued_rows(self) -> int:
+        return sum(request.rows for request in self._queue)
+
+    def _take_batch(self) -> "list[ScoreRequest]":
+        """Pop the head plus every queued request for the same model
+        version, up to ``max_batch_size`` rows (the head always goes,
+        however large).  Requests for other models keep their order and
+        ride a later flush."""
+        head = self._queue.popleft()
+        batch = [head]
+        rows = head.rows
+        kept: "deque[ScoreRequest]" = deque()
+        while self._queue:
+            request = self._queue.popleft()
+            if request.model.key == head.model.key and rows < self.max_batch_size:
+                batch.append(request)
+                rows += request.rows
+            else:
+                kept.append(request)
+        self._queue.extend(kept)
+        return batch
+
+    def _flush(self, batch: "list[ScoreRequest]") -> None:
+        started = time.perf_counter()
+        model = batch[0].model
+        total_rows = sum(request.rows for request in batch)
+        degraded = False
+        reason = ""
+        try:
+            faults = self._faults()
+            if faults.enabled:
+                faults.fire(
+                    "serving.flush",
+                    model=model.name,
+                    version=model.version,
+                    requests=len(batch),
+                    rows=total_rows,
+                )
+            if len(batch) == 1:
+                stacked = batch[0].X
+            else:
+                stacked = np.vstack([request.X for request in batch])
+            values = model.finalize_scores(model.score_batch(stacked))
+            offset = 0
+            for request in batch:
+                request.values = values[offset : offset + request.rows]
+                offset += request.rows
+        except BaseException as error:
+            # Coalesced dispatch failed: isolate — score each request
+            # alone on the per-row reference path, so only a genuinely
+            # poisoned request sees an error.
+            degraded = True
+            reason = f"{type(error).__name__}: {error}"
+            for request in batch:
+                try:
+                    request.values = request.model.score_rows(request.X)
+                except BaseException as request_error:
+                    request.error = request_error
+        elapsed = time.perf_counter() - started
+        metrics = QueryMetrics(
+            workers=1,
+            total_seconds=elapsed,
+            accumulate_seconds=elapsed,
+            rows_processed=total_rows,
+            groups=1,
+            statements_batched=len(batch),
+            fallbacks=1 if degraded else 0,
+            fallback_reason=reason,
+        )
+        self._metrics.record_flush(len(batch), degraded)
+        now = time.monotonic()
+        for request in batch:
+            request._resolve(len(batch), metrics)
+            self._metrics.record_completion(
+                now - request.submitted_at, failed=request.error is not None
+            )

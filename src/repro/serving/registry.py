@@ -1,0 +1,570 @@
+"""A versioned, catalog-resident model registry (MADlib-style).
+
+MADlib (arXiv:1208.4165) keeps fitted models *in the database*: model
+parameters live in ordinary tables, so they survive with the data, ship
+with backups, and are queryable like everything else.  This module
+adopts that pattern for the five scoreable model families of the paper:
+
+* every :meth:`ModelRegistry.register` persists the model's parameter
+  matrices into catalog tables through the Section 3.5 layouts
+  (:func:`~repro.core.models.base.store_matrix` /
+  :func:`~repro.core.models.base.store_vector`), under names derived
+  from the model name and an auto-incremented version;
+* one metadata table — ``model_registry(model_id, name, version, kind,
+  promoted, registered_at)`` — records every version ever registered;
+* ``get(name)`` binds to the **promoted** version, ``get(name,
+  version=n)`` to an explicit one; either way the returned
+  :class:`RegisteredModel` carries its version stamp, so a scoring
+  result can always say exactly which parameters produced it;
+* ``promote`` flips which version ``get(name)`` resolves to — the
+  register → validate → promote lifecycle — via plain SQL UPDATEs on
+  the metadata table.
+
+Scoring goes through the same batched kernels as the vectorized SELECT
+path (:mod:`repro.core.scoring.udfs`): :meth:`RegisteredModel.score_batch`
+builds one dense argument block and makes one ``compute_batch`` call
+per UDF, bit-identical to the per-row ``compute`` reference the
+isolation fallback uses.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
+
+from repro.core.models.base import load_matrix, load_vector, store_matrix, store_vector
+from repro.core.models.em_mixture import GaussianMixtureModel
+from repro.core.models.kmeans import KMeansModel
+from repro.core.models.lda import LdaModel
+from repro.core.models.naive_bayes import NaiveBayesModel
+from repro.core.models.regression import LinearRegressionModel
+from repro.core.scoring.udfs import (
+    ClassifyScoreUdf,
+    ClusterScoreUdf,
+    KMeansDistanceUdf,
+    LinearRegScoreUdf,
+    NaiveBayesScoreUdf,
+)
+from repro.dbms.schema import Column, TableSchema, validate_identifier
+from repro.dbms.types import SqlType
+from repro.errors import RegistryError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dbms.database import Database
+
+#: the metadata catalog table every registry operation reads and writes
+REGISTRY_TABLE = "model_registry"
+
+# Stateless kernel singletons shared by every RegisteredModel.
+_LINREG = LinearRegScoreUdf()
+_DISTANCE = KMeansDistanceUdf()
+_CLUSTER = ClusterScoreUdf()
+_CLASSIFY = ClassifyScoreUdf()
+_NBSCORE = NaiveBayesScoreUdf()
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One row of the metadata table, as the list/get APIs report it."""
+
+    model_id: int
+    name: str
+    version: int
+    kind: str
+    promoted: bool
+    registered_at: int
+
+    @property
+    def tables(self) -> "tuple[str, ...]":
+        """The catalog tables holding this version's parameters."""
+        parts = _COMPONENTS[self.kind]
+        return tuple(
+            component_table(self.name, self.version, part) for part in parts
+        )
+
+
+@dataclass
+class RegisteredModel:
+    """A version-stamped, immutable scoring handle.
+
+    ``params`` holds the parameter arrays loaded back from the catalog
+    tables; ``score_batch`` dispatches the batched scoring kernels over
+    an ``(m, d)`` point block, ``score_rows`` is the per-row reference
+    path the micro-batcher degrades to for per-request isolation.
+    """
+
+    name: str
+    version: int
+    kind: str
+    promoted: bool
+    params: dict[str, np.ndarray] = field(repr=False)
+
+    @property
+    def key(self) -> "tuple[str, int]":
+        return (self.name, self.version)
+
+    @property
+    def d(self) -> int:
+        if self.kind == "regression":
+            return int(self.params["beta"].shape[0]) - 1
+        if self.kind in ("kmeans", "gmm"):
+            return int(self.params["c"].shape[1])
+        if self.kind == "naive_bayes":
+            return int(self.params["mu"].shape[1])
+        return int(self.params["w"].shape[1])  # lda
+
+    @property
+    def output_column(self) -> str:
+        return {
+            "regression": "yhat",
+            "kmeans": "j",
+            "gmm": "j",
+            "naive_bayes": "label",
+            "lda": "label",
+        }[self.kind]
+
+    @property
+    def integer_result(self) -> bool:
+        return self.kind != "regression"
+
+    # -------------------------------------------------------------- scoring
+    def validate_points(self, points: "np.ndarray | Sequence[Any]") -> np.ndarray:
+        """Coerce *points* to an ``(m, d)`` float block (NULL → NaN)."""
+        X = np.asarray(points, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        if X.ndim != 2 or X.shape[1] != self.d:
+            raise RegistryError(
+                f"model {self.name!r} v{self.version} scores d={self.d} "
+                f"points, got shape {tuple(np.shape(points))}"
+            )
+        return X
+
+    def score_batch(self, X: np.ndarray) -> np.ndarray:
+        """Score a whole block with one ``compute_batch`` call per UDF.
+
+        Returns a float vector of length ``m``; NaN marks a NULL result
+        (a point with a NULL coordinate), which :meth:`finalize_scores`
+        restores to None exactly like the vectorized SELECT path does.
+        """
+        if self.kind == "regression":
+            beta = self.params["beta"]
+            args = np.empty((X.shape[0], X.shape[1] + beta.shape[0]))
+            args[:, : X.shape[1]] = X
+            args[:, X.shape[1] :] = beta
+            return _LINREG.compute_batch(args)
+        if self.kind == "kmeans":
+            distances = self._per_group_scores(
+                X, lambda j: self._distance_args(X, j)
+            )
+            return _CLUSTER.compute_batch(distances)
+        # gmm / naive_bayes / lda: per-group scores then arg-max.
+        scores = self._per_group_scores(X, lambda j: self._score_args(X, j))
+        return _CLASSIFY.compute_batch(scores)
+
+    def score_rows(self, X: np.ndarray) -> "list[Any]":
+        """Per-row reference scoring (``compute`` per point).
+
+        Bit-identical to :meth:`score_batch` by the kernel contract; the
+        micro-batcher uses it to isolate a poisoned request from its
+        batch siblings.  NULL results come back as None directly.
+        """
+        results: "list[Any]" = []
+        for row in X:
+            values = [None if np.isnan(v) else float(v) for v in row]
+            results.append(self._score_one(values))
+        return results
+
+    def finalize_scores(self, raw: np.ndarray) -> "list[Any]":
+        """Kernel output → python values (ints for labels, None for NaN),
+        with NB/LDA arg-max indices mapped back to class labels."""
+        values: "list[Any]" = []
+        classes = self.params.get("cls")
+        for v in raw:
+            if np.isnan(v):
+                values.append(None)
+            elif self.integer_result:
+                index = int(v)
+                if classes is not None:
+                    index = int(classes[index - 1])
+                values.append(index)
+            else:
+                values.append(float(v))
+        return values
+
+    # ------------------------------------------------------------ internals
+    def _group_count(self) -> int:
+        if self.kind in ("kmeans", "gmm"):
+            return int(self.params["c"].shape[0])
+        if self.kind == "naive_bayes":
+            return int(self.params["mu"].shape[0])
+        return int(self.params["w"].shape[0])  # lda
+
+    def _per_group_scores(self, X: np.ndarray, args_for) -> np.ndarray:
+        k = self._group_count()
+        out = np.empty((X.shape[0], k))
+        for j in range(k):
+            udf, args = args_for(j)
+            out[:, j] = udf.compute_batch(args)
+        return out
+
+    def _distance_args(self, X: np.ndarray, j: int):
+        d = X.shape[1]
+        args = np.empty((X.shape[0], 2 * d))
+        args[:, :d] = X
+        args[:, d:] = self.params["c"][j]
+        return _DISTANCE, args
+
+    def _score_args(self, X: np.ndarray, j: int):
+        d = X.shape[1]
+        if self.kind == "lda":
+            # Affine discriminant: linearregscore(x, b0, w).
+            args = np.empty((X.shape[0], 2 * d + 1))
+            args[:, :d] = X
+            args[:, d] = self.params["b"][j]
+            args[:, d + 1 :] = self.params["w"][j]
+            return _LINREG, args
+        # gmm / naive_bayes share the Gaussian log-density form:
+        # nbscore(x, mu, iv, bias).
+        args = np.empty((X.shape[0], 3 * d + 1))
+        args[:, :d] = X
+        args[:, d : 2 * d] = self.params["nb_mu"][j]
+        args[:, 2 * d : 3 * d] = self.params["nb_iv"][j]
+        args[:, 3 * d] = self.params["nb_bias"][j]
+        return _NBSCORE, args
+
+    def _score_one(self, values: "list[Any]") -> Any:
+        if self.kind == "regression":
+            beta = self.params["beta"]
+            raw = _LINREG.compute(*values, *(float(b) for b in beta))
+            return None if raw is None else float(raw)
+        if self.kind == "kmeans":
+            distances = [
+                _DISTANCE.compute(*values, *(float(c) for c in centroid))
+                for centroid in self.params["c"]
+            ]
+            raw = (
+                None
+                if any(v is None for v in distances)
+                else _CLUSTER.compute(*distances)
+            )
+        elif self.kind == "lda":
+            scores = [
+                _LINREG.compute(
+                    *values, float(self.params["b"][j]), *map(float, weight)
+                )
+                for j, weight in enumerate(self.params["w"])
+            ]
+            raw = (
+                None
+                if any(v is None for v in scores)
+                else _CLASSIFY.compute(*scores)
+            )
+        else:  # gmm / naive_bayes
+            scores = [
+                _NBSCORE.compute(
+                    *values,
+                    *map(float, self.params["nb_mu"][j]),
+                    *map(float, self.params["nb_iv"][j]),
+                    float(self.params["nb_bias"][j]),
+                )
+                for j in range(self._group_count())
+            ]
+            raw = (
+                None
+                if any(v is None for v in scores)
+                else _CLASSIFY.compute(*scores)
+            )
+        if raw is None:
+            return None
+        classes = self.params.get("cls")
+        return int(classes[int(raw) - 1]) if classes is not None else int(raw)
+
+
+#: component-table suffixes persisted per model kind
+_COMPONENTS: dict[str, tuple[str, ...]] = {
+    "regression": ("beta",),
+    "kmeans": ("c", "r", "w"),
+    "gmm": ("c", "r", "w"),
+    "naive_bayes": ("mu", "var", "prior", "cls"),
+    "lda": ("w", "b", "cls"),
+}
+
+#: which components use the (j, x1..xd) matrix layout (the rest are
+#: one-row vector tables)
+_MATRIX_PARTS: dict[str, frozenset[str]] = {
+    "regression": frozenset(),
+    "kmeans": frozenset({"c", "r"}),
+    "gmm": frozenset({"c", "r"}),
+    "naive_bayes": frozenset({"mu", "var"}),
+    "lda": frozenset({"w"}),
+}
+
+
+def component_table(name: str, version: int, part: str) -> str:
+    """The catalog-table name holding one component of one version."""
+    return f"mdl_{name}_v{version}_{part}"
+
+
+def _registry_schema() -> TableSchema:
+    return TableSchema(
+        (
+            Column("model_id", SqlType.INTEGER, nullable=False),
+            Column("name", SqlType.VARCHAR, nullable=False),
+            Column("version", SqlType.INTEGER, nullable=False),
+            Column("kind", SqlType.VARCHAR, nullable=False),
+            Column("promoted", SqlType.INTEGER, nullable=False),
+            Column("registered_at", SqlType.INTEGER, nullable=False),
+        ),
+        primary_key="model_id",
+    )
+
+
+class ModelRegistry:
+    """Versioned model persistence over one database's catalog.
+
+    Thread-safety: every operation serializes on one lock (metadata
+    reads included — the metadata table is ordinary storage, and a
+    reader racing a writer could otherwise see a half-appended row).
+    Loaded :class:`RegisteredModel` handles are immutable and cached, so
+    the hot serving path — scoring against an already-bound model —
+    never touches the lock.
+    """
+
+    def __init__(
+        self, db: "Database", lock: "threading.RLock | None" = None
+    ) -> None:
+        self._db = db
+        self._lock = lock if lock is not None else threading.RLock()
+        self._loaded: dict[tuple[str, int], RegisteredModel] = {}
+        # A DROP of the metadata table (or a component table) makes the
+        # loaded-handle cache stale; evict by model name prefix.
+        db.catalog.add_drop_listener(self._on_drop)
+
+    # ----------------------------------------------------------- lifecycle
+    def register(self, name: str, model: object) -> ModelVersion:
+        """Persist *model* under *name* as the next version.
+
+        Accepts the five fitted model classes (k-means, GMM, linear
+        regression, naive Bayes, LDA).  The first version of a name is
+        promoted automatically so ``get(name)`` works immediately; later
+        versions start unpromoted and go live via :meth:`promote`.
+        """
+        validate_identifier(name, "model name")
+        name = name.lower()
+        kind, components = _components_of(model)
+        with self._lock:
+            self._ensure_metadata_table()
+            rows = self._metadata_rows()
+            versions = [r.version for r in rows if r.name == name]
+            version = max(versions, default=0) + 1
+            next_id = max((r.model_id for r in rows), default=0) + 1
+            self._store_components(name, version, components)
+            promoted = not versions
+            self._db.insert_rows(
+                REGISTRY_TABLE,
+                [(next_id, name, version, kind, int(promoted), next_id)],
+            )
+            return ModelVersion(
+                model_id=next_id,
+                name=name,
+                version=version,
+                kind=kind,
+                promoted=promoted,
+                registered_at=next_id,
+            )
+
+    def get(self, name: str, version: "int | None" = None) -> RegisteredModel:
+        """Bind to a model version (explicit, or the promoted one).
+
+        The returned handle is immutable and version-stamped: scoring
+        through it keeps using the same parameters even if another
+        client registers or promotes newer versions concurrently.
+        """
+        name = name.lower()
+        with self._lock:
+            rows = [r for r in self._metadata_rows() if r.name == name]
+            if not rows:
+                raise RegistryError(f"no model registered under {name!r}")
+            if version is None:
+                promoted = [r for r in rows if r.promoted]
+                if not promoted:
+                    raise RegistryError(
+                        f"model {name!r} has no promoted version; pass "
+                        f"version= explicitly or promote one"
+                    )
+                row = promoted[0]
+            else:
+                matches = [r for r in rows if r.version == version]
+                if not matches:
+                    known = sorted(r.version for r in rows)
+                    raise RegistryError(
+                        f"model {name!r} has no version {version} "
+                        f"(registered: {known})"
+                    )
+                row = matches[0]
+            cached = self._loaded.get((name, row.version))
+            if cached is not None:
+                # The promoted flag may have flipped since the load.
+                cached.promoted = row.promoted
+                return cached
+            model = self._load(row)
+            self._loaded[(name, row.version)] = model
+            return model
+
+    def promote(self, name: str, version: int) -> ModelVersion:
+        """Make *version* the one ``get(name)`` resolves to."""
+        name = name.lower()
+        with self._lock:
+            rows = [r for r in self._metadata_rows() if r.name == name]
+            if not any(r.version == version for r in rows):
+                known = sorted(r.version for r in rows)
+                raise RegistryError(
+                    f"cannot promote {name!r} v{version}: registered "
+                    f"versions are {known}"
+                )
+            self._db.execute(
+                f"UPDATE {REGISTRY_TABLE} SET promoted = 0 "
+                f"WHERE name = '{name}'"
+            )
+            self._db.execute(
+                f"UPDATE {REGISTRY_TABLE} SET promoted = 1 "
+                f"WHERE name = '{name}' AND version = {int(version)}"
+            )
+            (row,) = [
+                r for r in self._metadata_rows()
+                if r.name == name and r.version == version
+            ]
+            return row
+
+    def list(self, name: "str | None" = None) -> "list[ModelVersion]":
+        """Every registered version, newest first (optionally one name)."""
+        with self._lock:
+            rows = self._metadata_rows()
+        if name is not None:
+            rows = [r for r in rows if r.name == name.lower()]
+        return sorted(rows, key=lambda r: (r.name, -r.version))
+
+    # ----------------------------------------------------------- internals
+    def _ensure_metadata_table(self) -> None:
+        if not self._db.catalog.has_table(REGISTRY_TABLE):
+            self._db.create_table(REGISTRY_TABLE, _registry_schema())
+
+    def _metadata_rows(self) -> "list[ModelVersion]":
+        if not self._db.catalog.has_table(REGISTRY_TABLE):
+            return []
+        return [
+            ModelVersion(
+                model_id=int(row[0]),
+                name=str(row[1]),
+                version=int(row[2]),
+                kind=str(row[3]),
+                promoted=bool(row[4]),
+                registered_at=int(row[5]),
+            )
+            for row in self._db.table(REGISTRY_TABLE).rows()
+        ]
+
+    def _store_components(
+        self, name: str, version: int, components: dict[str, np.ndarray]
+    ) -> None:
+        for part, values in components.items():
+            table = component_table(name, version, part)
+            if values.ndim == 2:
+                store_matrix(self._db, table, values)
+            else:
+                store_vector(self._db, table, values)
+
+    def _load(self, row: ModelVersion) -> RegisteredModel:
+        params: dict[str, np.ndarray] = {}
+        matrix_parts = _MATRIX_PARTS[row.kind]
+        for part in _COMPONENTS[row.kind]:
+            table = component_table(row.name, row.version, part)
+            if not self._db.catalog.has_table(table):
+                raise RegistryError(
+                    f"model {row.name!r} v{row.version} is missing its "
+                    f"parameter table {table!r} (dropped?)"
+                )
+            loader = load_matrix if part in matrix_parts else load_vector
+            params[part] = loader(self._db, table)
+        if row.kind in ("gmm", "naive_bayes"):
+            params.update(_gaussian_score_params(row.kind, params))
+        if "cls" in params:
+            params["cls"] = np.asarray(
+                [int(v) for v in params["cls"]], dtype=int
+            )
+        return RegisteredModel(
+            name=row.name,
+            version=row.version,
+            kind=row.kind,
+            promoted=row.promoted,
+            params=params,
+        )
+
+    def _on_drop(self, table_name: str) -> None:
+        if table_name == REGISTRY_TABLE or table_name.startswith("mdl_"):
+            self._loaded.clear()
+
+
+def _components_of(model: object) -> "tuple[str, dict[str, np.ndarray]]":
+    """Dispatch a fitted model object to (kind, component arrays)."""
+    if isinstance(model, LinearRegressionModel):
+        return "regression", {"beta": np.asarray(model.beta, dtype=float)}
+    if isinstance(model, KMeansModel):
+        return "kmeans", {
+            "c": np.asarray(model.centroids, dtype=float),
+            "r": np.asarray(model.radii, dtype=float),
+            "w": np.asarray(model.weights, dtype=float),
+        }
+    if isinstance(model, GaussianMixtureModel):
+        return "gmm", {
+            "c": np.asarray(model.means, dtype=float),
+            "r": np.asarray(model.variances, dtype=float),
+            "w": np.asarray(model.weights, dtype=float),
+        }
+    if isinstance(model, NaiveBayesModel):
+        return "naive_bayes", {
+            "mu": np.asarray(model.means, dtype=float),
+            "var": np.asarray(model.variances, dtype=float),
+            "prior": np.asarray(model.priors, dtype=float),
+            "cls": np.asarray(model.classes, dtype=float),
+        }
+    if isinstance(model, LdaModel):
+        return "lda", {
+            "w": np.asarray(model.weights, dtype=float),
+            "b": np.asarray(model.biases, dtype=float),
+            "cls": np.asarray(model.classes, dtype=float),
+        }
+    raise RegistryError(
+        f"cannot register a {type(model).__name__}; supported models: "
+        f"LinearRegressionModel, KMeansModel, GaussianMixtureModel, "
+        f"NaiveBayesModel, LdaModel"
+    )
+
+
+def _gaussian_score_params(
+    kind: str, params: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Precompute the nbscore argument form for gmm / naive Bayes.
+
+    Both score a point per group with the diagonal Gaussian log-density
+    ``bias − ½ Σ (x−µ)²·iv`` where iv is the inverse variance and bias
+    folds the log prior/weight and the normalizer — exactly the
+    ``nbscore`` UDF's parameterization.
+    """
+    if kind == "gmm":
+        mu, var, weight = params["c"], params["r"], params["w"]
+    else:
+        mu, var, weight = params["mu"], params["var"], params["prior"]
+    var = np.maximum(var, 1e-12)
+    iv = 1.0 / var
+    d = mu.shape[1]
+    bias = (
+        np.log(np.maximum(weight, 1e-300))
+        - 0.5 * np.sum(np.log(var), axis=1)
+        - 0.5 * d * np.log(2.0 * np.pi)
+    )
+    return {"nb_mu": mu, "nb_iv": iv, "nb_bias": bias}

@@ -1,0 +1,306 @@
+"""Serving chaos: snapshot isolation under concurrent writers.
+
+The contract every scenario asserts:
+
+* **No torn reads** — every row a session ever observes satisfies the
+  dataset invariant (``x_a == id·10 + a``), so a read can never see a
+  half-written row, under any thread interleaving.
+* **Snapshot consistency** — every read in a session answers against
+  the row set pinned at first touch: repeated reads are identical,
+  scoring over the snapshot matches the model applied to that exact
+  pinned matrix, and the pinned count brackets between the rows
+  committed before the session opened and the rows committed at check
+  time (stale-but-consistent is allowed; torn is not).
+* **Typed failure** — a destructive mutation (DELETE, which truncates)
+  surfaces as :class:`~repro.errors.SnapshotInvalidatedError`; armed
+  fault sites surface as :class:`~repro.errors.FaultInjected`; nothing
+  ever raises untyped or returns silently wrong values.
+
+``CHAOS_SEED`` (env) offsets the parametrized seeds and the fault
+plans' probability draws; ``CHAOS_WORKERS`` (default 4) sets the
+engine's thread count; ``SERVING_CHAOS_CLIENTS`` (default 6) sets the
+concurrent reader/scorer count — the CI serving job runs 2 seeds at 16
+clients.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.models.regression import LinearRegressionModel
+from repro.core.summary import AugmentedSummary
+from repro.dbms.database import Database
+from repro.dbms.faults import FaultPlan, FaultSpec
+from repro.dbms.schema import dataset_schema
+from repro.errors import (
+    FaultInjected,
+    ReproError,
+    ServingClosedError,
+    SnapshotInvalidatedError,
+)
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+CHAOS_WORKERS = int(os.environ.get("CHAOS_WORKERS", "4"))
+CLIENTS = int(os.environ.get("SERVING_CHAOS_CLIENTS", "6"))
+
+D = 3
+SEEDS = [CHAOS_SEED, CHAOS_SEED + 1, CHAOS_SEED + 2]
+
+
+def _row(identity: int) -> tuple:
+    """The invariant row: x_a = id·10 + a, exact in a double."""
+    return (identity, *(float(identity * 10 + a) for a in range(1, D + 1)))
+
+
+def _check_invariant(matrix: np.ndarray) -> None:
+    """Every observed row must be internally consistent — the torn-read
+    detector.  ``matrix`` columns are (i, x1..xd)."""
+    ids = matrix[:, 0]
+    for a in range(1, D + 1):
+        np.testing.assert_array_equal(
+            matrix[:, a], ids * 10 + a, err_msg=f"torn read in x{a}"
+        )
+
+
+def _reference_model() -> LinearRegressionModel:
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(80, D))
+    y = X @ np.array([2.0, -1.0, 0.5]) + 1.0
+    return LinearRegressionModel.from_summary(AugmentedSummary.from_xy(X, y))
+
+
+@pytest.fixture(params=SEEDS)
+def seed(request) -> int:
+    return request.param
+
+
+@pytest.fixture
+def serving(seed):
+    db = Database(amps=4, executor_workers=CHAOS_WORKERS)
+    db.create_table("pts", dataset_schema(D))
+    server = db.serve(max_wait_ms=1.0)
+    server.registry.register("m", _reference_model())
+    server.insert_rows("pts", [_row(i) for i in range(64)])
+    yield db, server, seed
+    server.close()
+    db.close()
+
+
+COLUMNS = ["i", "x1", "x2", "x3"]
+DIMS = ["x1", "x2", "x3"]
+
+
+def _run_clients(target, count=CLIENTS):
+    errors: list[BaseException] = []
+
+    def wrapped(index):
+        try:
+            target(index)
+        except BaseException as error:  # noqa: BLE001 - collected and re-raised
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not any(t.is_alive() for t in threads), "client thread hung"
+    if errors:
+        raise errors[0]
+
+
+def test_snapshot_reads_consistent_under_concurrent_appends(serving):
+    db, server, seed = serving
+    model = server.registry.get("m")
+    next_id = [64]
+    stop = threading.Event()
+    committed_lock = threading.Lock()
+
+    def writer():
+        rng = np.random.default_rng(seed)
+        while not stop.is_set():
+            with committed_lock:
+                start = next_id[0]
+                batch = int(rng.integers(1, 9))
+                next_id[0] = start + batch
+            server.insert_rows(
+                "pts", [_row(i) for i in range(start, start + batch)]
+            )
+
+    def reader(index):
+        with server.session() as session:
+            committed_before = sum(
+                p.row_count for p in db.table("pts").partitions
+            )
+            snapshot = session.snapshot("pts")
+            matrix = snapshot.numeric_matrix(COLUMNS)
+            # Pinned row set: complete, consistent, and bracketed.
+            assert matrix.shape[0] == snapshot.row_count
+            assert committed_before <= snapshot.row_count
+            assert snapshot.row_count <= sum(
+                p.row_count for p in db.table("pts").partitions
+            )
+            _check_invariant(matrix)
+            # Repeated reads answer identically (same pinned prefix).
+            np.testing.assert_array_equal(
+                matrix, snapshot.numeric_matrix(COLUMNS)
+            )
+            # Scoring over the snapshot equals the model applied to the
+            # exact pinned matrix — bit-identical kernels.
+            scored = session.score_table("m", "pts", DIMS)
+            assert scored.values == model.finalize_scores(
+                model.score_batch(matrix[:, 1:])
+            )
+            assert len(scored.values) == snapshot.row_count
+
+    writers = [threading.Thread(target=writer) for _ in range(2)]
+    for thread in writers:
+        thread.start()
+    try:
+        _run_clients(reader)
+    finally:
+        stop.set()
+        for thread in writers:
+            thread.join(timeout=30.0)
+    assert not any(t.is_alive() for t in writers)
+    final = db.table("pts").numeric_matrix(COLUMNS)
+    assert final.shape[0] == next_id[0]
+    _check_invariant(final)
+
+
+def test_snapshot_pins_survive_insert_rollbacks(serving):
+    """Flaky ``insert.flush`` faults roll whole batches back mid-run;
+    pinned prefixes must never include a retracted row."""
+    db, server, seed = serving
+    db.faults = FaultPlan(
+        [
+            FaultSpec(
+                site="insert.flush", kind="flaky", times=3, probability=0.5
+            )
+        ],
+        seed=seed,
+    )
+    next_id = [64]
+    stop = threading.Event()
+    lock = threading.Lock()
+
+    def writer():
+        rng = np.random.default_rng(seed + 100)
+        while not stop.is_set():
+            with lock:
+                start = next_id[0]
+                batch = int(rng.integers(2, 12))
+                next_id[0] = start + batch
+            try:
+                server.insert_rows(
+                    "pts", [_row(i) for i in range(start, start + batch)]
+                )
+            except ReproError:
+                pass  # typed rollback: the whole batch was retracted
+
+    def reader(index):
+        with server.session() as session:
+            snapshot = session.snapshot("pts")
+            matrix = snapshot.numeric_matrix(COLUMNS)
+            assert matrix.shape[0] == snapshot.row_count
+            _check_invariant(matrix)
+            # Ids are unique — a rollback that left a half-flushed batch
+            # visible would duplicate or orphan ids.
+            ids = matrix[:, 0].astype(int)
+            assert len(set(ids.tolist())) == len(ids)
+
+    writers = [threading.Thread(target=writer) for _ in range(2)]
+    for thread in writers:
+        thread.start()
+    try:
+        _run_clients(reader)
+    finally:
+        stop.set()
+        for thread in writers:
+            thread.join(timeout=30.0)
+    db.faults = None
+    _check_invariant(db.table("pts").numeric_matrix(COLUMNS))
+
+
+def test_truncate_surfaces_typed_invalidation(serving):
+    """Readers racing a destructive DELETE either answer consistently
+    from their pin or raise SnapshotInvalidatedError — never wrong rows."""
+    db, server, seed = serving
+    outcomes = {"consistent": 0, "invalidated": 0}
+    outcomes_lock = threading.Lock()
+    start_gate = threading.Event()
+
+    def reader(index):
+        with server.session() as session:
+            snapshot = session.snapshot("pts")
+            start_gate.wait(10.0)
+            try:
+                for _ in range(50):
+                    matrix = snapshot.numeric_matrix(COLUMNS)
+                    assert matrix.shape[0] == snapshot.row_count
+                    _check_invariant(matrix)
+                with outcomes_lock:
+                    outcomes["consistent"] += 1
+            except SnapshotInvalidatedError:
+                with outcomes_lock:
+                    outcomes["invalidated"] += 1
+
+    def destroyer():
+        start_gate.set()
+        server.write("DELETE FROM pts")
+        server.insert_rows("pts", [_row(i) for i in range(10)])
+
+    writer = threading.Thread(target=destroyer)
+    writer.start()
+    _run_clients(reader)
+    writer.join(timeout=30.0)
+    assert sum(outcomes.values()) == CLIENTS
+    # After the truncate every *new* session sees the new 10 rows.
+    with server.session() as session:
+        matrix = session.snapshot("pts").numeric_matrix(COLUMNS)
+    assert matrix.shape[0] == 10
+    _check_invariant(matrix)
+
+
+def test_micro_batched_scores_exact_under_flaky_flush(serving):
+    """Coalesced scoring under armed serving fault sites: every answered
+    request is bit-identical to the per-row reference; every failure is
+    typed."""
+    db, server, seed = serving
+    model = server.registry.get("m")
+    rng = np.random.default_rng(seed + 7)
+    points = rng.normal(size=(CLIENTS * 8, D))
+    # Reference BEFORE arming faults: per-row path, the kernels'
+    # bit-identical contract makes it the batched answer too.
+    expected = model.score_rows(np.asarray(points, dtype=float))
+    db.faults = FaultPlan(
+        [
+            FaultSpec(
+                site="serving.flush", kind="flaky", times=2, probability=0.5
+            ),
+            FaultSpec(site="serving.enqueue", kind="error", probability=0.2),
+        ],
+        seed=seed,
+    )
+
+    def client(index):
+        with server.session() as session:
+            for shot in range(8):
+                position = index * 8 + shot
+                try:
+                    result = session.score("m", points[position])
+                except (FaultInjected, ServingClosedError):
+                    continue  # typed rejection; request never admitted
+                assert result.values == [expected[position]], (
+                    f"request {position} answered wrong"
+                )
+
+    _run_clients(client)
+    db.faults = None
+    assert server.metrics.requests_failed == 0
