@@ -1,0 +1,267 @@
+"""Factorized learning over joins: Σ|base| scans vs the materialized join.
+
+Real wall clock.  Both modes run the *same* statement — a regression or
+PCA build over ``fact JOIN dims`` — and return the same model (counts
+exact, float sums to last-ulp; see ``docs/factorized_learning.md``).
+What differs is the route: the factorized pass answers the aggregate
+from per-base-table partials (rows scanned = Σ|base tables|), while the
+reference path (``factorized_joins_enabled = False``) materializes the
+key–FK join first and pays the nested-loop input.
+
+Claims:
+
+1. the factorized plan carries the ``factorized-join`` operator and its
+   rows-scanned accounting equals Σ|base tables| (asserted always);
+2. with fan-out >= 10 (each dimension row matched by >= 10 fact rows),
+   the factorized build is **>= 3x** better on *both* rows scanned and
+   wall clock for the regression and PCA builds (the acceptance
+   criterion, asserted in the full benchmark).
+
+Both tests write ``BENCH_factorized.json`` at the repo root (the smoke
+run at tiny scale so CI always uploads an artifact; the full sweep
+overwrites it): one record per (model, mode) with seconds, rows
+scanned, and rows avoided, plus one speedup record per model.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dbms.database import Database
+from repro.dbms.schema import Column, TableSchema
+from repro.dbms.types import SqlType
+from repro.twm.miner import WarehouseMiner
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_factorized.json"
+
+STAR_FROM = (
+    "sales JOIN stores ON sales.sid = stores.sid "
+    "JOIN products ON sales.pid = products.pid"
+)
+STAR_DIMS = [
+    "sales.amount",
+    "sales.qty",
+    "stores.sx",
+    "stores.sy",
+    "products.px",
+]
+
+
+def _star_miner(n_fact: int, n_dim: int, seed: int = 0) -> WarehouseMiner:
+    """A sales → (stores, products) star with fan-out n_fact / n_dim."""
+    rng = np.random.default_rng(seed)
+    db = Database(amps=4)
+    db.create_table(
+        "stores",
+        TableSchema.build(
+            [
+                Column("sid", SqlType.INTEGER, nullable=False),
+                ("sx", SqlType.FLOAT),
+                ("sy", SqlType.FLOAT),
+            ],
+            primary_key="sid",
+        ),
+    )
+    db.create_table(
+        "products",
+        TableSchema.build(
+            [
+                Column("pid", SqlType.INTEGER, nullable=False),
+                ("px", SqlType.FLOAT),
+            ],
+            primary_key="pid",
+        ),
+    )
+    db.create_table(
+        "sales",
+        TableSchema.build(
+            [
+                Column("oid", SqlType.INTEGER, nullable=False),
+                Column("sid", SqlType.INTEGER),
+                Column("pid", SqlType.INTEGER),
+                ("amount", SqlType.FLOAT),
+                ("qty", SqlType.FLOAT),
+            ],
+            primary_key="oid",
+        ),
+    )
+    db.load_columns(
+        "stores",
+        {
+            "sid": np.arange(1, n_dim + 1),
+            "sx": rng.normal(0, 5, n_dim),
+            "sy": rng.normal(10, 2, n_dim),
+        },
+    )
+    db.load_columns(
+        "products",
+        {"pid": np.arange(1, n_dim + 1), "px": rng.normal(-3, 1, n_dim)},
+    )
+    db.load_columns(
+        "sales",
+        {
+            "oid": np.arange(1, n_fact + 1),
+            "sid": rng.integers(1, n_dim + 1, n_fact),
+            "pid": rng.integers(1, n_dim + 1, n_fact),
+            "amount": rng.normal(100, 20, n_fact),
+            "qty": rng.normal(5, 1, n_fact),
+        },
+    )
+    return WarehouseMiner(db)
+
+
+def _star_of(miner: WarehouseMiner):
+    return miner.star(
+        "sales",
+        ["stores", "products"],
+        [("sid", "sid"), ("pid", "pid")],
+    )
+
+
+def _builds(miner: WarehouseMiner):
+    """The two acceptance workloads, each exactly one aggregate scan."""
+    star = _star_of(miner)
+    return {
+        "regression": lambda: miner.linear_regression(
+            star, target="sales.amount"
+        ),
+        "pca": lambda: miner.pca(star, 2),
+    }
+
+
+def _measure(miner: WarehouseMiner, factorized: bool) -> "list[dict]":
+    """Build both models on one route; record wall clock + scan rows."""
+    db = miner.db
+    db.factorized_joins_enabled = factorized
+    records = []
+    try:
+        for model_name, build in _builds(miner).items():
+            started = time.perf_counter()
+            build()
+            elapsed = time.perf_counter() - started
+            metrics = db._executor.last_metrics
+            records.append(
+                {
+                    "model": model_name,
+                    "mode": "factorized" if factorized else "materialized",
+                    "seconds": elapsed,
+                    "rows_scanned": metrics.rows_scanned,
+                    "factorized_joins": metrics.factorized_joins,
+                    "rows_join_avoided": metrics.rows_join_avoided,
+                }
+            )
+    finally:
+        db.factorized_joins_enabled = True
+    return records
+
+
+def _speedups(records: "list[dict]") -> "list[dict]":
+    by_key = {(r["model"], r["mode"]): r for r in records}
+    out = []
+    for model in ("regression", "pca"):
+        fact = by_key[(model, "factorized")]
+        ref = by_key[(model, "materialized")]
+        out.append(
+            {
+                "model": model,
+                "mode": "speedup",
+                "wall_clock_x": ref["seconds"] / fact["seconds"],
+                "rows_scanned_x": ref["rows_scanned"]
+                / fact["rows_scanned"],
+            }
+        )
+    return out
+
+
+def _assert_plan_shape(db: Database) -> None:
+    """The factorized plan's operator + accounting, asserted always."""
+    sql = (
+        "SELECT nlq_tri(5, sales.amount, sales.qty, stores.sx, "
+        f"stores.sy, products.px) FROM {STAR_FROM}"
+    )
+    plan = db.explain_plan(sql)
+    nodes = plan.find("factorized-join")
+    assert len(nodes) == 1, "factorized-join operator missing from plan"
+    base = sum(
+        db.table(name).row_count for name in ("sales", "stores", "products")
+    )
+    note = next(n for n in nodes[0].notes if "factorized-join:" in n)
+    assert f"scans {base} base-table rows" in note
+    result = db.execute(sql)
+    assert result.metrics.factorized_joins == 1
+    assert result.metrics.rows_scanned == base
+
+
+def _write_json(records: "list[dict]") -> None:
+    BENCH_JSON.write_text(json.dumps(records, indent=2) + "\n")
+
+
+def _print_records(records) -> None:
+    for record in records:
+        if record["mode"] == "speedup":
+            print(
+                f"\n{record['model']:>11} speedup: "
+                f"{record['wall_clock_x']:6.2f}x wall clock, "
+                f"{record['rows_scanned_x']:6.2f}x rows scanned"
+            )
+        else:
+            print(
+                f"\n{record['model']:>11} {record['mode']:>12} "
+                f"{record['seconds']:8.3f}s "
+                f"rows_scanned={record['rows_scanned']:>9}"
+            )
+
+
+def test_factorized_smoke(benchmark):
+    """Tiny always-on check: plan shape + parity, wall-clocked."""
+    miner = _star_miner(n_fact=400, n_dim=40, seed=7)
+    try:
+        db = miner.db
+        _assert_plan_shape(db)
+        star = _star_of(miner)
+        factorized = miner.linear_regression(star, target="sales.amount")
+        db.factorized_joins_enabled = False
+        try:
+            reference = miner.linear_regression(star, target="sales.amount")
+        finally:
+            db.factorized_joins_enabled = True
+        np.testing.assert_allclose(
+            factorized.coefficients, reference.coefficients, rtol=1e-9
+        )
+        benchmark(miner.pca, star, 2)
+        records = _measure(miner, factorized=True) + _measure(
+            miner, factorized=False
+        )
+        _write_json(records + _speedups(records))
+    finally:
+        miner.db.close()
+
+
+def test_factorized_speedup_fanout_10():
+    """The acceptance benchmark: >= 3x on rows scanned AND wall clock
+    for the regression and PCA builds over a star with fan-out >= 10."""
+    n_fact, n_dim = 12_000, 600  # fan-out 20 per dimension table
+    miner = _star_miner(n_fact=n_fact, n_dim=n_dim, seed=7)
+    try:
+        _assert_plan_shape(miner.db)
+        records = _measure(miner, factorized=True) + _measure(
+            miner, factorized=False
+        )
+        speedups = _speedups(records)
+        _write_json(records + speedups)
+        _print_records(records + speedups)
+        for record in speedups:
+            assert record["rows_scanned_x"] >= 3.0, (
+                f"{record['model']}: expected >= 3x fewer rows scanned, "
+                f"got {record['rows_scanned_x']:.2f}x"
+            )
+            assert record["wall_clock_x"] >= 3.0, (
+                f"{record['model']}: expected >= 3x wall-clock speedup, "
+                f"got {record['wall_clock_x']:.2f}x"
+            )
+    finally:
+        miner.db.close()

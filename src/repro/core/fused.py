@@ -50,6 +50,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core import factorized as factorized_math
 from repro.core.models.em_mixture import GaussianMixtureModel
 from repro.core.packing import SECTION_SEPARATOR, pack_summary, unpack_summary
 from repro.core.scoring.udfs import squared_distance_block
@@ -166,6 +167,42 @@ class _FusedIterUdf(AggregateUdf):
         state.extra += other.extra
         return state
 
+    # ----------------------------------------------------- factorized joins
+    def _check_factorized_sources(self, sources: Sequence[Any]) -> None:
+        """Factorized calls pass the same (d, x1..xd) shape; the planner
+        already stripped the leading literal d, so *sources* must line up
+        with the installed model's dimensionality."""
+        self._require_parameters()
+        if len(sources) != self.d:
+            raise UdfArgumentError(
+                f"UDF {self.name!r} is parameterized for d={self.d} but "
+                f"the factorized call supplies {len(sources)} arguments"
+            )
+        self._observed_d = self.d
+
+    def factorized_tables(
+        self, sources: Sequence[Any], dim_values: Sequence[dict]
+    ) -> dict:
+        """Precomputed per-dimension-key partial tables (Rk-means)."""
+        raise NotImplementedError  # pragma: no cover - subclasses override
+
+    def state_from_factorized(
+        self,
+        counts: np.ndarray,
+        linear: np.ndarray,
+        quadratic: np.ndarray,
+        extra: float,
+    ) -> _FusedState:
+        """Synthesize the finished state from factorized-combine output,
+        so the ordinary :meth:`finalize` packs the exact payload a
+        materialized-join scan would have produced."""
+        state = self.initialize()
+        state.counts += counts
+        state.linear += linear
+        state.quadratic += quadratic
+        state.extra += float(extra)
+        return state
+
     def _cluster_payloads(self, state: _FusedState) -> list[str]:
         payloads = []
         for j in range(state.k):
@@ -278,6 +315,14 @@ class KMeansIterUdf(_FusedIterUdf):
             list_params=arg_count, arith_ops=3 * d * k + k + 2 * d + 1
         )
 
+    def factorized_tables(
+        self, sources: Sequence[Any], dim_values: Sequence[dict]
+    ) -> dict:
+        self._check_factorized_sources(sources)
+        return factorized_math.prepare_kmeans_tables(
+            self._centroids, sources, dim_values
+        )
+
 
 class EmIterUdf(_FusedIterUdf):
     """One fused EM iteration: E step + weighted per-cluster summaries.
@@ -358,6 +403,15 @@ class EmIterUdf(_FusedIterUdf):
         # (~2d); plus the row's log-sum-exp bookkeeping.
         return RowCost(
             list_params=arg_count, arith_ops=k * (5 * d + 4) + 2 * d + 3
+        )
+
+    def factorized_tables(
+        self, sources: Sequence[Any], dim_values: Sequence[dict]
+    ) -> dict:
+        self._check_factorized_sources(sources)
+        model = self._model
+        return factorized_math.prepare_em_tables(
+            model.means, model.variances, model.weights, sources, dim_values
         )
 
 

@@ -59,11 +59,37 @@ class _CacheEntry:
     version: int
 
 
+@dataclass
+class _JoinCacheEntry:
+    """A factorized-join summary plus per-base-table freshness snapshots.
+
+    Join-derived statistics have no incremental watermark (an appended
+    *dimension* row can retroactively match old fact rows), so freshness
+    is all-or-nothing: every base table must still be the same object at
+    the same version, else the entry is a miss and is rebuilt.
+    """
+
+    stats: SummaryStatistics
+    #: ``[(Table object, version at build time), ...]`` — fact and every
+    #: dimension table; object identity catches DROP/CREATE of the name
+    tables: "list[tuple[Table, int]]"
+    #: joined-row input reads the factorized build avoided (re-reported
+    #: on every hit so metrics stay meaningful for cache-served runs)
+    rows_avoided: int
+
+
 class SummaryCache:
     """Shared cache of :class:`SummaryStatistics` keyed per table/columns.
 
     Not thread-safe by design: statements execute on the coordinating
     thread (only partition scans fan out), so lookups are serial.
+
+    Besides single-table entries, the cache holds **join entries** for
+    factorized star-join summaries, keyed on the full join shape (fact
+    table, every dimension arm, argument sources, matrix type) and
+    validated against *every* base table's version — an append to any
+    dimension table invalidates the entry, because new dimension rows
+    can match existing fact rows.
     """
 
     def __init__(self, db: "Database") -> None:
@@ -72,6 +98,7 @@ class SummaryCache:
         #: checks it before considering any statement for serving
         self.enabled = True
         self._entries: "dict[CacheKey, _CacheEntry]" = {}
+        self._join_entries: "dict[tuple, _JoinCacheEntry]" = {}
         #: lifetime counters (per-statement deltas live in QueryMetrics)
         self.hits = 0
         self.misses = 0
@@ -92,7 +119,7 @@ class SummaryCache:
         )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._entries) + len(self._join_entries)
 
     # ------------------------------------------------------------- lookup
     def lookup(
@@ -186,6 +213,62 @@ class SummaryCache:
             return None
         return entry.summary.stats
 
+    # ------------------------------------------------------- join entries
+    @staticmethod
+    def _join_fresh(
+        entry: "_JoinCacheEntry", tables: Sequence["Table"]
+    ) -> bool:
+        """Fresh only if *every* base table is the same object at the
+        same version it was built against — no incremental path exists
+        for join-derived summaries (see :class:`_JoinCacheEntry`)."""
+        if len(entry.tables) != len(tables):
+            return False
+        return all(
+            cached is current and version == current.version
+            for (cached, version), current in zip(entry.tables, tables)
+        )
+
+    def lookup_join(
+        self, key: "tuple", tables: Sequence["Table"]
+    ) -> "tuple[SummaryStatistics, int] | None":
+        """The cached factorized summary, or None when a build is needed.
+
+        *key* is the executor's join-shape key; *tables* are the live
+        base-table objects (fact first is not required — order just has
+        to match :meth:`store_join`).  A hit returns ``(stats,
+        rows_avoided)`` and counts toward :attr:`hits`; misses are
+        counted by the :meth:`store_join` that follows the rebuild.
+        """
+        entry = self._join_entries.get(key)
+        if entry is None or not self._join_fresh(entry, tables):
+            return None
+        self.hits += 1
+        return entry.stats, entry.rows_avoided
+
+    def store_join(
+        self,
+        key: "tuple",
+        tables: Sequence["Table"],
+        stats: SummaryStatistics,
+        rows_avoided: int,
+    ) -> None:
+        """Record a freshly built factorized summary (counts a miss)."""
+        self._join_entries[key] = _JoinCacheEntry(
+            stats=stats,
+            tables=[(table, table.version) for table in tables],
+            rows_avoided=int(rows_avoided),
+        )
+        self.misses += 1
+
+    def probe_join(self, key: "tuple", tables: Sequence["Table"]) -> str:
+        """Non-mutating freshness check for EXPLAIN annotations:
+        ``"hit"`` (zero rows scanned) or ``"miss"`` (full factorized
+        build, which warms the entry)."""
+        entry = self._join_entries.get(key)
+        if entry is not None and self._join_fresh(entry, tables):
+            return "hit"
+        return "miss"
+
     # -------------------------------------------------------- maintenance
     def invalidate(self, table: "str | None" = None) -> int:
         """Drop entries for *table* (or everything); returns the count.
@@ -194,11 +277,23 @@ class SummaryCache:
         for reclaiming memory or forcing a cold rebuild in benchmarks.
         """
         if table is None:
-            dropped = len(self._entries)
+            dropped = len(self._entries) + len(self._join_entries)
             self._entries.clear()
+            self._join_entries.clear()
             return dropped
         key_prefix = table.lower()
         victims = [key for key in self._entries if key[0] == key_prefix]
         for key in victims:
             del self._entries[key]
-        return len(victims)
+        # A join entry references the dropped name as fact table (key[0])
+        # or as any dimension arm (key[1] holds (dim table, fk, pk)
+        # triples) — either way it can never validate again.
+        join_victims = [
+            key
+            for key in self._join_entries
+            if key[0] == key_prefix
+            or any(dim[0] == key_prefix for dim in key[1])
+        ]
+        for key in join_victims:
+            del self._join_entries[key]
+        return len(victims) + len(join_victims)

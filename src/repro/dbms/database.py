@@ -210,6 +210,24 @@ class Database:
         self._executor.vectorized_select = enabled
 
     @property
+    def factorized_joins_enabled(self) -> bool:
+        """Whether eligible star-join aggregates run factorized (per-base-
+        table partial aggregates, the join never materialized).  On by
+        default; disable to force the materialized nested-loop join —
+        the reference path the factorized results are asserted against."""
+        return self._executor.factorized_joins_enabled
+
+    @factorized_joins_enabled.setter
+    def factorized_joins_enabled(self, enabled: bool) -> None:
+        self._executor.factorized_joins_enabled = enabled
+
+    @property
+    def last_factorize_decision(self) -> "Any | None":
+        """The :class:`~repro.dbms.sql.factorize.FactorizeDecision` from
+        the most recent join statement (``None`` before any)."""
+        return self._executor.last_factorize_decision
+
+    @property
     def summary_cache(self) -> "Any | None":
         """The summary-matrix cache, or ``None`` while never enabled.
 

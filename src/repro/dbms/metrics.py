@@ -89,13 +89,23 @@ class QueryMetrics:
     scans_saved: int = 0
     #: physical rows read from table partitions.  Equals
     #: ``rows_processed`` except when the summary cache serves a
-    #: statement: a fresh hit scans zero rows, a stale hit scans only
-    #: the un-watermarked suffix.
+    #: statement (a fresh hit scans zero rows, a stale hit scans only
+    #: the un-watermarked suffix) or when a join materializes: the
+    #: nested-loop join re-reads every inner row per outer row, so each
+    #: join step adds its |outer| + |outer| x |inner| input reads.
     rows_scanned: int = 0
     #: statements that rode a consolidated batch (``execute_batch``
     #: after the scan-consolidation rewrite proved they share a scan);
     #: 0 for every serially executed statement
     statements_batched: int = 0
+    #: joins answered by the factorized path (per-base-table partial
+    #: aggregates combined through the key–FK join; the joined table
+    #: was never materialized)
+    factorized_joins: int = 0
+    #: joined-row reads the factorized path avoided: the input reads
+    #: the nested-loop join would have performed minus the Σ|base
+    #: tables| rows the factorized path actually scanned
+    rows_join_avoided: int = 0
 
     def to_dict(self) -> dict[str, float | int]:
         """A plain-dict snapshot; inverse of :meth:`from_dict`.

@@ -38,6 +38,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.core import factorized as fcore
 from repro.dbms.catalog import Catalog
 from repro.dbms.cost import CostModel
 from repro.dbms.engine import PartitionEngine
@@ -52,6 +53,7 @@ from repro.dbms.expressions import (
 from repro.dbms.functions import AGGREGATE_BUILTINS, SCALAR_BUILTINS, AggregateFunction
 from repro.dbms.schema import Column, TableSchema
 from repro.dbms.sql import ast
+from repro.dbms.sql.factorize import FactorizeDecision, plan_factorize
 from repro.dbms.sql.plan import Plan, build_plan
 from repro.dbms.sql.vectorized import (
     BlockItem,
@@ -71,7 +73,12 @@ from repro.dbms.storage import Table
 from repro.dbms.trace import NULL_TRACER, Span, Tracer
 from repro.dbms.types import SqlType
 from repro.dbms.udf import AggregateUdf
-from repro.errors import ExecutionError, PlanningError, SchemaError
+from repro.errors import (
+    ExecutionError,
+    PartitionExecutionError,
+    PlanningError,
+    SchemaError,
+)
 
 
 @dataclass
@@ -279,6 +286,15 @@ class Executor:
         #: ``execute_batch`` call (consolidated or refused-with-reason);
         #: None until a batch runs
         self.last_batch_decision: "Any | None" = None
+        #: whether eligible star-join aggregates run factorized
+        #: (per-base-table partials combined through the key–FK join,
+        #: the joined table never materialized); toggled via
+        #: ``Database.factorized_joins_enabled``
+        self.factorized_joins_enabled = True
+        #: the factorize pass's decision for the most recent SELECT
+        #: with joins (factorized or refused-with-reason); None when
+        #: the last statement had no joins
+        self.last_factorize_decision: "FactorizeDecision | None" = None
 
     # ----------------------------------------------------------- supervision
     def _engine_map(
@@ -396,11 +412,14 @@ class Executor:
             self._cost.params,
             analyze=statement.analyze,
             vectorized_select=self.vectorized_select,
+            factorized_joins=self.factorized_joins_enabled,
         )
         # Probed before ANALYZE executes, so the note reports the cache
         # state this statement actually saw (a miss that warms the cache
         # still renders as the miss it was).
         cache_note = self._summary_cache_note(plan.optimized)
+        if cache_note is None:
+            cache_note = self._factorized_cache_note(plan.optimized)
         if cache_note is not None:
             for node in plan.find("aggregate"):
                 node.notes.append(cache_note)
@@ -536,6 +555,10 @@ class Executor:
 
     # ---------------------------------------------------------------- SELECT
     def execute_select(self, select: ast.Select) -> Relation:
+        if select.joins and self.factorized_joins_enabled:
+            factorized = self._try_factorized_select(select)
+            if factorized is not None:
+                return factorized
         env = self._build_from_environment(select)
         aggregate_calls = self._collect_aggregates(select)
         if aggregate_calls or select.group_by:
@@ -885,6 +908,14 @@ class Executor:
         current = current.materialize()
         for _, right, condition, outer in sources[1:]:
             right = right.materialize()
+            # Honest input accounting for the nested loop: every outer
+            # row re-reads the whole inner relation, so a join step's
+            # physical reads are |outer| + |outer| x |inner| — the
+            # number the factorized path's rows_join_avoided is
+            # measured against.
+            self.last_metrics.rows_scanned += len(current.rows) * (
+                1 + len(right.rows)
+            )
             with self.tracer.span("join") as join_span:
                 joined_columns = current.columns + right.columns
                 joined_rows: list[tuple] = []
@@ -1477,6 +1508,400 @@ class Executor:
             )
         return "summary-cache miss: this scan warms the cache"
 
+    # ------------------------------------------------------ factorized joins
+    def _try_factorized_select(self, select: ast.Select) -> "Relation | None":
+        """Run *select* factorized if the planner proves it safe.
+
+        Returns ``None`` to continue on the materializing join path —
+        either the pass refused (``last_factorize_decision.reason``
+        says why) or a run-time assumption failed mid-build (e.g. a
+        duplicated dimension primary key) and the statement degraded
+        gracefully, exactly like a vectorized→row fallback.
+        """
+        decision = plan_factorize(self._catalog, select)
+        self.last_factorize_decision = decision
+        if not decision.factorized:
+            return None
+        snapshot = self.last_metrics.to_dict()
+        try:
+            return self._execute_factorized_aggregate(select, decision)
+        except fcore.FactorizedFallback as exc:
+            return self._degrade_factorized(snapshot, exc)
+        except PartitionExecutionError as exc:
+            # A guard tripping *inside* a partition task (e.g. a
+            # duplicate dimension key found while folding one
+            # partition's map) surfaces wrapped; unwrap it so the
+            # statement still degrades instead of failing.  Genuine
+            # task failures (faults, crashes) stay typed errors.
+            if isinstance(exc.first_error, fcore.FactorizedFallback):
+                return self._degrade_factorized(snapshot, exc.first_error)
+            raise
+
+    def _degrade_factorized(
+        self, snapshot: "dict[str, Any]", exc: Exception
+    ) -> None:
+        self._note_failed_span("aggregate", exc)
+        self._rollback_metrics(snapshot)
+        self.last_metrics.fallbacks += 1
+        self.last_metrics.fallback_reason = _describe_failure(exc)
+        return None
+
+    def _execute_factorized_aggregate(
+        self, select: ast.Select, decision: FactorizeDecision
+    ) -> Relation:
+        """Answer a star-join aggregate from per-base-table partials.
+
+        One partition-parallel pass per dimension table builds key →
+        feature maps; one pass over the fact table folds FK-grouped
+        partials; the combine step weights dimension vectors by the
+        fact-side multiplicities (:mod:`repro.core.factorized`).  The
+        joined table never exists: rows scanned are Σ|base tables|.
+        """
+        metrics = self.last_metrics
+        fact = self._catalog.table(decision.fact_table)
+        dim_tables = [self._catalog.table(dim.table) for dim in decision.dims]
+        # Binder over the *virtual* joined schema (fact columns, then
+        # each dimension's) — aggregate specs resolve against it
+        # without any joined relation existing.
+        columns = [
+            BoundColumn(decision.fact_binding, column.name)
+            for column in fact.schema.columns
+        ]
+        for dim, table in zip(decision.dims, dim_tables):
+            columns.extend(
+                BoundColumn(dim.binding, column.name)
+                for column in table.schema.columns
+            )
+        binder = Binder(columns)
+        aggregate_calls = self._collect_aggregates(select)
+        aggregates = [
+            _AggregateSpec(call, self._aggregate_object(call.name), binder, self)
+            for call in aggregate_calls
+        ]
+        plan = _resolve_factorized_positions(
+            decision, fact, dim_tables, aggregates
+        )
+
+        base_tables = [fact, *dim_tables]
+        cache = self.summary_cache
+        cache_key = None
+        if (
+            decision.shape == "summary"
+            and cache is not None
+            and getattr(cache, "enabled", False)
+            and hasattr(aggregates[0].aggregate, "state_from_stats")
+        ):
+            cache_key = _join_cache_key(decision)
+            served = cache.lookup_join(cache_key, base_tables)
+            if served is not None:
+                stats, rows_avoided = served
+                with self.tracer.span("summary-cache") as span:
+                    if span is not None:
+                        span.attributes["hit"] = True
+                        span.attributes["factorized"] = True
+                        span.attributes["tables"] = ",".join(
+                            table.name for table in base_tables
+                        )
+                metrics.summary_cache_hits += 1
+                metrics.scans_saved += len(base_tables)
+                metrics.factorized_joins += 1
+                metrics.rows_join_avoided += rows_avoided
+                states = [aggregates[0].aggregate.state_from_stats(stats)]
+                result, order_context = self._finalize_aggregate(
+                    select, aggregates, [], {(): states}
+                )
+                return self._apply_order_limit(select, result, order_context)
+
+        for table in base_tables:
+            self._cost.charge_scan(table.nominal_rows, table.width)
+
+        dim_maps: "list[tuple[dict, set]]" = []
+        dim_values: "list[dict]" = []
+        dim_raws: "list[dict]" = []
+        for dim_index, table in enumerate(dim_tables):
+            values, null_any, raw = self._build_factorized_dim_map(
+                table,
+                plan.dim_key_positions[dim_index],
+                plan.dim_feature_positions[dim_index],
+            )
+            dim_maps.append((values, null_any))
+            dim_values.append(values)
+            dim_raws.append(raw)
+
+        with self.tracer.span("aggregate") as strategy_span:
+            if strategy_span is not None:
+                strategy_span.attributes["strategy"] = "factorized-join"
+            states, stats = self._fold_factorized_fact(
+                decision, plan, fact, aggregates, dim_maps, dim_values, dim_raws
+            )
+
+        if cache_key is not None:
+            metrics.summary_cache_misses += 1
+
+        base_rows = sum(table.row_count for table in base_tables)
+        would_read = 0
+        outer_rows = fact.row_count
+        for table in dim_tables:
+            would_read += outer_rows * (1 + table.row_count)
+        avoided = max(0, would_read - base_rows)
+        metrics.factorized_joins += 1
+        metrics.rows_join_avoided += avoided
+        if cache_key is not None and stats is not None:
+            cache.store_join(cache_key, base_tables, stats, avoided)
+
+        self._charge_factorized_costs(select, aggregates, fact, dim_tables)
+        result, order_context = self._finalize_aggregate(
+            select, aggregates, [], {(): states}
+        )
+        return self._apply_order_limit(select, result, order_context)
+
+    def _fold_factorized_fact(
+        self,
+        decision: FactorizeDecision,
+        plan: "_FactorizedPositions",
+        fact: Table,
+        aggregates: list["_AggregateSpec"],
+        dim_maps: "list[tuple[dict, set]]",
+        dim_values: "list[dict]",
+        dim_raws: "list[dict]",
+    ) -> "tuple[list[Any], Any]":
+        """Fact-side fold + combine; returns (states, stats-or-None)."""
+        metrics = self.last_metrics
+        shape = decision.shape
+        key_positions = plan.fact_key_positions
+        if shape == "summary":
+            udf = aggregates[0].aggregate
+            matrix_type = decision.matrix_type
+            pairs = fcore.fact_pairs(len(plan.fact_positions), matrix_type)
+
+            def fold(rows):
+                return fcore.fold_summary_fact_partition(
+                    rows, key_positions, dim_maps, plan.fact_positions, pairs
+                )
+
+            partials = self._factorized_partition_fold(fact, fold)
+            with self.tracer.span("merge") as merge_span, StageTimer(
+                metrics, "merge", merge_span
+            ):
+                merged = fcore.merge_summary_fact_partitions(
+                    partials, len(plan.fact_positions), len(pairs)
+                )
+                stats = fcore.combine_summary(
+                    merged, plan.sources, dim_values, matrix_type
+                )
+            return [udf.state_from_stats(stats)], stats
+        if shape == "fused":
+            udf = aggregates[0].aggregate
+            tables = udf.factorized_tables(plan.sources, dim_values)
+
+            def fold(rows):
+                return fcore.fold_fused_fact_partition(
+                    rows, key_positions, dim_maps, plan.fact_positions, tables
+                )
+
+            partials = self._factorized_partition_fold(
+                fact,
+                fold,
+                fire_site=getattr(udf, "fault_site", None),
+                fire_udf=aggregates[0].call.name,
+            )
+            with self.tracer.span("merge") as merge_span, StageTimer(
+                metrics, "merge", merge_span
+            ):
+                merged = fcore.merge_fused_fact_partitions(
+                    partials,
+                    tables["k"],
+                    len(plan.fact_positions),
+                    len(dim_maps),
+                )
+                counts, linear, quadratic, extra = fcore.combine_fused(
+                    merged, plan.sources, dim_values, tables["k"]
+                )
+            state = udf.state_from_factorized(counts, linear, quadratic, extra)
+            return [state], None
+        # builtins: COUNT(*) / SUM partials in Python arithmetic.
+        specs = plan.builtin_specs
+
+        def fold(rows):
+            return fcore.fold_builtin_fact_partition(
+                rows, key_positions, dim_maps, dim_raws, specs
+            )
+
+        partials = self._factorized_partition_fold(fact, fold)
+        with self.tracer.span("merge") as merge_span, StageTimer(
+            metrics, "merge", merge_span
+        ):
+            _matched, merged_states = fcore.merge_builtin_partials(
+                partials, specs
+            )
+        states: list[Any] = []
+        for index, spec in enumerate(specs):
+            if spec[0] == "count_star":
+                states.append(merged_states[index])
+            else:
+                states.append(merged_states[index][0])
+        return states, None
+
+    def _build_factorized_dim_map(
+        self,
+        table: Table,
+        key_position: int,
+        feature_positions: "list[int]",
+    ) -> "tuple[dict, set, dict]":
+        """One partition-parallel pass over a dimension table.
+
+        The wrapper span is named ``dim-scan`` (not ``scan``) on
+        purpose: per-task ``scan`` child spans under the task spans
+        already carry the measured scan seconds, and
+        ``Span.total_seconds("scan")`` must keep reconciling exactly
+        with ``metrics.scan_seconds``.
+        """
+        with self.tracer.span("dim-scan") as span:
+
+            def fold(rows):
+                return fcore.fold_dim_partition(
+                    rows, key_position, feature_positions
+                )
+
+            partials = self._factorized_partition_fold(table, fold)
+            merged = fcore.merge_dim_partitions(partials)
+            if span is not None:
+                span.attributes["table"] = table.name
+                span.attributes["rows"] = table.row_count
+                span.attributes["keys"] = len(merged[0])
+        return merged
+
+    def _factorized_partition_fold(
+        self,
+        table: Table,
+        fold_rows: "Callable[[list[tuple]], Any]",
+        fire_site: "str | None" = None,
+        fire_udf: "str | None" = None,
+    ) -> list[Any]:
+        """Fan *fold_rows* out as one idempotent task per partition.
+
+        Partials return strictly in partition order; per-task times and
+        row counts fold into the statement metrics exactly like the
+        single-table row-partitioned path, so worker count never
+        changes results or bookkeeping.
+        """
+        numbered = [
+            (index, partition)
+            for index, partition in enumerate(table.partitions)
+            if partition.row_count
+        ]
+        faults = self.faults
+
+        def make_task(pid, partition):
+            def task() -> "tuple[Any, int, float, float]":
+                scan_start = time.perf_counter()
+                if faults.enabled:
+                    faults.fire("partition.scan", partition=pid)
+                rows = list(partition.rows())
+                if fire_site is not None and faults.enabled:
+                    faults.fire(fire_site, partition=pid, udf=fire_udf)
+                fold_start = time.perf_counter()
+                partial = fold_rows(rows)
+                done = time.perf_counter()
+                return (
+                    partial,
+                    len(rows),
+                    fold_start - scan_start,
+                    done - fold_start,
+                )
+
+            return task
+
+        tasks = [make_task(pid, partition) for pid, partition in numbered]
+        partition_ids = [index for index, _ in numbered]
+        task_spans: "list[Span] | None" = None
+        if self.tracer.enabled:
+            task_spans = []
+            results = self._engine_map(tasks, task_spans, partition_ids)
+            self.tracer.attach(task_spans)
+        else:
+            results = self._engine_map(tasks, partition_ids=partition_ids)
+        metrics = self.last_metrics
+        metrics.parallel_tasks += len(tasks)
+        partials: list[Any] = []
+        for index, result in enumerate(results):
+            partial, row_count, scan_seconds, accumulate_seconds = result
+            metrics.scan_seconds += scan_seconds
+            metrics.accumulate_seconds += accumulate_seconds
+            metrics.rows_processed += row_count
+            if row_count:
+                metrics.partitions_processed += 1
+            if task_spans is not None:
+                span = task_spans[index]
+                span.attributes["partition"] = partition_ids[index]
+                span.attributes["rows"] = row_count
+                span.children.append(Span("scan", seconds=scan_seconds))
+                span.children.append(
+                    Span("accumulate", seconds=accumulate_seconds)
+                )
+            partials.append(partial)
+        return partials
+
+    def _charge_factorized_costs(
+        self,
+        select: ast.Select,
+        aggregates: list["_AggregateSpec"],
+        fact: Table,
+        dim_tables: "list[Table]",
+    ) -> None:
+        """Analytical charges for the factorized path.
+
+        The select list evaluates once per *fact* row (the aggregate
+        argument gathering); each base table's scan was charged up
+        front, and the per-partition merge covers every base table's
+        partials.
+        """
+        rows = fact.nominal_rows
+        charged = [item.expression for item in select.items]
+        self._cost.charge_sql_evaluation(rows, self._expression_nodes(charged))
+        partitions = fact.partition_count + sum(
+            table.partition_count for table in dim_tables
+        )
+        for spec in aggregates:
+            if spec.is_builtin:
+                continue
+            udf = spec.aggregate
+            assert isinstance(udf, AggregateUdf)
+            profile = udf.cost_per_row(len(spec.call.call.args))
+            self._cost.charge_udf_rows(
+                rows,
+                list_params=profile.list_params,
+                arith_ops=profile.arith_ops,
+            )
+            if profile.string_chars:
+                self._cost.charge_udf_string_transfer(rows, profile.string_chars)
+            self._cost.charge_udf_merge(partitions, udf.state_value_count())
+            self._cost.charge_udf_return(udf.state_value_count())
+
+    def _factorized_cache_note(self, select: ast.Select) -> "str | None":
+        """EXPLAIN annotation for a join-cacheable factorized statement."""
+        cache = self.summary_cache
+        if cache is None or not getattr(cache, "enabled", False):
+            return None
+        if not select.joins:
+            return None
+        decision = plan_factorize(self._catalog, select)
+        if not decision.factorized or decision.shape != "summary":
+            return None
+        tables = [self._catalog.table(decision.fact_table)] + [
+            self._catalog.table(dim.table) for dim in decision.dims
+        ]
+        status = cache.probe_join(_join_cache_key(decision), tables)
+        if status == "hit":
+            return (
+                "summary-cache hit: factorized (n, L, Q) served from "
+                "cache, 0 rows scanned"
+            )
+        return (
+            "summary-cache miss: this factorized build warms the cache "
+            "(keyed on every base table's version)"
+        )
+
     def _accumulate_groups(
         self,
         env: Relation,
@@ -2020,6 +2445,121 @@ class _OrderContext:
     rows: list[tuple]
     binder: Binder
     rewrite: "Callable[[ast.Expression], ast.Expression] | None" = None
+
+
+@dataclass
+class _FactorizedPositions:
+    """A FactorizeDecision bound to physical column positions.
+
+    * ``fact_key_positions[i]`` — the fact row position of dims[i]'s FK;
+    * ``dim_key_positions[i]`` / ``dim_feature_positions[i]`` — the
+      dimension row positions of its PK and of the (de-duplicated)
+      feature columns the aggregates read;
+    * ``sources`` — per aggregate argument: ``("fact", fact_arg_index)``,
+      ``("dim", dim_index, feature_index)`` or ``("const", value)``;
+      ``fact_positions[fact_arg_index]`` is the fact row position;
+    * ``builtin_specs`` — per aggregate call (builtins shape), with
+      fact terms carrying fact row positions directly.
+    """
+
+    fact_key_positions: "list[int]"
+    dim_key_positions: "list[int]"
+    dim_feature_positions: "list[list[int]]"
+    fact_positions: "list[int]"
+    sources: "tuple"
+    builtin_specs: "list[tuple]"
+
+
+def _resolve_factorized_positions(
+    decision: FactorizeDecision,
+    fact: Table,
+    dim_tables: "list[Table]",
+    aggregates: list["_AggregateSpec"],
+) -> _FactorizedPositions:
+    """Map the decision's column names onto row positions."""
+    fact_key_positions = [
+        fact.schema.position_of(dim.fact_key) for dim in decision.dims
+    ]
+    dim_key_positions = [
+        table.schema.position_of(dim.dim_key)
+        for dim, table in zip(decision.dims, dim_tables)
+    ]
+    dim_feature_positions: "list[list[int]]" = [[] for _ in decision.dims]
+    dim_feature_index: "list[dict[str, int]]" = [{} for _ in decision.dims]
+
+    def dim_feature(dim_index: int, name: str) -> int:
+        assigned = dim_feature_index[dim_index]
+        index = assigned.get(name)
+        if index is None:
+            index = len(dim_feature_positions[dim_index])
+            assigned[name] = index
+            dim_feature_positions[dim_index].append(
+                dim_tables[dim_index].schema.position_of(name)
+            )
+        return index
+
+    fact_positions: "list[int]" = []
+    sources: "list[tuple]" = []
+    for source in decision.arg_sources:
+        if source[0] == "fact":
+            fact_positions.append(fact.schema.position_of(source[1]))
+            sources.append(("fact", len(fact_positions) - 1))
+        elif source[0] == "dim":
+            _kind, dim_index, name = source
+            sources.append(("dim", dim_index, dim_feature(dim_index, name)))
+        else:
+            sources.append(source)
+    builtin_specs: "list[tuple]" = []
+    if decision.shape == "builtins":
+        for spec in aggregates:
+            shape = decision.builtin_shapes.get(spec.call.key)
+            if shape is None:  # pragma: no cover - planner/executor drift
+                raise fcore.FactorizedFallback(
+                    f"no factorized shape for aggregate {spec.call.key}"
+                )
+            if shape[0] == "count_star":
+                builtin_specs.append(shape)
+                continue
+            terms: "list[tuple]" = []
+            for term in shape[1]:
+                if term[0] == "fact":
+                    terms.append(("fact", fact.schema.position_of(term[1])))
+                elif term[0] == "dim":
+                    _kind, dim_index, name = term
+                    terms.append(
+                        ("dim", dim_index, dim_feature(dim_index, name))
+                    )
+                else:
+                    terms.append(term)
+            builtin_specs.append(("sum", tuple(terms)))
+    return _FactorizedPositions(
+        fact_key_positions=fact_key_positions,
+        dim_key_positions=dim_key_positions,
+        dim_feature_positions=dim_feature_positions,
+        fact_positions=fact_positions,
+        sources=tuple(sources),
+        builtin_specs=builtin_specs,
+    )
+
+
+def _join_cache_key(decision: FactorizeDecision) -> tuple:
+    """Composite cache key for a join-derived summary.
+
+    Covers the whole star shape — fact table, every dimension arm's
+    (table, FK, PK), the full argument list and the matrix type — so
+    two different star queries can never collide.  Freshness against
+    every base table's version is the cache's job (the key only names
+    the tables; the entry records their versions).
+    """
+    return (
+        decision.fact_table.lower(),
+        tuple(
+            (dim.table.lower(), dim.fact_key, dim.dim_key)
+            for dim in decision.dims
+        ),
+        decision.arg_sources,
+        decision.matrix_type,
+    )
 
 
 def _sort_key(value: Any) -> tuple:

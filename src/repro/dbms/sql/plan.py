@@ -35,6 +35,7 @@ from repro.dbms.catalog import Catalog
 from repro.dbms.cost import CostParameters
 from repro.dbms.metrics import QueryMetrics
 from repro.dbms.sql import ast
+from repro.dbms.sql.factorize import plan_factorize
 from repro.dbms.sql.optimizer import OptimizationReport, QueryOptimizer
 from repro.dbms.sql.planner import find_aggregates
 from repro.dbms.sql.vectorized import plan_vectorized_select
@@ -221,15 +222,16 @@ def build_plan(
     params: CostParameters,
     analyze: bool = False,
     vectorized_select: bool = True,
+    factorized_joins: bool = True,
 ) -> Plan:
     """Build the plan tree EXPLAIN renders (and ANALYZE executes).
 
-    *vectorized_select* mirrors the executor's toggle so the project
-    operator's ``strategy:`` note reports what execution would really
-    do.
+    *vectorized_select* and *factorized_joins* mirror the executor's
+    toggles so the plan's strategy notes and join shape report what
+    execution would really do.
     """
     report = QueryOptimizer(catalog).optimize(select)
-    builder = _PlanBuilder(catalog, params, vectorized_select)
+    builder = _PlanBuilder(catalog, params, vectorized_select, factorized_joins)
     root = builder.select_node(report.optimized, report)
     return Plan(statement=select, root=root, report=report, analyze=analyze)
 
@@ -240,10 +242,12 @@ class _PlanBuilder:
         catalog: Catalog,
         params: CostParameters,
         vectorized_select: bool = True,
+        factorized_joins: bool = True,
     ) -> None:
         self._catalog = catalog
         self._params = params
         self._vectorized_select = vectorized_select
+        self._factorized_joins = factorized_joins
 
     # ------------------------------------------------------------- operators
     def select_node(
@@ -252,7 +256,13 @@ class _PlanBuilder:
         report: OptimizationReport | None = None,
     ) -> PlanNode:
         params = self._params
-        current, rows = self._input_tree(select)
+        factorize_decision = None
+        if select.joins and self._factorized_joins:
+            factorize_decision = plan_factorize(self._catalog, select, report)
+        if factorize_decision is not None and factorize_decision.factorized:
+            current, rows = self._factorized_join_node(factorize_decision)
+        else:
+            current, rows = self._input_tree(select)
 
         if select.where is not None:
             nodes = len(ast.walk(select.where))
@@ -309,7 +319,66 @@ class _PlanBuilder:
                 current.notes.append(
                     f"predicate pushed into subquery: {predicate}"
                 )
+        if (
+            factorize_decision is not None
+            and not factorize_decision.factorized
+            and aggregated
+        ):
+            current.notes.append(
+                f"factorized-join refused: {factorize_decision.reason}"
+            )
         return current
+
+    def _factorized_join_node(self, decision) -> tuple[PlanNode, float]:
+        """The factorized replacement for a star-join input tree.
+
+        One scan per base table; partial aggregates are combined through
+        the FK->PK keys, so the joined table is never materialized.  The
+        note carries the avoided-rows accounting that tests and
+        ``BENCH_factorized.json`` assert against: a nested-loop join
+        reads |fact| + Sum_i |fact| x |dim_i| input rows, the factorized
+        path reads Sum |base tables|.
+        """
+        params = self._params
+        children: list[PlanNode] = []
+        fact = self._catalog.table(decision.fact_table)
+        fact_rows = fact.nominal_rows
+        scanned = 0.0
+        nested_loop_reads = 0.0
+        for dim in decision.dims:
+            node, dim_rows = self._source_node(
+                ast.TableName(dim.table, alias=dim.binding)
+            )
+            node.notes.append(
+                f"dimension arm: {dim.binding}.{dim.dim_key} = "
+                f"{decision.fact_binding}.{dim.fact_key} (key -> partial map)"
+            )
+            children.append(node)
+            scanned += dim_rows
+            nested_loop_reads += fact_rows * (1 + dim_rows)
+        fact_node, _ = self._source_node(
+            ast.TableName(decision.fact_table, alias=decision.fact_binding)
+        )
+        children.append(fact_node)
+        scanned += fact_rows
+        avoided = max(0.0, nested_loop_reads - scanned)
+        node = PlanNode(
+            "factorized-join",
+            f"{decision.fact_table} star over {len(decision.dims)} "
+            f"dimension(s), shape {decision.shape}",
+            # Per fact row: one hash probe per dimension arm during the
+            # fold (the dim scans carry their own scan estimates).
+            estimated_seconds=fact_rows * len(decision.dims)
+            * params.sql_eval_node / params.amps,
+            estimated_rows=fact_rows,
+            notes=[
+                f"factorized-join: scans {scanned:.0f} base-table rows "
+                f"instead of ~{nested_loop_reads:.0f} nested-loop input "
+                f"reads ({avoided:.0f} rows avoided)"
+            ],
+            children=children,
+        )
+        return node, fact_rows
 
     def _input_tree(self, select: ast.Select) -> tuple[PlanNode, float]:
         """The FROM clause as a left-deep tree; returns (node, est rows)."""

@@ -43,7 +43,13 @@ from repro.core.sqlgen import NlqSqlGenerator
 from repro.core.summary import AugmentedSummary, MatrixType, SummaryStatistics
 from repro.dbms.database import Database
 from repro.errors import ModelError
+from repro.twm.star import StarSchema, reservoir_sample_star
 from repro.workloads.generator import DatasetSample, MixtureSpec, load_dataset
+
+#: sources every model builder accepts: a table name, or a normalized
+#: star schema (trained through the factorized-join path, join never
+#: materialized — see docs/factorized_learning.md)
+Source = "str | StarSchema"
 
 
 class WarehouseMiner:
@@ -69,9 +75,27 @@ class WarehouseMiner:
         spec = MixtureSpec(d=d, **spec_overrides)
         return load_dataset(self.db, name, n, spec, with_y, row_scale)
 
-    def dimensions_of(self, table: str) -> list[str]:
+    def star(
+        self,
+        fact: str,
+        dims: Sequence[str],
+        keys: "Sequence[tuple[str, str]]",
+        **kwargs,
+    ) -> StarSchema:
+        """A ``(fact, dims, keys)`` star spec usable wherever a table
+        name is (correlation/pca/regression/factor_analysis and the
+        fused clustering builders) — trained without materializing the
+        join.  *keys* pairs each dimension table with its ``(fact_fk,
+        dim_pk)`` columns."""
+        return StarSchema.of(fact, dims, keys, **kwargs)
+
+    def dimensions_of(self, table: "str | StarSchema") -> list[str]:
         """The dimension columns of a data-set table: numeric columns
-        excluding the point id and a dependent variable ``y``."""
+        excluding the point id and a dependent variable ``y``.  For a
+        star schema: the qualified fact measures plus every dimension
+        arm's features."""
+        if isinstance(table, StarSchema):
+            return table.feature_columns(self.db)
         schema = self.db.table(table).schema
         excluded = {"y"}
         if schema.primary_key is not None:
@@ -85,7 +109,7 @@ class WarehouseMiner:
     # ------------------------------------------------------------- summaries
     def summarize(
         self,
-        table: str,
+        table: "str | StarSchema",
         dimensions: Sequence[str] | None = None,
         matrix_type: MatrixType = MatrixType.TRIANGULAR,
         method: str = "udf",
@@ -94,10 +118,27 @@ class WarehouseMiner:
         """One-scan (n, L, Q) via the aggregate UDF (default) or SQL.
 
         Dimensionality beyond the UDF's MAX_d automatically switches to
-        the block-partitioned route of Table 6.
+        the block-partitioned route of Table 6.  A :class:`StarSchema`
+        source computes the same (n, L, Q) over the joined star without
+        materializing the join — one scan per base table.
         """
         dims = list(dimensions) if dimensions is not None \
             else self.dimensions_of(table)
+        if isinstance(table, StarSchema):
+            if method != "udf" or passing != "list":
+                raise ModelError(
+                    "star-schema summaries run through the list-form "
+                    "aggregate UDF (the factorized-join route); got "
+                    f"method={method!r}, passing={passing!r}"
+                )
+            if len(dims) > DEFAULT_MAX_D:
+                raise ModelError(
+                    f"star-schema summaries support up to d="
+                    f"{DEFAULT_MAX_D} features (got {len(dims)})"
+                )
+            return compute_nlq_udf(
+                self.db, table.from_sql(), dims, matrix_type, passing
+            )
         if method == "sql":
             return NlqSqlGenerator(table, dims).compute(self.db, matrix_type)
         if method != "udf":
@@ -173,7 +214,10 @@ class WarehouseMiner:
 
     # ---------------------------------------------------------------- models
     def correlation(
-        self, table: str, dimensions: Sequence[str] | None = None, **kwargs
+        self,
+        table: "str | StarSchema",
+        dimensions: Sequence[str] | None = None,
+        **kwargs,
     ) -> CorrelationModel:
         dims = list(dimensions) if dimensions is not None \
             else self.dimensions_of(table)
@@ -182,7 +226,7 @@ class WarehouseMiner:
 
     def linear_regression(
         self,
-        table: str,
+        table: "str | StarSchema",
         target: str = "y",
         dimensions: Sequence[str] | None = None,
         method: str = "udf",
@@ -191,9 +235,24 @@ class WarehouseMiner:
 
         The constant dimension is passed as the literal ``1.0`` in the
         generated query, so Q′ = Z Zᵀ comes out of the same aggregate.
+        Over a :class:`StarSchema` the target must be a qualified fact
+        column (e.g. ``"sales.amount"``) and the single scan becomes
+        one factorized scan per base table.
         """
         dims = list(dimensions) if dimensions is not None \
             else self.dimensions_of(table)
+        if isinstance(table, StarSchema):
+            if "." not in target:
+                target = f"{table.fact}.{target}"
+            dims = [dim for dim in dims if dim.lower() != target.lower()]
+            augmented_dims = ["1.0", *dims, target]
+            if method != "udf":
+                raise ModelError(
+                    "star-schema regression runs through the aggregate "
+                    f"UDF; got method={method!r}"
+                )
+            stats = compute_nlq_udf(self.db, table.from_sql(), augmented_dims)
+            return LinearRegressionModel.from_summary(AugmentedSummary(stats))
         augmented_dims = ["1.0", *dims, target]
         if method == "sql":
             stats = NlqSqlGenerator(table, augmented_dims).compute(
@@ -205,7 +264,7 @@ class WarehouseMiner:
 
     def pca(
         self,
-        table: str,
+        table: "str | StarSchema",
         k: int,
         dimensions: Sequence[str] | None = None,
         use_correlation: bool = True,
@@ -216,7 +275,7 @@ class WarehouseMiner:
 
     def factor_analysis(
         self,
-        table: str,
+        table: "str | StarSchema",
         k: int,
         dimensions: Sequence[str] | None = None,
         **kwargs,
@@ -288,7 +347,7 @@ class WarehouseMiner:
 
     def kmeans(
         self,
-        table: str,
+        table: "str | StarSchema",
         k: int,
         dimensions: Sequence[str] | None = None,
         max_iterations: int = 10,
@@ -320,6 +379,15 @@ class WarehouseMiner:
             raise ModelError(f"unknown kmeans method {method!r}")
         dims = list(dimensions) if dimensions is not None \
             else self.dimensions_of(table)
+        if isinstance(table, StarSchema):
+            if method != "fused":
+                raise ModelError(
+                    "star-schema k-means runs through the fused "
+                    f"kmeansiter UDF; got method={method!r}"
+                )
+            return self._kmeans_star(
+                table, k, dims, max_iterations, tolerance, seed
+            )
         # Seed from a bounded NULL-filtered reservoir sample gathered
         # through the engine (every partition contributes, so the seeds
         # aren't biased toward the first partitions' rows) instead of
@@ -352,6 +420,50 @@ class WarehouseMiner:
                 groups = NlqSqlGenerator(table, dims).compute_groups(
                     self.db, group_expr, MatrixType.DIAGONAL
                 )
+            previous = model.centroids.copy()
+            model = KMeansModel.from_group_summaries(groups, k, previous)
+            model.iterations = iteration
+            shift = float(np.max(np.abs(model.centroids - previous)))
+            if shift <= tolerance:
+                break
+        return model
+
+    def _kmeans_star(
+        self,
+        star: StarSchema,
+        k: int,
+        dims: "list[str]",
+        max_iterations: int,
+        tolerance: float,
+        seed: int,
+    ) -> KMeansModel:
+        """Fused k-means over a star: seed from a joined reservoir
+        sample, then one factorized ``kmeansiter`` scan per iteration —
+        Σ|base tables| rows read, join never materialized (the Rk-means
+        observation: the iteration only needs per-cluster (N, L, Q))."""
+        from repro.core.fused import (
+            fused_call_sql,
+            register_fused_udfs,
+            unpack_fused_payload,
+        )
+        from repro.core.models.kmeans import SEED_SAMPLE_CAP, _plus_plus_init
+
+        sample = reservoir_sample_star(
+            self.db, star, dims, cap=SEED_SAMPLE_CAP, seed=seed
+        )
+        if sample.shape[0] < k:
+            raise ModelError(
+                f"star over {star.fact!r} joins {sample.shape[0]} complete "
+                f"rows over {dims}; need >= k={k}"
+            )
+        centroids = _plus_plus_init(sample, k, np.random.default_rng(seed))
+        fused_udf = register_fused_udfs(self.db)["kmeansiter"]
+        fused_sql = fused_call_sql("kmeansiter", star.from_sql(), dims)
+        model = KMeansModel(centroids, np.zeros_like(centroids), np.zeros(k))
+        for iteration in range(1, max_iterations + 1):
+            fused_udf.set_centroids(model.centroids)
+            payload = self.db.execute(fused_sql).scalar()
+            groups, _ = unpack_fused_payload(payload)
             previous = model.centroids.copy()
             model = KMeansModel.from_group_summaries(groups, k, previous)
             model.iterations = iteration
@@ -404,7 +516,7 @@ class WarehouseMiner:
 
     def gaussian_mixture(
         self,
-        table: str,
+        table: "str | StarSchema",
         k: int,
         dimensions: Sequence[str] | None = None,
         method: str = "matrix",
@@ -414,17 +526,109 @@ class WarehouseMiner:
 
         ``method="matrix"`` runs the in-memory reference fit;
         ``method="fused"`` drives the DBMS with one fused ``emiter``
-        scan per iteration (see ``docs/clustering.md``)."""
+        scan per iteration (see ``docs/clustering.md``).  A
+        :class:`StarSchema` source requires ``method="fused"`` and
+        runs each scan factorized over the base tables."""
         if method not in ("matrix", "fused"):
             raise ModelError(f"unknown gaussian_mixture method {method!r}")
         dims = list(dimensions) if dimensions is not None \
             else self.dimensions_of(table)
+        if isinstance(table, StarSchema):
+            if method != "fused":
+                raise ModelError(
+                    "star-schema EM runs through the fused emiter UDF; "
+                    f"got method={method!r}"
+                )
+            return self._gaussian_mixture_star(table, k, dims, **kwargs)
         if method == "fused":
             return GaussianMixtureModel.fit_dbms(
                 self.db, table, dims, k, **kwargs
             )
         matrix = self.db.table(table).numeric_matrix(dims)
         return GaussianMixtureModel.fit_matrix(matrix, k, **kwargs)
+
+    def _gaussian_mixture_star(
+        self,
+        star: StarSchema,
+        k: int,
+        dims: "list[str]",
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        variance_floor: float = 1e-6,
+        seed: int = 0,
+    ) -> GaussianMixtureModel:
+        """DBMS-driven EM over a star, one factorized fused scan per
+        iteration.  Mirrors :meth:`GaussianMixtureModel.fit_dbms` but
+        initializes from a bounded joined reservoir sample instead of
+        the (never materialized) wide matrix."""
+        from repro.core.fused import (
+            fused_call_sql,
+            register_fused_udfs,
+            unpack_fused_payload,
+        )
+        from repro.core.models.kmeans import SEED_SAMPLE_CAP
+
+        udf = register_fused_udfs(self.db)["emiter"]
+        sample = reservoir_sample_star(
+            self.db, star, dims, cap=SEED_SAMPLE_CAP, seed=seed
+        )
+        n_sample, d = sample.shape
+        if not 1 <= k <= n_sample:
+            raise ModelError(
+                f"k must be in [1, {n_sample}] (complete sampled join "
+                f"rows), got {k}"
+            )
+        rng = np.random.default_rng(seed)
+        means = sample[rng.choice(n_sample, size=k, replace=False)].astype(
+            float
+        )
+        global_variance = np.maximum(sample.var(axis=0), variance_floor)
+        variances = np.tile(global_variance, (k, 1))
+        weights = np.full(k, 1.0 / k)
+        model = GaussianMixtureModel(means, variances, weights)
+        sql = fused_call_sql("emiter", star.from_sql(), dims)
+
+        n = None  # |join| comes back with the first scan's Nj
+        previous = -np.inf
+        for iteration in range(1, max_iterations + 1):
+            udf.set_model(model)
+            payload = self.db.execute(sql).scalar()
+            groups, log_likelihood = unpack_fused_payload(payload)
+            Nj = np.zeros(k)
+            Lj = np.zeros((k, d))
+            Qj = np.zeros((k, d))
+            for j, stats in groups.items():
+                Nj[j - 1] = stats.n
+                Lj[j - 1] = stats.L
+                Qj[j - 1] = np.diag(stats.Q)
+            if n is None:
+                n = float(Nj.sum())
+            if np.any(Nj <= 0):
+                raise ModelError(
+                    "a mixture component collapsed to zero weight"
+                )
+            means = Lj / Nj[:, None]
+            variances = np.maximum(
+                Qj / Nj[:, None] - means**2, variance_floor
+            )
+            weights = Nj / n
+            model = GaussianMixtureModel(
+                means, variances, weights, log_likelihood, iteration
+            )
+            if np.isfinite(previous) and (
+                log_likelihood - previous
+                <= tolerance * max(abs(previous), 1.0)
+            ):
+                break
+            previous = log_likelihood
+        # One more fused scan evaluates the log-likelihood the *final*
+        # parameters achieve (the loop's value predates its M step).
+        udf.set_model(model)
+        _, final_log_likelihood = unpack_fused_payload(
+            self.db.execute(sql).scalar()
+        )
+        model.log_likelihood = final_log_likelihood
+        return model
 
     # --------------------------------------------------------------- scoring
     def scorer(

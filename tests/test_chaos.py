@@ -445,3 +445,159 @@ def test_batch_chaos(batch_baselines, dataset, specs, retries, timeout):
         assert [result.rows for result in clean] == batch_baselines[0]
     finally:
         db.close()
+
+
+# ------------------------------------------------ factorized star joins
+#: the factorized regime: a summary aggregate and one fused k-means
+#: iteration, each answered from per-base-table partials over a
+#: sales → stores star (the join is never materialized)
+_STAR_SUMMARY_SQL = (
+    "SELECT nlq_tri(2, sales.amount, stores.sx) "
+    "FROM sales JOIN stores ON sales.sid = stores.sid"
+)
+_STAR_FUSED_SQL = (
+    "SELECT kmeansiter(2, sales.amount, stores.sx) "
+    "FROM sales JOIN stores ON sales.sid = stores.sid"
+)
+
+_STAR_SITES = [
+    "partition.scan",
+    "udf.fused_iter",
+    "engine.task",
+]
+
+_STAR_FACT_N, _STAR_DIM_N = 90, 12
+
+
+@pytest.fixture(scope="module")
+def star_dataset():
+    rng = np.random.default_rng(2000 + CHAOS_SEED)
+    return {
+        "stores": {
+            "sid": np.arange(1, _STAR_DIM_N + 1),
+            "sx": rng.normal(0.0, 5.0, _STAR_DIM_N),
+        },
+        "sales": {
+            "oid": np.arange(1, _STAR_FACT_N + 1),
+            "sid": rng.integers(1, _STAR_DIM_N + 1, _STAR_FACT_N),
+            "amount": rng.normal(100.0, 20.0, _STAR_FACT_N),
+        },
+    }
+
+
+def _fresh_star_db(star_columns) -> Database:
+    from repro.core.fused import register_fused_udfs
+    from repro.dbms.schema import Column, TableSchema
+    from repro.dbms.types import SqlType
+
+    db = Database(amps=4, executor_workers=CHAOS_WORKERS)
+    db.create_table(
+        "stores",
+        TableSchema.build(
+            [
+                Column("sid", SqlType.INTEGER, nullable=False),
+                ("sx", SqlType.FLOAT),
+            ],
+            primary_key="sid",
+        ),
+    )
+    db.create_table(
+        "sales",
+        TableSchema.build(
+            [
+                Column("oid", SqlType.INTEGER, nullable=False),
+                Column("sid", SqlType.INTEGER),
+                ("amount", SqlType.FLOAT),
+            ],
+            primary_key="oid",
+        ),
+    )
+    db.load_columns("stores", star_columns["stores"])
+    db.load_columns("sales", star_columns["sales"])
+    register_nlq_udfs(db)
+    udf = register_fused_udfs(db)["kmeansiter"]
+    udf.set_centroids(np.array([[80.0, -4.0], [120.0, 4.0]]))
+    return db
+
+
+def _run_star(db: Database) -> "tuple":
+    """Both factorized workloads; re-arm the fused model each time (a
+    fused scan consumes the installed centroids)."""
+    summary = db.execute(_STAR_SUMMARY_SQL).scalar()
+    db.catalog.aggregate_udf("kmeansiter").set_centroids(
+        np.array([[80.0, -4.0], [120.0, 4.0]])
+    )
+    fused = db.execute(_STAR_FUSED_SQL).scalar()
+    return summary, fused
+
+
+@pytest.fixture(scope="module")
+def star_baselines(star_dataset):
+    """Fault-free factorized payloads (both workloads factorize)."""
+    with _fresh_star_db(star_dataset) as db:
+        payloads = _run_star(db)
+        assert db.last_factorize_decision.factorized
+    return payloads
+
+
+@given(
+    specs=_fault_specs(_STAR_SITES),
+    retries=st.sampled_from([0, 1, 2]),
+    timeout=st.sampled_from([None, 0.1]),
+)
+# Pinned regimes: a fatal partition-scan error inside the factorized
+# fan-out, the same healed by retries, a fused-site kernel failure, a
+# dimension-side partition fault, and delay-past-timeout.
+@example(specs=[FaultSpec("partition.scan", partition=1)], retries=0, timeout=None)
+@example(
+    specs=[FaultSpec("partition.scan", kind="flaky", times=1)],
+    retries=2,
+    timeout=None,
+)
+@example(specs=[FaultSpec("udf.fused_iter")], retries=0, timeout=None)
+@example(
+    specs=[FaultSpec("partition.scan", partition=0, times=1)],
+    retries=0,
+    timeout=None,
+)
+@example(
+    specs=[FaultSpec("engine.task", kind="delay", delay_seconds=0.25)],
+    retries=0,
+    timeout=0.1,
+)
+@settings(**_CHAOS_SETTINGS)
+def test_factorized_star_chaos(star_baselines, star_dataset, specs, retries, timeout):
+    """Factorized star aggregates under faults: bit-identical or typed.
+
+    The factorized route merges per-partition partials in partition
+    order, so a healed (retried/flaky) run must reproduce the fault-free
+    payload bit for bit; an unhealed fault must raise a typed
+    :class:`ReproError` with partition attribution — never degrade to a
+    silently different answer and never mutate any base table.
+    """
+    db = _fresh_star_db(star_dataset)
+    try:
+        db.faults = FaultPlan(specs, seed=CHAOS_SEED)
+        db.task_retries = retries
+        db.task_timeout_seconds = timeout
+        before = (db.table("sales").row_count, db.table("stores").row_count)
+        try:
+            payloads = _run_star(db)
+        except ReproError as error:
+            if isinstance(error, PartitionExecutionError):
+                assert error.partitions
+                assert error.first_error is not None
+        else:
+            assert payloads == star_baselines
+        _assert_drained(db)
+        # Reads only: neither the fact nor the dimension table mutates.
+        after = (db.table("sales").row_count, db.table("stores").row_count)
+        assert after == before
+        # Disarm and re-run: the engine is reusable and the factorized
+        # route reproduces the fault-free payloads exactly.
+        db.faults = None
+        db.task_timeout_seconds = None
+        assert _run_star(db) == star_baselines
+        assert db.last_factorize_decision.factorized
+    finally:
+        db.close()

@@ -165,11 +165,19 @@ class TestExplainAnalyze:
         )
 
     def test_reconciles_serial_aggregate_over_join(self, loaded_db):
+        # This PK self-join is factorizable; force the materializing
+        # route — the serial join path is what this test pins down
+        # (the factorized route has its own reconciliation test in
+        # tests/test_factorized.py).
         db, _, _ = loaded_db
-        result = db.execute(
-            "EXPLAIN ANALYZE SELECT sum(a.x1 * b.x2) FROM x a "
-            "JOIN x b ON a.i = b.i"
-        )
+        db.factorized_joins_enabled = False
+        try:
+            result = db.execute(
+                "EXPLAIN ANALYZE SELECT sum(a.x1 * b.x2) FROM x a "
+                "JOIN x b ON a.i = b.i"
+            )
+        finally:
+            db.factorized_joins_enabled = True
         assert_reconciles(result)
         (aggregate,) = result.plan.find("aggregate")
         assert aggregate.span.attributes["strategy"] == "row-serial"
