@@ -21,16 +21,19 @@ The :class:`~repro.dbms.database.Database` facade ties these together.
 from repro.dbms.cost import CostModel, SimulatedClock
 from repro.dbms.database import Database, QueryResult
 from repro.dbms.engine import PartitionEngine
-from repro.dbms.metrics import QueryMetrics
+from repro.dbms.metrics import DurabilityMetrics, QueryMetrics
 from repro.dbms.schema import Column, TableSchema
 from repro.dbms.types import SqlType
 from repro.dbms.udf import AggregateUdf, ScalarUdf
+from repro.dbms.wal import DurableDatabase, open_durable
 
 __all__ = [
     "AggregateUdf",
     "Column",
     "CostModel",
     "Database",
+    "DurabilityMetrics",
+    "DurableDatabase",
     "PartitionEngine",
     "QueryMetrics",
     "QueryResult",
@@ -38,4 +41,5 @@ __all__ = [
     "SimulatedClock",
     "SqlType",
     "TableSchema",
+    "open_durable",
 ]

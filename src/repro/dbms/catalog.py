@@ -35,12 +35,31 @@ class Catalog:
         #: DROP — or DROP/CREATE of the same name — can't leave
         #: permanently dead entries behind
         self._drop_listeners: list[Callable[[str], object]] = []
+        #: mutation listeners invoked as ``listener(op, name, payload)``
+        #: after every committed DDL (create/drop table, create/drop
+        #: view) *and* — because every table this catalog creates shares
+        #: this very list — every committed data change.  One
+        #: subscription here is the durability layer's single tap on the
+        #: whole database (see :mod:`repro.dbms.wal`).
+        self.mutation_listeners: list[Callable[[str, str, dict], object]] = []
 
     def install_faults(self, faults: "FaultPlan | NullFaults") -> None:
         """Point this catalog — and every existing table — at *faults*."""
         self.faults = faults
         for table in self._tables.values():
             table.faults = faults
+
+    def add_mutation_listener(
+        self, listener: Callable[[str, str, dict], object]
+    ) -> None:
+        """Invoke *listener(op, name, payload)* after every committed
+        mutation — DDL through this catalog and DML on any of its
+        tables (the tables share this listener list)."""
+        self.mutation_listeners.append(listener)
+
+    def _notify(self, op: str, name: str, payload: dict) -> None:
+        for listener in self.mutation_listeners:
+            listener(op, name, payload)
 
     # ------------------------------------------------------------------ tables
     def create_table(
@@ -64,7 +83,22 @@ class Catalog:
             row_scale=row_scale,
         )
         table.faults = self.faults
+        table.mutation_listeners = self.mutation_listeners
         self._tables[key] = table
+        if self.mutation_listeners:
+            self._notify(
+                "create_table",
+                table.name,
+                {
+                    "columns": [
+                        [c.name, c.sql_type.value, c.nullable]
+                        for c in schema.columns
+                    ],
+                    "primary_key": schema.primary_key,
+                    "partitions": table.partition_count,
+                    "row_scale": table.row_scale,
+                },
+            )
         return table
 
     def table(self, name: str) -> Table:
@@ -85,6 +119,8 @@ class Catalog:
         del self._tables[key]
         for listener in self._drop_listeners:
             listener(key)
+        if self.mutation_listeners:
+            self._notify("drop_table", key, {})
 
     def add_drop_listener(self, listener: Callable[[str], object]) -> None:
         """Invoke *listener(lowercased_name)* after every table drop."""
@@ -104,6 +140,12 @@ class Catalog:
         if key in self._views and not or_replace:
             raise CatalogError(f"view {name!r} already exists")
         self._views[key] = select
+        if self.mutation_listeners:
+            self._notify(
+                "create_view",
+                name,
+                {"sql": ast.render(select), "or_replace": or_replace},
+            )
 
     def view(self, name: str) -> ast.Select:
         try:
@@ -121,6 +163,8 @@ class Catalog:
                 return
             raise CatalogError(f"unknown view {name!r}")
         del self._views[key]
+        if self.mutation_listeners:
+            self._notify("drop_view", key, {})
 
     def view_names(self) -> list[str]:
         return sorted(self._views)

@@ -315,7 +315,7 @@ class Database:
         with self.cost.clock.span() as span:
             relation: Relation | None = None
             for statement in statements:
-                relation = self._executor.execute(statement)
+                relation = self._run_statement(statement)
         assert relation is not None
         return QueryResult(
             columns=relation.column_names,
@@ -324,6 +324,14 @@ class Database:
             metrics=self._executor.last_metrics,
             plan=self._executor.last_plan,
         )
+
+    def _run_statement(self, statement: "Any") -> Relation:
+        """Execute one parsed statement — the single seam every
+        statement of an ``execute()`` script passes through.
+        :class:`~repro.dbms.wal.DurableDatabase` overrides this to group
+        the statement's committed mutations into one atomic write-ahead
+        log record (an UPDATE's truncate + re-insert replay as a unit)."""
+        return self._executor.execute(statement)
 
     def execute_batch(self, statements: "Sequence[str]") -> list[QueryResult]:
         """Execute N SELECT statements, sharing one scan when provable.

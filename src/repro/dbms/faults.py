@@ -26,6 +26,13 @@ site                      fires
                           admitted to the micro-batch queue
 ``serving.flush``         in the serving layer, before a coalesced batch is
                           dispatched to the batched scoring kernels
+``wal.append``            in a durable session, before a committed batch of
+                          mutations is appended to the write-ahead log
+``wal.fsync``             in a durable session, before the WAL is fsynced
+``checkpoint.write``      in a durable session, at each stage of an atomic
+                          checkpoint (``stage="snapshot"`` before the
+                          temp-directory write, ``stage="manifest"`` before
+                          the manifest swap)
 ========================  ====================================================
 
 Determinism contract: whether a given ``fire()`` call trips is a pure
@@ -60,6 +67,9 @@ FAULT_SITES = frozenset(
         "insert.flush",
         "serving.enqueue",
         "serving.flush",
+        "wal.append",
+        "wal.fsync",
+        "checkpoint.write",
     }
 )
 

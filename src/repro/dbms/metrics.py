@@ -156,6 +156,63 @@ class QueryMetrics:
         }
 
 
+@dataclass
+class DurabilityMetrics:
+    """Session-level counters of a durable database's WAL and recovery.
+
+    Where :class:`QueryMetrics` describes one statement, this record
+    accumulates over a durable session's lifetime: how many commit
+    records the write-ahead log took, how many bytes they cost, how
+    often the log was fsynced, and — after ``open_durable`` reopened an
+    existing directory — what recovery had to do.
+    """
+
+    #: commit records appended to the write-ahead log
+    wal_records: int = 0
+    #: serialized bytes those records occupy (header + payload)
+    wal_bytes: int = 0
+    #: ``fsync`` calls the WAL issued (``always`` mode pays one per
+    #: commit, ``batch`` one per ``wal_batch_records``, ``off`` only at
+    #: checkpoint/close)
+    fsyncs: int = 0
+    #: atomic checkpoints completed (manifest swapped, WAL truncated)
+    checkpoints: int = 0
+    #: times this directory was recovered (0 for a fresh session, 1
+    #: after one ``open_durable`` of existing state)
+    recoveries: int = 0
+    #: WAL records replayed on top of the checkpoint during recovery
+    recovery_replayed_records: int = 0
+    #: stale records skipped because their LSN predates the checkpoint
+    #: (a crash between manifest swap and WAL truncation leaves these)
+    recovery_skipped_records: int = 0
+    #: torn-tail bytes truncated from the WAL during recovery
+    recovery_truncated_bytes: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        """A plain-dict snapshot; inverse of :meth:`from_dict`."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DurabilityMetrics":
+        """Rebuild a record from :meth:`to_dict` output (unknown keys
+        are rejected, missing keys keep their defaults)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown DurabilityMetrics fields: {sorted(unknown)}"
+            )
+        return cls(**dict(data))
+
+    def __repr__(self) -> str:
+        return (
+            f"DurabilityMetrics(wal_records={self.wal_records}, "
+            f"wal_bytes={self.wal_bytes}, fsyncs={self.fsyncs}, "
+            f"checkpoints={self.checkpoints}, "
+            f"recoveries={self.recoveries})"
+        )
+
+
 class StageTimer:
     """Accumulates wall-clock seconds into one stage of a metrics record.
 

@@ -242,6 +242,14 @@ class Table:
         #: catalog installs the database's plan here (NULL_FAULTS =
         #: one attribute check on the hot path)
         self.faults: FaultPlan | NullFaults = NULL_FAULTS
+        #: mutation listeners invoked as ``listener(op, table_name,
+        #: payload)`` after every *committed* data change — a flushed
+        #: insert batch, a bulk load, a truncate.  The catalog points
+        #: this at its shared listener list so one subscription (the
+        #: write-ahead log) observes every table; a rolled-back flush
+        #: never notifies.  Empty by default: the un-durable hot path
+        #: pays one truthiness check.
+        self.mutation_listeners: "list[Any]" = []
         self._partitions = [Partition(len(schema)) for _ in range(partitions)]
         self._pk_position = (
             schema.position_of(schema.primary_key)
@@ -329,10 +337,17 @@ class Table:
             self._pk_values.add(key)
         return coerced
 
+    def _notify(self, op: str, payload: "dict[str, Any]") -> None:
+        """Tell every mutation listener about one committed change."""
+        for listener in self.mutation_listeners:
+            listener(op, self.name, payload)
+
     def insert(self, row: Sequence[Any]) -> None:
         coerced = self._check_row(row)
         self._partition_for(coerced).append(coerced)
         self.version += 1
+        if self.mutation_listeners:
+            self._notify("insert", {"rows": [coerced]})
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
         """Insert rows, batching the per-partition appends.
@@ -365,19 +380,27 @@ class Table:
             return count
         staged: list[list[tuple[Any, ...]]] = [[] for _ in self._partitions]
         staged_keys: set[Any] = set()
-        count = 0
+        #: validated rows in input order — what a mutation listener (the
+        #: write-ahead log) must replay to reproduce the routing exactly
+        ordered: list[tuple[Any, ...]] = []
         try:
             for row in rows:
                 coerced = self._check_row(row)
                 staged[self._partition_index_for(coerced)].append(coerced)
                 if self._pk_position is not None:
                     staged_keys.add(coerced[self._pk_position])
-                count += 1
+                ordered.append(coerced)
         except Exception:
+            # The validated prefix commits (matching the per-row loop);
+            # a flush failure below rolls back and skips the notify.
             self._flush_staged(staged, staged_keys)
+            if ordered and self.mutation_listeners:
+                self._notify("insert", {"rows": ordered})
             raise
         self._flush_staged(staged, staged_keys)
-        return count
+        if ordered and self.mutation_listeners:
+            self._notify("insert", {"rows": ordered})
+        return len(ordered)
 
     def _flush_staged(
         self,
@@ -451,6 +474,14 @@ class Table:
                 [col[start:stop].tolist() for col in ordered]
             )
         self.version += 1
+        if self.mutation_listeners:
+            # Logged row-wise (schema column order) so replay can
+            # rebuild the column dict; bulk loads must replay through
+            # bulk_load_arrays to reproduce the striped layout.
+            self._notify(
+                "bulk_load",
+                {"rows": list(zip(*(col.tolist() for col in ordered)))},
+            )
         return total
 
     # ------------------------------------------------------------------ scans
@@ -490,3 +521,5 @@ class Table:
         self._next_partition = 0
         self.version += 1
         self.data_version = self.version
+        if self.mutation_listeners:
+            self._notify("truncate", {})

@@ -75,6 +75,38 @@ class FaultInjected(DatabaseError):
         self.attributes = attributes
 
 
+class RecoveryError(DatabaseError):
+    """Crash recovery found durable state it cannot trust.
+
+    Raised by ``open_durable`` when the write-ahead log is corrupt in
+    the *middle* (a bad checksum with valid records after it — disk
+    damage, not a torn tail), when the manifest is unreadable, or when a
+    WAL record references state the checkpoint does not have.  A torn
+    *tail* — an interrupted final write — is not an error: it is
+    truncated silently, which is the standard ARIES contract.
+    """
+
+
+class SimulatedCrash(DatabaseError):
+    """A deterministic, injected process death for crash-recovery tests.
+
+    Armed through a :class:`~repro.dbms.faults.FaultSpec` at one of the
+    durability fault sites (``wal.append``, ``wal.fsync``,
+    ``checkpoint.write``).  When it fires, the durable session drops
+    every WAL byte that was not yet fsynced — the pessimistic model of
+    dying with dirty OS buffers — optionally leaves the first
+    ``torn_bytes`` bytes of the first lost record on disk (a torn
+    write), and marks itself dead; the test then reopens the directory
+    with ``open_durable`` and asserts the committed-prefix invariant.
+    """
+
+    def __init__(
+        self, message: str = "simulated process crash", torn_bytes: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.torn_bytes = torn_bytes
+
+
 class PartitionTimeoutError(DatabaseError):
     """A per-partition engine task exceeded its ``timeout_seconds``.
 

@@ -35,8 +35,15 @@ from repro.core.scoring.sqlgen import ScoringSqlGenerator
 from repro.core.scoring.udfs import register_scoring_udfs
 from repro.dbms.database import Database
 from repro.dbms.faults import FaultPlan, FaultSpec
+from repro.dbms.persistence import database_fingerprint
 from repro.dbms.schema import dataset_schema, dimension_names
-from repro.errors import PartitionExecutionError, ReproError
+from repro.dbms.wal import open_durable
+from repro.errors import (
+    PartitionExecutionError,
+    RecoveryError,
+    ReproError,
+    SimulatedCrash,
+)
 
 CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
 CHAOS_WORKERS = int(os.environ.get("CHAOS_WORKERS", "4"))
@@ -601,3 +608,225 @@ def test_factorized_star_chaos(star_baselines, star_dataset, specs, retries, tim
         assert db.last_factorize_decision.factorized
     finally:
         db.close()
+
+
+# ------------------------------------------------- crash-recovery regime
+#: the durability fault sites a SimulatedCrash can die at
+_DURABLE_SITES = ["wal.append", "wal.fsync", "checkpoint.write"]
+
+
+def _crash_plan(site, at_record, torn_bytes):
+    return FaultPlan(
+        [
+            FaultSpec(
+                site=site,
+                kind="error",
+                error=SimulatedCrash(torn_bytes=torn_bytes),
+                times=1,
+                skip_first=at_record,
+            )
+        ],
+        seed=CHAOS_SEED,
+    )
+
+
+def _durable_workload_steps(rng):
+    """A deterministic sequence of committed mutations: DDL, row
+    inserts, SQL DML (UPDATE/DELETE), a bulk load, and a view."""
+    xs = rng.normal(size=8).round(6)
+    return [
+        lambda db: db.execute(
+            "CREATE TABLE d (i INTEGER PRIMARY KEY, x FLOAT, s VARCHAR)"
+        ),
+        lambda db: db.insert_rows(
+            "d", [(i, float(xs[i]), f"r{i}") for i in range(3)]
+        ),
+        lambda db: db.execute(
+            "INSERT INTO d VALUES (3, 0.25, NULL), (4, -1.5, '')"
+        ),
+        lambda db: db.execute("UPDATE d SET x = x + 1 WHERE i < 3"),
+        lambda db: db.execute("CREATE TABLE b (i INTEGER, x FLOAT)"),
+        lambda db: db.load_columns(
+            "b", {"i": np.arange(12), "x": xs[:4].tolist() * 3}
+        ),
+        lambda db: db.execute("DELETE FROM d WHERE i = 1"),
+        lambda db: db.execute("CREATE VIEW dv AS SELECT i, x FROM d"),
+        lambda db: db.insert_rows("d", [(9, 9.0, "nine")]),
+    ]
+
+
+@given(
+    site=st.sampled_from(_DURABLE_SITES),
+    at_record=st.integers(min_value=0, max_value=8),
+    torn_bytes=st.sampled_from([0, 1, 9, 40]),
+    fsync_mode=st.sampled_from(["always", "batch", "off"]),
+    wal_batch=st.sampled_from([1, 2, 8]),
+    checkpoint_every=st.sampled_from([None, 3]),
+)
+@example(
+    site="wal.append", at_record=0, torn_bytes=0,
+    fsync_mode="always", wal_batch=1, checkpoint_every=None,
+)
+@example(
+    site="wal.append", at_record=4, torn_bytes=9,
+    fsync_mode="always", wal_batch=1, checkpoint_every=None,
+)
+@example(
+    site="wal.append", at_record=5, torn_bytes=40,
+    fsync_mode="batch", wal_batch=2, checkpoint_every=3,
+)
+@example(
+    site="wal.fsync", at_record=2, torn_bytes=0,
+    fsync_mode="batch", wal_batch=1, checkpoint_every=None,
+)
+@example(
+    site="checkpoint.write", at_record=0, torn_bytes=0,
+    fsync_mode="always", wal_batch=1, checkpoint_every=3,
+)
+@example(
+    site="checkpoint.write", at_record=1, torn_bytes=7,
+    fsync_mode="off", wal_batch=8, checkpoint_every=3,
+)
+@settings(**_CHAOS_SETTINGS)
+def test_crash_recovery_chaos(
+    tmp_path_factory, site, at_record, torn_bytes,
+    fsync_mode, wal_batch, checkpoint_every,
+):
+    """The committed-prefix invariant under seeded crash schedules.
+
+    A durable session runs a deterministic write workload with a
+    :class:`SimulatedCrash` armed at a chosen durability fault site and
+    record ordinal, across fsync modes, batch thresholds, and automatic
+    checkpoints.  Whenever and however the session dies, reopening the
+    directory must recover a state content-identical
+    (:func:`database_fingerprint`) to *some committed prefix* of the
+    write history — never a torn row, never a half-applied UPDATE — and
+    a session that never crashed must recover its *final* state.
+    """
+    root = tmp_path_factory.mktemp("crashchaos") / "d"
+    rng = np.random.default_rng(2000 + CHAOS_SEED)
+    db = open_durable(
+        root,
+        fsync_mode=fsync_mode,
+        wal_batch_records=wal_batch,
+        checkpoint_every_records=checkpoint_every,
+        amps=4,
+        executor_workers=CHAOS_WORKERS,
+    )
+    prefixes = [database_fingerprint(db)]
+    db.faults = _crash_plan(site, at_record, torn_bytes)
+    crashed = False
+    try:
+        for step in _durable_workload_steps(rng):
+            step(db)
+            prefixes.append(database_fingerprint(db))
+    except SimulatedCrash:
+        crashed = True
+        assert db.crashed
+        # The dying statement's mutations were applied (and possibly
+        # durably logged — an auto-checkpoint crash fires *after* its
+        # triggering record was committed) before the session died, so
+        # the memory state at death is the newest legal prefix.
+        prefixes.append(database_fingerprint(db))
+        # The poisoned session rejects further work with a typed error.
+        with pytest.raises(RecoveryError):
+            db.execute("SELECT 1")
+    finally:
+        db.close()
+
+    recovered = open_durable(root, executor_workers=CHAOS_WORKERS)
+    try:
+        fingerprint = database_fingerprint(recovered)
+        assert recovered.durability.recoveries == 1
+        if crashed:
+            assert fingerprint in prefixes
+            if fsync_mode == "always" and site == "wal.append":
+                # Zero loss window: every commit was fsynced, and only
+                # the dying statement's record (prefixes[-1], applied in
+                # memory but never logged) is lost.
+                assert fingerprint == prefixes[-2]
+        else:
+            # No crash fired (e.g. a site this schedule never visits):
+            # a cleanly closed directory recovers its final state.
+            assert fingerprint == prefixes[-1]
+        # The recovered session is fully live: it accepts new commits
+        # and they survive another reopen.
+        recovered.insert_rows("d", [(77, 7.7, "post")]) if (
+            recovered.catalog.has_table("d")
+        ) else recovered.execute("CREATE TABLE d2 (i INTEGER)")
+        final = database_fingerprint(recovered)
+    finally:
+        recovered.close()
+    third = open_durable(root)
+    try:
+        assert database_fingerprint(third) == final
+    finally:
+        third.close()
+
+
+def test_real_kill9_mid_insert_many(tmp_path):
+    """A real process death (``os._exit(9)``, no cleanup, no atexit)
+    in the middle of a durable write workload.
+
+    The child applies single-row commits and is killed from a mutation
+    listener wedged *before* the WAL listener — rows are in memory but
+    the current record never reaches the log, the torn worst case.  The
+    parent then recovers the directory and asserts the committed-prefix
+    invariant on real on-disk state: the surviving rows are exactly
+    ``0..m-1`` for some ``m <= kill_at``, bit-correct, PK intact.
+    """
+    import subprocess
+    import sys
+
+    root = tmp_path / "killed"
+    kill_at = 5
+    child = f"""
+import os
+from repro.dbms import open_durable
+
+db = open_durable({str(root)!r}, fsync_mode="always")
+db.execute("CREATE TABLE t (i INTEGER PRIMARY KEY, x FLOAT)")
+
+count = 0
+def killer(op, name, payload):
+    global count
+    if op == "insert":
+        count += 1
+        if count == {kill_at}:
+            os._exit(9)  # no flush, no close, no atexit
+
+# Ahead of the WAL listener: the fatal insert reaches memory but not
+# the log -- the torn window a real crash hits.
+db.catalog.mutation_listeners.insert(0, killer)
+for i in range(20):
+    db.insert_rows("t", [(i, i * 0.5)])
+raise SystemExit("unreachable: the killer should have fired")
+"""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    result = subprocess.run(
+        [sys.executable, "-c", child],
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 9, result.stderr
+
+    recovered = open_durable(root)
+    try:
+        assert recovered.durability.recoveries == 1
+        rows = sorted(recovered.table("t").rows())
+        m = len(rows)
+        # fsync="always" lost at most the record the kill interrupted.
+        assert kill_at - 1 <= m <= kill_at
+        assert rows == [(i, i * 0.5) for i in range(m)]
+        # The primary key survived recovery: a duplicate still rejects.
+        from repro.errors import ConstraintViolation
+
+        if m:
+            with pytest.raises(ConstraintViolation):
+                recovered.insert_rows("t", [(0, 0.0)])
+    finally:
+        recovered.close()

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.dbms.database import Database
 from repro.dbms.persistence import load_database, save_database
@@ -125,3 +127,201 @@ class TestErrors:
         csv_path.write_text("\n".join(lines) + "\n")
         with pytest.raises(ExportError, match="header"):
             load_database(root)
+
+
+class TestAtomicSave:
+    def test_no_temp_leftovers(self, populated, tmp_path):
+        root = save_database(populated, tmp_path / "snap")
+        leftovers = [
+            p for p in root.rglob("*") if p.name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_resave_deletes_orphan_csvs(self, populated, tmp_path):
+        root = save_database(populated, tmp_path / "snap")
+        assert (root / "tables" / "x.csv").exists()
+        populated.execute("CREATE TABLE extra (id INTEGER)")
+        save_database(populated, root)
+        assert (root / "tables" / "extra.csv").exists()
+        populated.execute("DROP TABLE extra")
+        save_database(populated, root)
+        # The dropped table's CSV cannot resurrect on inspection.
+        assert not (root / "tables" / "extra.csv").exists()
+        restored = load_database(root)
+        assert restored.catalog.table_names() == ["x"]
+
+    def test_resave_overwrites_in_place(self, populated, tmp_path):
+        root = save_database(populated, tmp_path / "snap")
+        populated.execute("UPDATE x SET v = 9.5 WHERE i = 1")
+        save_database(populated, root)
+        restored = load_database(root)
+        assert restored.execute(
+            "SELECT v FROM x WHERE i = 1"
+        ).scalar() == 9.5
+
+    def test_stray_files_in_tables_dir_are_cleaned(self, populated, tmp_path):
+        root = save_database(populated, tmp_path / "snap")
+        stray = root / "tables" / "x.csv.tmp"
+        stray.write_text("half a write from a crashed save")
+        save_database(populated, root)
+        assert not stray.exists()
+
+    def test_fsync_save_round_trips(self, populated, tmp_path):
+        root = save_database(populated, tmp_path / "snap", fsync=True)
+        restored = load_database(root)
+        assert sorted(restored.execute("SELECT * FROM x").rows) == sorted(
+            populated.execute("SELECT * FROM x").rows
+        )
+
+
+class TestRoundTripFidelity:
+    """Exact CSV round-trip for every storable value shape.
+
+    Format v1 could not tell a literal ``\\N`` string from NULL; v2
+    escapes backslashes on write, so the decode is injective.
+    """
+
+    def _round_trip(self, rows, tmp_path, types="(i INTEGER PRIMARY KEY, v FLOAT, s VARCHAR)"):
+        db = Database(amps=3)
+        db.execute(f"CREATE TABLE t {types}")
+        db.insert_rows("t", rows)
+        save_database(db, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        return sorted(restored.table("t").rows())
+
+    def test_literal_backslash_n_string_is_not_null(self, tmp_path):
+        rows = [(1, 0.0, "\\N"), (2, 1.0, None), (3, 2.0, "\\\\N")]
+        assert self._round_trip(rows, tmp_path) == sorted(rows)
+
+    def test_empty_string_vs_null(self, tmp_path):
+        rows = [(1, None, ""), (2, 0.5, None)]
+        assert self._round_trip(rows, tmp_path) == sorted(rows)
+
+    def test_newlines_quotes_and_separators_in_strings(self, tmp_path):
+        rows = [
+            (1, 0.0, "a,b\nc"),
+            (2, 0.0, 'say "hi"'),
+            (3, 0.0, "tab\there"),
+            (4, 0.0, "\r\nwindows"),
+        ]
+        assert self._round_trip(rows, tmp_path) == sorted(rows)
+
+    def test_extreme_floats_bit_exact(self, tmp_path):
+        values = [
+            0.1,
+            1.0 / 3.0,
+            -0.0,
+            5e-324,          # smallest subnormal
+            1.7976931348623157e308,
+            float("inf"),
+            float("-inf"),
+            2.0 ** -1022,
+        ]
+        rows = [(i, v, "x") for i, v in enumerate(values)]
+        out = self._round_trip(rows, tmp_path)
+        assert [repr(r[1]) for r in out] == [
+            repr(r[1]) for r in sorted(rows)
+        ]
+
+    def test_nan_round_trips(self, tmp_path):
+        out = self._round_trip([(1, float("nan"), "x")], tmp_path)
+        assert len(out) == 1 and np.isnan(out[0][1])
+
+    def test_large_integers(self, tmp_path):
+        rows = [
+            (2**63 - 1, 0.0, "big"),
+            (-(2**63), 0.0, "small"),
+            (10**30, 0.0, "beyond word size"),
+        ]
+        out = self._round_trip(rows, tmp_path)
+        assert out == sorted(rows)
+        assert all(isinstance(r[0], int) for r in out)
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        derandomize=True,
+        # Each example builds a fresh Database and atomically overwrites
+        # the same snapshot dir, so fixture reuse is sound.
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(min_value=-(10**12), max_value=10**12),
+                st.one_of(
+                    st.none(),
+                    st.floats(allow_nan=False, width=64),
+                ),
+                st.one_of(
+                    st.none(),
+                    st.text(
+                        alphabet=st.characters(
+                            blacklist_categories=("Cs",), min_codepoint=1
+                        ),
+                        max_size=24,
+                    ),
+                ),
+            ),
+            unique_by=lambda r: r[0],
+            max_size=12,
+        )
+    )
+    def test_generated_rows_round_trip_exactly(self, rows, tmp_path):
+        db = Database(amps=2)
+        db.execute(
+            "CREATE TABLE t (i INTEGER PRIMARY KEY, v FLOAT, s VARCHAR)"
+        )
+        db.insert_rows("t", rows)
+        save_database(db, tmp_path / "snap")
+        restored = load_database(tmp_path / "snap")
+        original = sorted(
+            (r[0], repr(r[1]), r[2]) for r in db.table("t").rows()
+        )
+        recovered = sorted(
+            (r[0], repr(r[1]), r[2]) for r in restored.table("t").rows()
+        )
+        assert recovered == original
+
+    def test_v1_snapshot_still_loads(self, tmp_path):
+        """A pre-escaping snapshot (version 1) loads unchanged — its
+        fields were written raw, so no unescaping is applied."""
+        import json
+
+        root = tmp_path / "v1"
+        (root / "tables").mkdir(parents=True)
+        (root / "catalog.json").write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "tables": [
+                        {
+                            "name": "t",
+                            "columns": [
+                                {
+                                    "name": "i",
+                                    "type": "INTEGER",
+                                    "nullable": False,
+                                },
+                                {
+                                    "name": "s",
+                                    "type": "VARCHAR",
+                                    "nullable": True,
+                                },
+                            ],
+                            "primary_key": "i",
+                            "partitions": 2,
+                            "row_scale": 1.0,
+                        }
+                    ],
+                    "views": [],
+                }
+            )
+        )
+        (root / "tables" / "t.csv").write_text(
+            'i,s\r\n1,\\N\r\n2,a\\b\r\n'
+        )
+        restored = load_database(root)
+        rows = sorted(restored.table("t").rows())
+        # v1 semantics: \N is NULL, and a raw backslash stays raw.
+        assert rows == [(1, None), (2, "a\\b")]
