@@ -1,0 +1,240 @@
+"""Beyond-the-GIL execution: process pool vs thread pool, plus spill.
+
+Two real-wall-clock experiments for the partition engine's
+``executor_kind="process"`` mode:
+
+1. **Row-path speedup** — the GIL-bound workload the process pool
+   exists for: a grouped aggregate whose WHERE clause forces the
+   per-row Python fold.  Threads cannot overlap pure-Python partition
+   folds (the GIL serializes them); worker processes can.  Thread and
+   process answers are asserted bit-identical always; the >= 2x wall
+   clock target at n=1M / 4 workers is asserted only when the runner
+   actually has >= 4 cores — a single-core container records its honest
+   ~1x and flags ``target_met`` accordingly.
+2. **Out-of-core scan** — a table whose float blocks exceed the
+   configured block-cache byte budget: the LRU spills cold blocks to
+   disk, the scan completes bit-identically to the unbudgeted run, the
+   resident cached bytes stay under the budget, and the spill counters
+   land in ``QueryMetrics``.
+
+Both tests write ``BENCH_beyond_gil.json`` at the repo root (the smoke
+run at small scale so CI always uploads an artifact; the full sweep —
+``BEYOND_GIL_FULL=1`` — overwrites it at n=1M).  Peak RSS is read from
+``/proc/self/status`` ``VmHWM`` (no psutil dependency).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dbms.database import Database
+from repro.dbms.schema import dataset_schema, dimension_names
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_beyond_gil.json"
+CORES = os.cpu_count() or 1
+FULL = os.environ.get("BEYOND_GIL_FULL", "") not in ("", "0")
+
+D = 4
+WORKERS = 4
+
+#: the WHERE clause keeps every row but forces the row-partitioned
+#: fold — a pure-Python loop that holds the GIL on the thread path
+ROW_PATH_SQL = (
+    "SELECT i MOD 8, sum(x1), sum(x2), count(*) FROM x "
+    "WHERE i >= 1 GROUP BY i MOD 8 ORDER BY 1"
+)
+
+
+def _build_db(n: int, kind: str, **kwargs) -> Database:
+    rng = np.random.default_rng(13)
+    db = Database(
+        amps=8, executor_workers=WORKERS, executor_kind=kind, **kwargs
+    )
+    db.create_table("x", dataset_schema(D))
+    columns: "dict[str, np.ndarray]" = {"i": np.arange(1, n + 1)}
+    for name in dimension_names(D):
+        columns[name] = rng.normal(25.0, 8.0, n)
+    db.load_columns("x", columns)
+    return db
+
+
+def _best_of(repeats: int, run) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _vm_hwm_bytes() -> "int | None":
+    """Peak resident set of this process, from /proc (Linux only)."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):  # pragma: no cover
+        pass
+    return None
+
+
+def _measure_speedup(n: int, repeats: int) -> "tuple[list[dict], tuple]":
+    """Time the row-path aggregate on both executors, bit-checked."""
+    records = []
+    answers = {}
+    for kind in ("thread", "process"):
+        with _build_db(n, kind) as db:
+            # Warm run: publishes columnar blocks and spawns the pool,
+            # so the timed runs measure execution, not cold start.
+            spawn_started = time.perf_counter()
+            answers[kind] = db.execute(ROW_PATH_SQL).rows
+            warm_seconds = time.perf_counter() - spawn_started
+            if kind == "process":
+                assert db._executor.engine.last_process_fallback is None
+            seconds = _best_of(repeats, lambda: db.execute(ROW_PATH_SQL))
+            records.append(
+                {
+                    "section": "row_path_speedup",
+                    "mode": kind,
+                    "n": n,
+                    "workers": WORKERS,
+                    "seconds": seconds,
+                    "warm_run_seconds": warm_seconds,
+                }
+            )
+    assert answers["process"] == answers["thread"]  # bit-identical
+    thread_s = records[0]["seconds"]
+    process_s = records[1]["seconds"]
+    speedup = thread_s / process_s
+    records.append(
+        {
+            "section": "row_path_speedup",
+            "mode": "speedup",
+            "n": n,
+            "workers": WORKERS,
+            "speedup_x": speedup,
+            "cpu_count": CORES,
+            "target_x": 2.0,
+            # Honest accounting: a process pool cannot beat threads
+            # without cores to run on.  The target applies (and is
+            # asserted) only on a >= 4-core runner at full scale.
+            "target_met": bool(speedup >= 2.0),
+            "full_scale": bool(n >= 1_000_000),
+        }
+    )
+    return records, (thread_s, process_s, speedup)
+
+
+def _measure_out_of_core(n: int, budget: int) -> "list[dict]":
+    """Scan a table larger than the cache budget; spill, verify, spill."""
+    sql = "SELECT sum(x1 * x1 + x2), sum(x3), count(*) FROM x"
+    with _build_db(n, "thread") as db:
+        expected = db.execute(sql).rows
+        block_bytes = sum(
+            p.row_count * D * 8
+            for p in db.table("x").partitions
+        )
+    hwm_before = _vm_hwm_bytes()
+    with _build_db(n, "thread", block_cache_bytes=budget) as db:
+        result = db.execute(sql)
+        again = db.execute(sql)
+        config = db.block_cache_config
+        resident = config.current_bytes
+        metrics = result.metrics
+        assert result.rows == expected  # bit-identical under spill
+        assert again.rows == expected  # spill reloads are exact too
+        assert metrics.blocks_spilled > 0
+        assert metrics.bytes_spilled > 0
+        assert metrics.cache_evictions > 0
+        # The cache never holds more RAM-resident float-block bytes
+        # than the budget once the statement finishes.
+        assert resident <= budget
+    hwm_after = _vm_hwm_bytes()
+    return [
+        {
+            "section": "out_of_core",
+            "n": n,
+            "budget_bytes": budget,
+            "table_float_block_bytes": block_bytes,
+            "blocks_spilled": metrics.blocks_spilled,
+            "bytes_spilled": metrics.bytes_spilled,
+            "cache_evictions": metrics.cache_evictions,
+            "bit_identical": True,
+            "resident_cache_bytes": resident,
+            "rss_hwm_delta_bytes": (
+                hwm_after - hwm_before
+                if hwm_before is not None and hwm_after is not None
+                else None
+            ),
+        }
+    ]
+
+
+def _write_json(records: "list[dict]") -> None:
+    BENCH_JSON.write_text(json.dumps(records, indent=2) + "\n")
+
+
+def _print_records(records: "list[dict]") -> None:
+    for record in records:
+        if record.get("mode") == "speedup":
+            print(
+                f"\nrow path n={record['n']}: "
+                f"{record['speedup_x']:.2f}x process-over-thread "
+                f"on {record['cpu_count']} cores "
+                f"(target {record['target_x']}x, "
+                f"met={record['target_met']})"
+            )
+        elif record["section"] == "out_of_core":
+            print(
+                f"out-of-core n={record['n']}: "
+                f"budget={record['budget_bytes']}B "
+                f"spilled {record['blocks_spilled']} blocks "
+                f"({record['bytes_spilled']}B), "
+                f"resident={record['resident_cache_bytes']}B"
+            )
+
+
+def test_beyond_gil_smoke(benchmark):
+    """Small always-on run: bit-identity both modes, spill counters,
+    artifact written — every CI job gets a complete JSON."""
+    n = 24_000
+    records, (_, process_s, _) = _measure_speedup(n, repeats=1)
+    records += _measure_out_of_core(n=24_000, budget=64 * 1024)
+    _write_json(records)
+    _print_records(records)
+    with _build_db(n, "process") as db:
+        db.execute(ROW_PATH_SQL)  # warm pool + blocks
+        benchmark(db.execute, ROW_PATH_SQL)
+
+
+def test_beyond_gil_speedup_full():
+    """The acceptance benchmark: n=1M, 4 workers, row-path aggregate.
+
+    Runs at full scale only when ``BEYOND_GIL_FULL=1`` (it scans a
+    million rows through a pure-Python fold several times); the >= 2x
+    assertion additionally needs >= 4 real cores.  Either way the
+    measured numbers overwrite the artifact — never fabricated.
+    """
+    if not FULL:
+        import pytest
+
+        pytest.skip("set BEYOND_GIL_FULL=1 for the n=1M sweep")
+    n = 1_000_000
+    records, (thread_s, process_s, speedup) = _measure_speedup(
+        n, repeats=2
+    )
+    records += _measure_out_of_core(n=200_000, budget=256 * 1024)
+    _write_json(records)
+    _print_records(records)
+    if CORES >= 4:
+        assert speedup >= 2.0, (
+            f"expected >= 2x process-over-thread speedup with "
+            f"{WORKERS} workers on {CORES} cores, got {speedup:.2f}x "
+            f"(thread {thread_s:.2f}s, process {process_s:.2f}s)"
+        )

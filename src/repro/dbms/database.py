@@ -9,12 +9,17 @@ reports.
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Iterable, Sequence
 
 import numpy as np
 
 from repro.dbms.catalog import Catalog
+from repro.dbms.columnar import ColumnarStore
 from repro.dbms.cost import CostModel, CostParameters
 from repro.dbms.engine import PartitionEngine
 from repro.dbms.faults import NULL_FAULTS, FaultPlan, NullFaults
@@ -23,7 +28,7 @@ from repro.dbms.schema import TableSchema
 from repro.dbms.sql.executor import Executor, Relation
 from repro.dbms.sql.parser import parse_statements
 from repro.dbms.sql.plan import Plan
-from repro.dbms.storage import Table
+from repro.dbms.storage import BLOCK_CACHE_CAPACITY, BlockCacheConfig, Table
 from repro.dbms.udf import AggregateUdf, ScalarUdf
 
 
@@ -119,11 +124,34 @@ class Database:
         scans).  0 — the default — preserves fail-fast seed behaviour.
     task_retry_backoff_seconds:
         Base of the exponential backoff slept between retry attempts.
+    executor_kind:
+        ``"thread"`` (default) or ``"process"``.  A process engine runs
+        CPU-bound partition tasks on a ``ProcessPoolExecutor`` —
+        genuinely parallel past the GIL.  Tables are published to an
+        on-disk columnar block store that workers open via ``mmap``, so
+        task submission ships only small plan descriptors, never data.
+        Results stay bit-identical (partials merge in partition order on
+        either engine); fan-outs whose plan fragment cannot travel fall
+        back to the thread path transparently.  ``None`` reads the
+        ``REPRO_EXECUTOR_KIND`` environment variable (CI runs the whole
+        suite under ``process`` that way), defaulting to ``"thread"``.
+    block_cache_entries:
+        Per-partition entry capacity of the float-block LRU cache
+        (historically hard-coded at 8).
+    block_cache_bytes:
+        Optional byte budget shared by every partition block cache of
+        this database.  When the cached float blocks outgrow it, LRU
+        entries are evicted and **spilled to disk**; later scans reload
+        them as read-only mmaps instead of rebuilding from row lists.
+        Eviction/spill activity is reported per statement in
+        ``QueryMetrics`` (``cache_evictions``, ``blocks_spilled``,
+        ``bytes_spilled``).
 
-    A database holding a parallel engine owns a persistent thread pool;
+    A database holding a parallel engine owns a persistent pool;
     :meth:`close` releases it (the database stays usable — the pool is
-    lazily re-created).  ``Database`` is also a context manager that
-    closes on exit.
+    lazily re-created) along with the scratch directory backing the
+    columnar store and spill files.  ``Database`` is also a context
+    manager that closes on exit.
     """
 
     def __init__(
@@ -136,39 +164,93 @@ class Database:
         task_timeout_seconds: float | None = None,
         task_retries: int = 0,
         task_retry_backoff_seconds: float = 0.01,
+        executor_kind: str | None = None,
+        block_cache_entries: int | None = None,
+        block_cache_bytes: int | None = None,
     ) -> None:
         params = cost_parameters or CostParameters()
         params.amps = amps
         self.cost = CostModel(params=params)
         self.catalog = Catalog(default_partitions=amps)
+        kind = executor_kind or os.environ.get("REPRO_EXECUTOR_KIND") or "thread"
         engine = PartitionEngine(
             executor_workers,
             timeout_seconds=task_timeout_seconds,
             max_retries=task_retries,
             retry_backoff_seconds=task_retry_backoff_seconds,
             faults=faults if faults is not None else NULL_FAULTS,
+            kind=kind,
         )
         self._executor = Executor(self.catalog, self.cost, engine=engine)
         self._executor.vectorized_select = vectorized_select
         if faults is not None:
             self._executor.faults = faults
             self.catalog.install_faults(faults)
+        #: scratch directory holding published columnar blocks and
+        #: spilled cache blocks; created lazily, removed by close()
+        self._scratch_dir: str | None = None
+        if kind == "process":
+            self._executor.columnar_store = ColumnarStore(
+                Path(self._scratch_root()) / "blocks"
+            )
+        if block_cache_entries is not None or block_cache_bytes is not None:
+            config = BlockCacheConfig(
+                max_entries=(
+                    block_cache_entries
+                    if block_cache_entries is not None
+                    else BLOCK_CACHE_CAPACITY
+                ),
+                max_bytes=block_cache_bytes,
+                spill_dir=Path(self._scratch_root()) / "spill",
+            )
+            self.catalog.install_cache_config(config)
         #: callbacks fired by :meth:`close` *before* the engine pool is
         #: released; the serving layer subscribes here so in-flight
         #: score requests drain instead of deadlocking on a dead pool
         self._close_listeners: list[Any] = []
 
+    def _scratch_root(self) -> str:
+        if self._scratch_dir is None:
+            self._scratch_dir = tempfile.mkdtemp(prefix="repro-db-")
+        return self._scratch_dir
+
     @property
     def executor_workers(self) -> int:
-        """Thread count of the partition-execution engine."""
+        """Worker count of the partition-execution engine."""
         return self._executor.engine.workers
 
     @executor_workers.setter
     def executor_workers(self, workers: int) -> None:
         old = self._executor.engine
-        # Keep timeout/retry/fault configuration across worker swaps.
+        # Keep timeout/retry/fault/kind configuration across swaps.
         self._executor.engine = old.configured_like(workers)
         old.close()
+
+    @property
+    def executor_kind(self) -> str:
+        """``"thread"`` or ``"process"`` — how parallel tasks execute."""
+        return self._executor.engine.kind
+
+    @executor_kind.setter
+    def executor_kind(self, kind: str) -> None:
+        old = self._executor.engine
+        self._executor.engine = old.configured_like(old.workers, kind=kind)
+        old.close()
+        if kind == "process" and self._executor.columnar_store is None:
+            self._executor.columnar_store = ColumnarStore(
+                Path(self._scratch_root()) / "blocks"
+            )
+
+    @property
+    def columnar_store(self) -> "ColumnarStore | None":
+        """The on-disk block store backing process-pool execution
+        (``None`` until a process engine needed one)."""
+        return self._executor.columnar_store
+
+    @property
+    def block_cache_config(self) -> "BlockCacheConfig | None":
+        """The installed block-cache policy (``None`` = module default)."""
+        return self.catalog.cache_config
 
     @property
     def faults(self) -> "FaultPlan | NullFaults":
@@ -283,6 +365,17 @@ class Database:
         for listener in self._close_listeners:
             listener()
         self._executor.engine.close()
+        if self._scratch_dir is not None:
+            # Cached blocks may be backed by spill files under the
+            # scratch dir; drop them before the files disappear.
+            for table in self.catalog._tables.values():
+                for partition in table.partitions:
+                    partition._invalidate_cache()
+            store = self._executor.columnar_store
+            if store is not None:
+                store._published.clear()
+            shutil.rmtree(self._scratch_dir, ignore_errors=True)
+            self._scratch_dir = None
 
     def serve(self, **kwargs: Any) -> "Any":
         """A :class:`~repro.serving.ServingServer` over this database.

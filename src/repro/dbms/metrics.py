@@ -106,6 +106,16 @@ class QueryMetrics:
     #: the nested-loop join would have performed minus the Σ|base
     #: tables| rows the factorized path actually scanned
     rows_join_avoided: int = 0
+    #: cached numeric blocks evicted from partition block caches while
+    #: this statement ran (entry-capacity or byte-budget pressure)
+    cache_evictions: int = 0
+    #: evicted blocks that were spilled to disk instead of discarded
+    #: (a spill directory was configured, so the float block can be
+    #: reloaded from its spill file via mmap instead of being rebuilt
+    #: from the Python row lists)
+    blocks_spilled: int = 0
+    #: bytes those spilled blocks occupy on disk
+    bytes_spilled: int = 0
 
     def to_dict(self) -> dict[str, float | int]:
         """A plain-dict snapshot; inverse of :meth:`from_dict`.

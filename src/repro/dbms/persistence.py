@@ -32,6 +32,7 @@ import os
 from pathlib import Path
 from typing import Any
 
+from repro.dbms.columnar import atomic_write_bytes
 from repro.dbms.database import Database
 from repro.dbms.schema import Column, TableSchema
 from repro.dbms.sql import ast
@@ -82,17 +83,9 @@ def _fsync_path(path: Path) -> None:
 
 def _atomic_write_text(path: Path, text: str, fsync: bool) -> None:
     """Write *text* to a temp sibling, optionally fsync, atomically
-    rename over *path*."""
-    tmp = path.with_name(path.name + ".tmp")
-    try:
-        with tmp.open("w") as handle:
-            handle.write(text)
-            if fsync:
-                handle.flush()
-                os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    except OSError as exc:
-        raise ExportError(f"cannot write {path}: {exc}") from exc
+    rename over *path* — delegates to the shared columnar write
+    discipline so every durable artifact uses one code path."""
+    atomic_write_bytes(path, text.encode("utf-8"), fsync)
 
 
 def save_database(

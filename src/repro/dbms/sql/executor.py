@@ -33,6 +33,7 @@ the table's row scale (see :mod:`repro.dbms.cost`).
 from __future__ import annotations
 
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -69,7 +70,7 @@ from repro.dbms.sql.planner import (
     output_name,
     substitute,
 )
-from repro.dbms.storage import Table
+from repro.dbms.storage import BlockCacheStats, Table
 from repro.dbms.trace import NULL_TRACER, Span, Tracer
 from repro.dbms.types import SqlType
 from repro.dbms.udf import AggregateUdf
@@ -295,6 +296,11 @@ class Executor:
         #: with joins (factorized or refused-with-reason); None when
         #: the last statement had no joins
         self.last_factorize_decision: "FactorizeDecision | None" = None
+        #: columnar block store used to ship zero-copy partition
+        #: descriptors to process-pool workers; installed by a durable
+        #: or process-enabled Database, ``None`` keeps every fan-out on
+        #: in-process closures
+        self.columnar_store: "Any | None" = None
 
     # ----------------------------------------------------------- supervision
     def _engine_map(
@@ -302,6 +308,7 @@ class Executor:
         tasks: Sequence[Callable[[], Any]],
         spans: "list[Span] | None" = None,
         partition_ids: "Sequence[int] | None" = None,
+        payloads: "Sequence[Any] | None" = None,
     ) -> list[Any]:
         """Run per-partition scan tasks on the engine, folding the
         engine's retry/timeout counters into this statement's metrics —
@@ -312,11 +319,59 @@ class Executor:
             # Every executor fan-out is a pure partition scan, so the
             # engine's bounded retries may safely re-run a task.
             return engine.map(
-                tasks, spans, idempotent=True, partition_ids=partition_ids
+                tasks,
+                spans,
+                idempotent=True,
+                partition_ids=partition_ids,
+                payloads=payloads,
             )
         finally:
             self.last_metrics.task_retries += engine.last_task_retries
             self.last_metrics.task_timeouts += engine.last_task_timeouts
+
+    def _published_for_process(self, table: Table) -> "dict | None":
+        """Columnar block descriptor for *table*, or None when this
+        fan-out must stay on in-process closures (thread engine, no
+        store installed, or publish failed — e.g. an unencodable
+        value)."""
+        if not self.engine.uses_processes or self.columnar_store is None:
+            return None
+        try:
+            return self.columnar_store.publish(table)
+        except Exception:  # pragma: no cover - defensive: fall back
+            return None
+
+    def _shippable_scalar_udfs(
+        self, expressions: "Sequence[ast.Expression | None]"
+    ) -> "dict[str, Any] | None":
+        """Registered scalar UDFs referenced by *expressions*, keyed by
+        lowercase name, for shipping to worker processes.  Returns None
+        when a referenced UDF exists but cannot be resolved — the
+        caller must then keep the fan-out in-process."""
+        shipped: dict[str, Any] = {}
+        for expression in expressions:
+            if expression is None:
+                continue
+            for node in ast.walk(expression):
+                if not isinstance(node, ast.FuncCall):
+                    continue
+                udf = self._catalog.scalar_udf(node.name)
+                if udf is not None:
+                    shipped[node.name.lower()] = udf
+        return shipped
+
+    def _fold_cache_stats(self, stats: "BlockCacheStats") -> None:
+        """Fold one task's block-cache outcome into this statement's
+        metrics (hits/misses plus the eviction and spill counters the
+        byte-budgeted cache reports)."""
+        metrics = self.last_metrics
+        if stats.hit:
+            metrics.block_cache_hits += 1
+        else:
+            metrics.block_cache_misses += 1
+        metrics.cache_evictions += stats.evictions
+        metrics.blocks_spilled += stats.spilled_blocks
+        metrics.bytes_spilled += stats.spilled_bytes
 
     def _rollback_metrics(self, snapshot: "dict[str, Any]") -> None:
         """Restore metrics to *snapshot*, keeping the retry/timeout
@@ -787,24 +842,26 @@ class Executor:
         need_rows = bool(row_stmts)
 
         def make_task(pid, partition):
-            def task() -> tuple[list[dict], list[bool], int, float, float]:
+            def task() -> tuple[
+                list[dict], list[BlockCacheStats], int, float, float
+            ]:
                 scan_start = time.perf_counter()
                 if need_rows and faults.enabled:
                     faults.fire("partition.scan", partition=pid)
                 rows = list(partition.rows()) if need_rows else None
                 blocks: list[Any] = []
-                cache_hits: list[bool] = []
+                cache_stats: list[BlockCacheStats] = []
                 for stmt in vector_stmts:
                     if faults.enabled:
                         faults.fire("block.materialize", partition=pid)
-                    block, cache_hit = partition.numeric_matrix_with_stats(
+                    block, stats = partition.numeric_matrix_with_cache_stats(
                         stmt.vector_positions
                     )
                     if faults.enabled:
                         for site, udf_name in stmt.fused_udfs:
                             faults.fire(site, partition=pid, udf=udf_name)
                     blocks.append(block)
-                    cache_hits.append(cache_hit)
+                    cache_stats.append(stats)
                 accumulate_start = time.perf_counter()
                 locals_out: list[dict[tuple, list[Any]]] = []
                 vector_index = 0
@@ -825,7 +882,7 @@ class Executor:
                 done = time.perf_counter()
                 return (
                     locals_out,
-                    cache_hits,
+                    cache_stats,
                     partition.row_count,
                     accumulate_start - scan_start,
                     done - accumulate_start,
@@ -845,11 +902,8 @@ class Executor:
         metrics = self.last_metrics
         metrics.parallel_tasks += len(numbered)
         for result in results:
-            for cache_hit in result[1]:
-                if cache_hit:
-                    metrics.block_cache_hits += 1
-                else:
-                    metrics.block_cache_misses += 1
+            for stats in result[1]:
+                self._fold_cache_stats(stats)
         with self.tracer.span("merge") as merge_span, StageTimer(
             metrics, "merge", merge_span
         ):
@@ -1006,7 +1060,7 @@ class Executor:
                 snapshot = self.last_metrics.to_dict()
                 try:
                     return self._execute_projection_vectorized(
-                        env, binder, items, decision.plan
+                        env, binder, items, decision.plan, select
                     )
                 except Exception as exc:
                     # Graceful degradation: the block path is an
@@ -1061,12 +1115,55 @@ class Executor:
         order_context = _OrderContext(rows, binder, None)
         return result, order_context
 
+    def _project_payloads(
+        self,
+        select: "ast.Select | None",
+        plan: VectorizedSelectPlan,
+        partition_ids: Sequence[int],
+    ) -> "list[dict] | None":
+        """Process-pool descriptors for a block-wise projection, or None
+        to keep it in-process.  Workers re-plan the SELECT against a
+        schema shim with the same planner, so the compiled block
+        functions are recreated (closures don't pickle) yet identical."""
+        table = plan.table
+        published = self._published_for_process(table)
+        if published is None or select is None:
+            return None
+        expressions: list[ast.Expression] = [
+            item.expression for item in select.items
+        ]
+        if select.where is not None:
+            expressions.append(select.where)
+        expressions.extend(expr for expr, _ in select.order_by)
+        base = {
+            "kind": "project",
+            "fingerprint": uuid.uuid4().hex,
+            "select": select,
+            "table_name": table.name,
+            "schema": table.schema,
+            "scalar_udfs": self._shippable_scalar_udfs(expressions),
+            "cached": not published["fresh"],
+        }
+        return [
+            {
+                **base,
+                "block": (
+                    published["root"],
+                    published["table"],
+                    published["version"],
+                    pid,
+                ),
+            }
+            for pid in partition_ids
+        ]
+
     def _execute_projection_vectorized(
         self,
         env: Relation,
         binder: Binder,
         items: Sequence[ast.SelectItem],
         plan: VectorizedSelectPlan,
+        select: "ast.Select | None" = None,
     ) -> "tuple[Relation, _OrderContext]":
         """Run one block-wise projection: one engine task per non-empty
         partition, each materializing its column block, applying the
@@ -1093,11 +1190,15 @@ class Executor:
         faults = self.faults
 
         def make_task(pid, partition):
-            def task() -> tuple[list[tuple], int, float, float, bool]:
+            def task() -> tuple[
+                list[tuple], int, float, float, BlockCacheStats
+            ]:
                 scan_start = time.perf_counter()
                 if faults.enabled:
                     faults.fire("block.materialize", partition=pid)
-                block, cache_hit = partition.numeric_matrix_with_stats(positions)
+                block, stats = partition.numeric_matrix_with_cache_stats(
+                    positions
+                )
                 project_start = time.perf_counter()
                 keep_list: list[int] | None = None
                 if where_fn is None:
@@ -1138,13 +1239,14 @@ class Executor:
                     block.shape[0],
                     project_start - scan_start,
                     done - project_start,
-                    cache_hit,
+                    stats,
                 )
 
             return task
 
         tasks = [make_task(pid, p) for pid, p in numbered]
         partition_ids = [index for index, _ in numbered]
+        payloads = self._project_payloads(select, plan, partition_ids)
         metrics = self.last_metrics
         out_rows: list[tuple] = []
         with self.tracer.span("project") as project_span:
@@ -1158,26 +1260,27 @@ class Executor:
                     for partition in partitions
                 ]
                 task_spans = []
-                results = self._engine_map(tasks, task_spans, partition_ids)
+                results = self._engine_map(
+                    tasks, task_spans, partition_ids, payloads=payloads
+                )
                 self.tracer.attach(task_spans)
             else:
-                results = self._engine_map(tasks, partition_ids=partition_ids)
+                results = self._engine_map(
+                    tasks, partition_ids=partition_ids, payloads=payloads
+                )
             metrics.parallel_tasks += len(partitions)
             for index, result in enumerate(results):
-                rows, scanned, scan_seconds, project_seconds, cache_hit = result
+                rows, scanned, scan_seconds, project_seconds, stats = result
                 metrics.scan_seconds += scan_seconds
                 metrics.project_seconds += project_seconds
                 metrics.rows_processed += scanned
                 metrics.partitions_processed += 1
-                # Each task reports whether its own block came from the
-                # cache, so the statement totals are assembled from
-                # per-task locals in partition order — immune to a
-                # straggler task from another statement racing the
-                # shared partition counters.
-                if cache_hit:
-                    metrics.block_cache_hits += 1
-                else:
-                    metrics.block_cache_misses += 1
+                # Each task reports its own block-cache outcome, so the
+                # statement totals are assembled from per-task locals in
+                # partition order — immune to a straggler task from
+                # another statement racing the shared partition
+                # counters.
+                self._fold_cache_stats(stats)
                 if task_spans is not None:
                     span = task_spans[index]
                     span.attributes["partition"] = numbered[index][0]
@@ -1282,7 +1385,13 @@ class Executor:
             groups = {(): [served]}
         else:
             groups = self._accumulate_groups(
-                env, binder, aggregates, group_exprs, group_fns, where_fn
+                env,
+                binder,
+                aggregates,
+                group_exprs,
+                group_fns,
+                where_fn,
+                where_expr=select.where,
             )
 
             self._charge_aggregate_costs(select, env, aggregates, len(groups))
@@ -1679,7 +1788,17 @@ class Executor:
                     rows, key_positions, dim_maps, plan.fact_positions, pairs
                 )
 
-            partials = self._factorized_partition_fold(fact, fold)
+            partials = self._factorized_partition_fold(
+                fact,
+                fold,
+                process_fold=(
+                    "summary",
+                    key_positions,
+                    dim_maps,
+                    plan.fact_positions,
+                    pairs,
+                ),
+            )
             with self.tracer.span("merge") as merge_span, StageTimer(
                 metrics, "merge", merge_span
             ):
@@ -1704,6 +1823,13 @@ class Executor:
                 fold,
                 fire_site=getattr(udf, "fault_site", None),
                 fire_udf=aggregates[0].call.name,
+                process_fold=(
+                    "fused",
+                    key_positions,
+                    dim_maps,
+                    plan.fact_positions,
+                    tables,
+                ),
             )
             with self.tracer.span("merge") as merge_span, StageTimer(
                 metrics, "merge", merge_span
@@ -1727,7 +1853,17 @@ class Executor:
                 rows, key_positions, dim_maps, dim_raws, specs
             )
 
-        partials = self._factorized_partition_fold(fact, fold)
+        partials = self._factorized_partition_fold(
+            fact,
+            fold,
+            process_fold=(
+                "builtins",
+                key_positions,
+                dim_maps,
+                dim_raws,
+                specs,
+            ),
+        )
         with self.tracer.span("merge") as merge_span, StageTimer(
             metrics, "merge", merge_span
         ):
@@ -1763,7 +1899,11 @@ class Executor:
                     rows, key_position, feature_positions
                 )
 
-            partials = self._factorized_partition_fold(table, fold)
+            partials = self._factorized_partition_fold(
+                table,
+                fold,
+                process_fold=("dim", key_position, feature_positions),
+            )
             merged = fcore.merge_dim_partitions(partials)
             if span is not None:
                 span.attributes["table"] = table.name
@@ -1777,6 +1917,7 @@ class Executor:
         fold_rows: "Callable[[list[tuple]], Any]",
         fire_site: "str | None" = None,
         fire_udf: "str | None" = None,
+        process_fold: "tuple | None" = None,
     ) -> list[Any]:
         """Fan *fold_rows* out as one idempotent task per partition.
 
@@ -1814,13 +1955,40 @@ class Executor:
 
         tasks = [make_task(pid, partition) for pid, partition in numbered]
         partition_ids = [index for index, _ in numbered]
+        payloads: "list[dict] | None" = None
+        if process_fold is not None:
+            published = self._published_for_process(table)
+            if published is not None:
+                base = {
+                    "kind": "fact-fold",
+                    "fingerprint": uuid.uuid4().hex,
+                    "fold": process_fold,
+                    "fire_site": fire_site,
+                    "fire_udf": fire_udf,
+                }
+                payloads = [
+                    {
+                        **base,
+                        "block": (
+                            published["root"],
+                            published["table"],
+                            published["version"],
+                            pid,
+                        ),
+                    }
+                    for pid in partition_ids
+                ]
         task_spans: "list[Span] | None" = None
         if self.tracer.enabled:
             task_spans = []
-            results = self._engine_map(tasks, task_spans, partition_ids)
+            results = self._engine_map(
+                tasks, task_spans, partition_ids, payloads=payloads
+            )
             self.tracer.attach(task_spans)
         else:
-            results = self._engine_map(tasks, partition_ids=partition_ids)
+            results = self._engine_map(
+                tasks, partition_ids=partition_ids, payloads=payloads
+            )
         metrics = self.last_metrics
         metrics.parallel_tasks += len(tasks)
         partials: list[Any] = []
@@ -1910,6 +2078,7 @@ class Executor:
         group_exprs: list[ast.Expression],
         group_fns: list[Callable[[tuple], Any]],
         where_fn: Callable[[tuple], Any] | None,
+        where_expr: "ast.Expression | None" = None,
     ) -> dict[tuple, list[Any]]:
         groups: dict[tuple, list[Any]] = {}
         if not group_exprs:
@@ -1954,7 +2123,14 @@ class Executor:
                     groups[()] = [spec.initialize() for spec in aggregates]
             with self.tracer.span("aggregate") as span:
                 self._accumulate_rows_partitioned(
-                    env.base_table, aggregates, group_fns, where_fn, groups
+                    env.base_table,
+                    aggregates,
+                    group_fns,
+                    where_fn,
+                    groups,
+                    binder=binder,
+                    group_exprs=group_exprs,
+                    where_expr=where_expr,
                 )
                 if span is not None:
                     span.attributes["strategy"] = "row-partitioned (fallback)"
@@ -1968,7 +2144,14 @@ class Executor:
             # runs concurrently when the engine has workers.
             with self.tracer.span("aggregate") as span:
                 self._accumulate_rows_partitioned(
-                    env.base_table, aggregates, group_fns, where_fn, groups
+                    env.base_table,
+                    aggregates,
+                    group_fns,
+                    where_fn,
+                    groups,
+                    binder=binder,
+                    group_exprs=group_exprs,
+                    where_expr=where_expr,
                 )
                 if span is not None:
                     span.attributes["strategy"] = "row-partitioned"
@@ -2005,6 +2188,9 @@ class Executor:
         group_fns: list[Callable[[tuple], Any]],
         where_fn: Callable[[tuple], Any] | None,
         groups: dict[tuple, list[Any]],
+        binder: "Binder | None" = None,
+        group_exprs: "list[ast.Expression] | None" = None,
+        where_expr: "ast.Expression | None" = None,
     ) -> None:
         """Row-path accumulation with one partial-state dict per partition.
 
@@ -2042,13 +2228,21 @@ class Executor:
 
         tasks = [make_task(pid, p) for pid, p in numbered]
         partition_ids = [index for index, _ in numbered]
+        payloads = self._agg_row_payloads(
+            table, aggregates, binder, group_exprs, where_expr, where_fn,
+            partition_ids,
+        )
         task_spans: list[Span] | None = None
         if self.tracer.enabled:
             task_spans = []
-            results = self._engine_map(tasks, task_spans, partition_ids)
+            results = self._engine_map(
+                tasks, task_spans, partition_ids, payloads=payloads
+            )
             self.tracer.attach(task_spans)
         else:
-            results = self._engine_map(tasks, partition_ids=partition_ids)
+            results = self._engine_map(
+                tasks, partition_ids=partition_ids, payloads=payloads
+            )
         self.last_metrics.parallel_tasks += len(partitions)
         self._merge_partition_partials(
             results,
@@ -2057,6 +2251,63 @@ class Executor:
             task_spans=task_spans,
             partition_ids=partition_ids,
         )
+
+    def _agg_row_payloads(
+        self,
+        table: Table,
+        aggregates: list["_AggregateSpec"],
+        binder: "Binder | None",
+        group_exprs: "list[ast.Expression] | None",
+        where_expr: "ast.Expression | None",
+        where_fn: Callable[[tuple], Any] | None,
+        partition_ids: Sequence[int],
+    ) -> "list[dict] | None":
+        """Process-pool descriptors for a row-path aggregate fan-out, or
+        None to keep the fan-out on in-process closures.  A descriptor
+        ships only ASTs, aggregate objects, and a column-resolution map
+        — the rows travel through the mmap'd columnar block, never
+        through pickle."""
+        if binder is None or group_exprs is None:
+            return None
+        if where_fn is not None and where_expr is None:
+            # The compiled WHERE came from somewhere we cannot see the
+            # expression of; workers could not recompile it.
+            return None
+        published = self._published_for_process(table)
+        if published is None:
+            return None
+        expressions: list[ast.Expression] = [
+            spec.call.call for spec in aggregates
+        ]
+        expressions.extend(group_exprs)
+        if where_expr is not None:
+            expressions.append(where_expr)
+        resolve = {
+            (ref.table, ref.name.lower()): binder.resolve(ref)
+            for ref in referenced_columns_of_all(expressions)
+        }
+        base = {
+            "kind": "agg-row",
+            "fingerprint": uuid.uuid4().hex,
+            "calls": [spec.call for spec in aggregates],
+            "aggregates": [spec.aggregate for spec in aggregates],
+            "group_exprs": list(group_exprs),
+            "where": where_expr,
+            "resolve": resolve,
+            "scalar_udfs": self._shippable_scalar_udfs(expressions),
+        }
+        return [
+            {
+                **base,
+                "block": (
+                    published["root"],
+                    published["table"],
+                    published["version"],
+                    pid,
+                ),
+            }
+            for pid in partition_ids
+        ]
 
     def _merge_partition_partials(
         self,
@@ -2181,11 +2432,15 @@ class Executor:
         ]
 
         def make_task(pid, partition):
-            def task() -> tuple[dict[tuple, list[Any]], int, float, float, bool]:
+            def task() -> tuple[
+                dict[tuple, list[Any]], int, float, float, BlockCacheStats
+            ]:
                 scan_start = time.perf_counter()
                 if faults.enabled:
                     faults.fire("block.materialize", partition=pid)
-                block, cache_hit = partition.numeric_matrix_with_stats(positions)
+                block, stats = partition.numeric_matrix_with_cache_stats(
+                    positions
+                )
                 if faults.enabled:
                     for site, udf_name in fused_udfs:
                         faults.fire(site, partition=pid, udf=udf_name)
@@ -2199,13 +2454,47 @@ class Executor:
                     block.shape[0],
                     accumulate_start - scan_start,
                     done - accumulate_start,
-                    cache_hit,
+                    stats,
                 )
 
             return task
 
         tasks = [make_task(pid, p) for pid, p in numbered]
         partition_ids = [index for index, _ in numbered]
+        payloads: "list[dict] | None" = None
+        published = self._published_for_process(table)
+        if published is not None:
+            expressions = [spec.call.call for spec in aggregates] + list(
+                group_exprs
+            )
+            base = {
+                "kind": "agg-vector",
+                "fingerprint": uuid.uuid4().hex,
+                "calls": [spec.call for spec in aggregates],
+                "aggregates": [spec.aggregate for spec in aggregates],
+                "group_exprs": list(group_exprs),
+                "resolve": {
+                    (ref.table, ref.name.lower()): binder.resolve(ref)
+                    for ref in needed
+                },
+                "matrix_map": resolver_map,
+                "positions": positions,
+                "fused": fused_udfs,
+                "scalar_udfs": self._shippable_scalar_udfs(expressions),
+                "cached": not published["fresh"],
+            }
+            payloads = [
+                {
+                    **base,
+                    "block": (
+                        published["root"],
+                        published["table"],
+                        published["version"],
+                        pid,
+                    ),
+                }
+                for pid in partition_ids
+            ]
         task_spans: list[Span] | None = None
         cached_blocks: list[bool] | None = None
         if self.tracer.enabled:
@@ -2216,19 +2505,20 @@ class Executor:
                 for partition in partitions
             ]
             task_spans = []
-            results = self._engine_map(tasks, task_spans, partition_ids)
+            results = self._engine_map(
+                tasks, task_spans, partition_ids, payloads=payloads
+            )
             self.tracer.attach(task_spans)
         else:
-            results = self._engine_map(tasks, partition_ids=partition_ids)
+            results = self._engine_map(
+                tasks, partition_ids=partition_ids, payloads=payloads
+            )
         self.last_metrics.parallel_tasks += len(partitions)
-        # Per-task cache flags merged in partition order (see the
+        # Per-task cache stats merged in partition order (see the
         # projection path for why the shared partition counters are not
         # read here).
         for result in results:
-            if result[4]:
-                self.last_metrics.block_cache_hits += 1
-            else:
-                self.last_metrics.block_cache_misses += 1
+            self._fold_cache_stats(result[4])
         if task_spans is not None and fused_udfs:
             # Zero-cost marker child so ANALYZE shows which tasks ran a
             # fused clustering iteration (``_operator_spans`` skips

@@ -19,11 +19,24 @@ Each partition caches the float block for a given column selection
 until the partition is mutated: repeated scans (iterative algorithms,
 scoring sweeps) then skip the Python-level list→array conversion,
 leaving pure GIL-releasing numpy work for the parallel engine's
-threads.  The cache is a small LRU (:data:`BLOCK_CACHE_CAPACITY`
-distinct column selections per partition) so mixed workloads cannot
-grow it without bound, and each partition counts its lifetime cache
-hits and misses — the executor surfaces the per-statement delta in
+threads.  The cache is an LRU governed by a :class:`BlockCacheConfig`
+(entry capacity, default :data:`BLOCK_CACHE_CAPACITY`; optional byte
+budget shared across every partition of a database; optional spill
+directory) so mixed workloads cannot grow it without bound, and each
+partition counts its lifetime cache hits, misses, evictions and spills
+— the executor surfaces the per-statement delta in
 :class:`~repro.dbms.metrics.QueryMetrics`.
+
+When a byte budget is configured, evicted float blocks can **spill to
+disk** instead of being discarded: the block is written to the spill
+directory in ``.npy`` form and later reloads come back as read-only
+``np.load(..., mmap_mode="r")`` maps whose pages the OS reclaims under
+memory pressure.  A scan over float blocks much larger than the budget
+then streams — the working set in RAM stays near the budget while the
+overflow lives in spill files — which is the out-of-core mode the
+``beyond_gil`` benchmark exercises.  Spill files are invalidated (and
+unlinked) whenever their partition mutates, exactly like the in-memory
+entries they shadow.
 
 A table may carry a *row scale*: benchmarks store ``n / scale`` physical
 rows but the cost model charges for ``n`` (every per-row charge is
@@ -33,8 +46,12 @@ physical rows.
 
 from __future__ import annotations
 
+import itertools
+import threading
 import zlib
 from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
@@ -44,9 +61,101 @@ from repro.dbms.schema import TableSchema
 from repro.dbms.types import coerce_value
 from repro.errors import ConstraintViolation, SchemaError
 
-#: distinct column selections each partition keeps cached as float
-#: blocks; the least recently used entry is evicted beyond this
+#: default distinct column selections each partition keeps cached as
+#: float blocks; the least recently used entry is evicted beyond this
+#: (override per database via :class:`BlockCacheConfig`)
 BLOCK_CACHE_CAPACITY = 8
+
+#: unique ids for partition spill files (module-lifetime, never reused)
+_SPILL_IDS = itertools.count()
+
+
+class BlockCacheConfig:
+    """Shared block-cache policy for every partition of a database.
+
+    * ``max_entries`` — per-partition LRU entry capacity (the historic
+      hard-coded 8).
+    * ``max_bytes`` — optional byte budget for cached float blocks,
+      accounted **across all partitions sharing this config** (one
+      config per ``Database``): when the shared total exceeds it, each
+      partition that inserts a block evicts its own LRU entries until
+      the total fits or its cache is empty.
+    * ``spill_dir`` — optional directory; when set, evicted blocks are
+      spilled there instead of discarded, and reloads come back as
+      read-only mmaps (see the module docs).
+
+    The byte accounting is a single lock-guarded counter; the lock is
+    only ever touched when ``max_bytes`` is configured, so the default
+    configuration costs the hot path nothing new.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = BLOCK_CACHE_CAPACITY,
+        max_bytes: int | None = None,
+        spill_dir: "str | Path | None" = None,
+    ) -> None:
+        if max_entries < 1:
+            raise SchemaError(
+                f"block cache needs >= 1 entry, got {max_entries}"
+            )
+        if max_bytes is not None and max_bytes < 1:
+            raise SchemaError(
+                f"block cache byte budget must be >= 1, got {max_bytes}"
+            )
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._lock = threading.Lock()
+        self._current_bytes = 0
+
+    @property
+    def current_bytes(self) -> int:
+        """Float-block bytes currently charged against the budget."""
+        return self._current_bytes
+
+    def charge(self, nbytes: int) -> None:
+        with self._lock:
+            self._current_bytes += nbytes
+
+    def discharge(self, nbytes: int) -> None:
+        with self._lock:
+            self._current_bytes -= nbytes
+
+    def over_budget(self) -> bool:
+        return (
+            self.max_bytes is not None
+            and self._current_bytes > self.max_bytes
+        )
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+#: the config used when no database installed one (module-level tables)
+DEFAULT_BLOCK_CACHE = BlockCacheConfig()
+
+
+@dataclass
+class BlockCacheStats:
+    """Per-call cache outcome of one ``numeric_matrix`` request.
+
+    Engine tasks carry one of these back with their partial result so
+    the coordinator can sum cache activity in partition order without
+    ever reading the shared lifetime counters mid-run (the same
+    straggler-safety argument as the hit/miss pair).
+    """
+
+    hit: bool = False
+    evictions: int = 0
+    spilled_blocks: int = 0
+    spilled_bytes: int = 0
 
 
 def stable_key_hash(key: Any) -> int:
@@ -79,18 +188,29 @@ def stable_key_hash(key: Any) -> int:
 class Partition:
     """One horizontal partition: parallel per-column value lists."""
 
-    def __init__(self, width: int) -> None:
+    def __init__(
+        self, width: int, cache_config: BlockCacheConfig | None = None
+    ) -> None:
         self._columns: list[list[Any]] = [[] for _ in range(width)]
         self._rows = 0
         self._block_cache: "OrderedDict[tuple[int, ...], np.ndarray]" = (
             OrderedDict()
         )
+        self.cache_config = cache_config or DEFAULT_BLOCK_CACHE
+        #: bytes each cached entry is charged against the shared budget
+        self._cache_bytes: dict[tuple[int, ...], int] = {}
+        #: spill files shadowing evicted entries (cleared on mutation)
+        self._spilled: dict[tuple[int, ...], Path] = {}
+        self._spill_id = next(_SPILL_IDS)
         #: lifetime block-cache counters; only this partition's engine
         #: task touches them during a scan, and the coordinator reads
         #: them after the task completes (the future's result is the
         #: happens-before edge), so no locking is needed
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
+        self.blocks_spilled = 0
+        self.bytes_spilled = 0
 
     @property
     def row_count(self) -> int:
@@ -104,8 +224,8 @@ class Partition:
         for column, value in zip(self._columns, row):
             column.append(value)
         self._rows += 1
-        if self._block_cache:
-            self._block_cache.clear()
+        if self._block_cache or self._spilled:
+            self._invalidate_cache()
 
     def extend_columns(self, columns: Sequence[Sequence[Any]]) -> None:
         """Bulk-append column-oriented data (all columns same length).
@@ -132,8 +252,8 @@ class Partition:
         for target, source in zip(self._columns, columns):
             target.extend(source)
         self._rows += added
-        if self._block_cache:
-            self._block_cache.clear()
+        if self._block_cache or self._spilled:
+            self._invalidate_cache()
 
     def rollback_rows(self, count: int) -> None:
         """Remove the last *count* rows (batch-flush failure recovery).
@@ -152,8 +272,8 @@ class Partition:
         for column in self._columns:
             del column[-count:]
         self._rows -= count
-        if self._block_cache:
-            self._block_cache.clear()
+        if self._block_cache or self._spilled:
+            self._invalidate_cache()
 
     def column(self, position: int) -> list[Any]:
         return self._columns[position]
@@ -173,11 +293,12 @@ class Partition:
         Shape is ``(rows, len(positions))``; used by the vectorized
         execution paths, which must produce bit-identical results to
         the per-row reference path.  Blocks are cached per column
-        selection in a small LRU (:data:`BLOCK_CACHE_CAPACITY` entries,
-        cleared when the partition is mutated); callers must treat a
-        returned block as read-only.
+        selection in an LRU governed by this partition's
+        :class:`BlockCacheConfig` (entry capacity, shared byte budget,
+        spill-on-evict; cleared when the partition is mutated); callers
+        must treat a returned block as read-only.
         """
-        return self.numeric_matrix_with_stats(positions)[0]
+        return self.numeric_matrix_with_cache_stats(positions)[0]
 
     def numeric_matrix_with_stats(
         self, positions: Sequence[int]
@@ -192,23 +313,128 @@ class Partition:
         running — a straggler task abandoned by an earlier statement's
         timeout cannot tear the accounting.
         """
+        block, stats = self.numeric_matrix_with_cache_stats(positions)
+        return block, stats.hit
+
+    def numeric_matrix_with_cache_stats(
+        self, positions: Sequence[int]
+    ) -> tuple[np.ndarray, BlockCacheStats]:
+        """:meth:`numeric_matrix` plus the full per-call cache outcome
+        (hit, evictions performed, blocks/bytes spilled) — the
+        straggler-safe accounting variant the executor sums into
+        :class:`~repro.dbms.metrics.QueryMetrics`.
+
+        A spill-file reload counts as a *hit*: the block is served from
+        the cache's disk tier as a read-only mmap without redoing the
+        list→float conversion.
+        """
         key = tuple(positions)
+        stats = BlockCacheStats()
         if self._rows == 0 or not key:
             # Zero rows or a zero-column projection: nothing to cache.
-            return np.empty((self._rows, len(key))), False
+            return np.empty((self._rows, len(key))), stats
         cached = self._block_cache.get(key)
         if cached is not None:
             self.cache_hits += 1
+            stats.hit = True
             self._block_cache.move_to_end(key)
-            return cached, True
+            return cached, stats
+        spill_path = self._spilled.get(key)
+        if spill_path is not None:
+            try:
+                reloaded = np.load(spill_path, mmap_mode="r")
+            except (OSError, ValueError):
+                # Spill file raced away (directory cleanup): rebuild.
+                self._spilled.pop(key, None)
+            else:
+                self.cache_hits += 1
+                stats.hit = True
+                self._cache_insert(key, reloaded, stats)
+                return reloaded, stats
         self.cache_misses += 1
         stacked = np.empty((self._rows, len(key)))
         for out_index, position in enumerate(key):
             stacked[:, out_index] = self._column_as_floats(position)
-        self._block_cache[key] = stacked
-        while len(self._block_cache) > BLOCK_CACHE_CAPACITY:
-            self._block_cache.popitem(last=False)
-        return stacked, False
+        self._cache_insert(key, stacked, stats)
+        return stacked, stats
+
+    def _cache_insert(
+        self,
+        key: tuple[int, ...],
+        block: np.ndarray,
+        stats: BlockCacheStats,
+    ) -> None:
+        """Insert a block and enforce the cache policy (evict + spill).
+
+        Spill-backed mmaps are charged zero bytes — the budget tracks
+        RAM-resident float blocks, and a mapped spill file's pages are
+        the OS's to reclaim.  Eviction is strictly local: under shared
+        byte pressure a partition evicts its **own** LRU entries until
+        the shared total fits or its cache is empty (which can evict the
+        block just inserted — the caller still holds the reference, and
+        the next scan streams it back from its spill file).
+        """
+        config = self.cache_config
+        charged = 0 if isinstance(block, np.memmap) else int(block.nbytes)
+        self._block_cache[key] = block
+        self._cache_bytes[key] = charged
+        if config.max_bytes is not None and charged:
+            config.charge(charged)
+        while self._block_cache and (
+            len(self._block_cache) > config.max_entries
+            or config.over_budget()
+        ):
+            old_key, old_block = self._block_cache.popitem(last=False)
+            old_charged = self._cache_bytes.pop(old_key, 0)
+            if config.max_bytes is not None and old_charged:
+                config.discharge(old_charged)
+            self.cache_evictions += 1
+            stats.evictions += 1
+            if config.spill_dir is None or old_key in self._spilled:
+                continue
+            self._spill(old_key, old_block, stats)
+
+    def _spill(
+        self,
+        key: tuple[int, ...],
+        block: np.ndarray,
+        stats: BlockCacheStats,
+    ) -> None:
+        """Write one evicted block to the spill directory (best effort:
+        a full disk degrades to plain eviction, never an error)."""
+        spill_dir = self.cache_config.spill_dir
+        assert spill_dir is not None
+        name = f"p{self._spill_id}-" + "_".join(map(str, key)) + ".npy"
+        path = spill_dir / name
+        try:
+            spill_dir.mkdir(parents=True, exist_ok=True)
+            with path.open("wb") as handle:
+                np.save(handle, np.ascontiguousarray(block))
+        except OSError:  # pragma: no cover - disk full / permissions
+            return
+        self._spilled[key] = path
+        nbytes = int(block.nbytes)
+        self.blocks_spilled += 1
+        self.bytes_spilled += nbytes
+        stats.spilled_blocks += 1
+        stats.spilled_bytes += nbytes
+
+    def _invalidate_cache(self) -> None:
+        """Drop every cached and spilled block (the partition mutated)."""
+        config = self.cache_config
+        if config.max_bytes is not None:
+            total = sum(self._cache_bytes.values())
+            if total:
+                config.discharge(total)
+        self._block_cache.clear()
+        self._cache_bytes.clear()
+        if self._spilled:
+            for path in self._spilled.values():
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+            self._spilled.clear()
 
     def _column_as_floats(self, position: int) -> np.ndarray:
         column = self._columns[position]
@@ -230,6 +456,7 @@ class Table:
         schema: TableSchema,
         partitions: int = 20,
         row_scale: float = 1.0,
+        cache_config: BlockCacheConfig | None = None,
     ) -> None:
         if partitions < 1:
             raise SchemaError(f"partition count must be >= 1, got {partitions}")
@@ -250,7 +477,13 @@ class Table:
         #: never notifies.  Empty by default: the un-durable hot path
         #: pays one truthiness check.
         self.mutation_listeners: "list[Any]" = []
-        self._partitions = [Partition(len(schema)) for _ in range(partitions)]
+        #: block-cache policy shared by every partition; the catalog
+        #: installs the database's config here (same pattern as faults)
+        self.cache_config = cache_config or DEFAULT_BLOCK_CACHE
+        self._partitions = [
+            Partition(len(schema), self.cache_config)
+            for _ in range(partitions)
+        ]
         self._pk_position = (
             schema.position_of(schema.primary_key)
             if schema.primary_key is not None
@@ -512,10 +745,24 @@ class Table:
             return np.empty((0, len(columns)))
         return np.vstack(blocks)
 
+    def install_cache_config(self, config: BlockCacheConfig) -> None:
+        """Swap the block-cache policy on this table and every partition.
+
+        Existing cached/spilled blocks are invalidated first so byte
+        accounting never straddles two configs.
+        """
+        self.cache_config = config
+        for partition in self._partitions:
+            partition._invalidate_cache()
+            partition.cache_config = config
+
     def truncate(self) -> None:
         """Remove all rows, keeping the schema and partition layout."""
+        for partition in self._partitions:
+            partition._invalidate_cache()
         self._partitions = [
-            Partition(len(self.schema)) for _ in self._partitions
+            Partition(len(self.schema), self.cache_config)
+            for _ in self._partitions
         ]
         self._pk_values.clear()
         self._next_partition = 0

@@ -74,6 +74,18 @@ class FaultInjected(DatabaseError):
         self.site = site
         self.attributes = attributes
 
+    def __reduce__(self):
+        # Keyword-only attributes defeat the default exception pickling;
+        # faults injected inside pool worker processes must survive the
+        # trip back to the coordinator intact.
+        return (_rebuild_fault_injected, (self.site, dict(self.attributes)))
+
+
+def _rebuild_fault_injected(
+    site: str, attributes: "dict[str, object]"
+) -> "FaultInjected":
+    return FaultInjected(site, **attributes)
+
 
 class RecoveryError(DatabaseError):
     """Crash recovery found durable state it cannot trust.
@@ -106,6 +118,9 @@ class SimulatedCrash(DatabaseError):
         super().__init__(message)
         self.torn_bytes = torn_bytes
 
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.torn_bytes))
+
 
 class PartitionTimeoutError(DatabaseError):
     """A per-partition engine task exceeded its ``timeout_seconds``.
@@ -125,6 +140,9 @@ class PartitionTimeoutError(DatabaseError):
         )
         self.partition = partition
         self.timeout_seconds = timeout_seconds
+
+    def __reduce__(self):
+        return (type(self), (self.partition, self.timeout_seconds))
 
 
 class PartitionExecutionError(DatabaseError):
@@ -158,6 +176,9 @@ class PartitionExecutionError(DatabaseError):
         super().__init__(message)
         self.errors = errors
         self.cancelled = cancelled
+
+    def __reduce__(self):
+        return (type(self), (self.errors, self.cancelled))
 
     @property
     def first_error(self) -> BaseException:

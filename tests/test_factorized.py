@@ -331,9 +331,10 @@ class TestFactorizedParity:
         self, seed, workers, null_fk_every, dangling_every
     ):
         """Factorized (n, L, Q) over a generated star vs the
-        materialized join — n exact, L/Q to last-ulp tolerance (the two
+        materialized join — n exact, L/Q to a few-ulp tolerance (the two
         routes add the same per-row terms in a different deterministic
-        order).  NULL and dangling FKs must drop exactly like the join.
+        order, so entries with heavy cancellation can drift a few ulps).
+        NULL and dangling FKs must drop exactly like the join.
         """
         with _star_db(
             seed=seed,
@@ -349,8 +350,8 @@ class TestFactorizedParity:
                 db, lambda: compute_nlq_udf(db, STAR_FROM, STAR_DIMS)
             )
             assert stats.n == reference.n
-            np.testing.assert_allclose(stats.L, reference.L, rtol=1e-13)
-            np.testing.assert_allclose(stats.Q, reference.Q, rtol=1e-13)
+            np.testing.assert_allclose(stats.L, reference.L, rtol=5e-13)
+            np.testing.assert_allclose(stats.Q, reference.Q, rtol=5e-13)
 
     def test_factorized_route_worker_invariant(self):
         """Within the factorized route, partials merge in partition

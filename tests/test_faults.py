@@ -9,6 +9,7 @@ validated-prefix and flush-rollback guarantees, and ``Database.close()``
 exception safety.
 """
 
+import os
 import threading
 import time
 
@@ -157,6 +158,27 @@ class TestFaultPlan:
                 plan.fire(site)
 
 
+def _child_running(pid: int) -> bool:
+    """True while *pid* is a live (non-zombie) process.
+
+    A terminated-but-unreaped child shows as state ``Z`` in
+    ``/proc/<pid>/stat`` until the pool's management thread collects it;
+    that counts as dead — it holds no CPU, memory, or file handles.
+    """
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - pid reused by another user
+        return False
+    try:
+        with open(f"/proc/{pid}/stat") as handle:
+            state = handle.read().rsplit(") ", 1)[1].split()[0]
+    except (OSError, IndexError):  # pragma: no cover - raced with reaping
+        return False
+    return state != "Z"
+
+
 # ------------------------------------------------- engine supervision
 class TestEngineSupervision:
     def test_retries_heal_flaky_idempotent_tasks(self):
@@ -260,6 +282,41 @@ class TestEngineSupervision:
             time.sleep(0.005)
         assert engine.active_tasks == 0
         engine.close()
+
+    def test_process_fatal_timeout_terminates_children(self):
+        """Process-executor latch: a fatal timeout must not orphan the
+        pool's worker children.  The engine terminates every worker
+        (``last_terminated_pids``), the children actually die, and the
+        next statement runs correctly on a fresh pool."""
+        with _scoring_db(
+            4, executor_kind="process", task_timeout_seconds=0.25
+        ) as db:
+            sql = "SELECT sum(x1), count(*) FROM x WHERE i >= 1"
+            baseline = db.execute(sql).rows
+            engine = db._executor.engine
+            assert engine.last_process_fallback is None
+            db.faults = FaultPlan().delay(
+                "engine.task", seconds=10.0, partition=1
+            )
+            with pytest.raises(PartitionExecutionError) as excinfo:
+                db.execute(sql)
+            assert isinstance(
+                excinfo.value.first_error, PartitionTimeoutError
+            )
+            pids = list(engine.last_terminated_pids)
+            assert pids, "timeout teardown must record the killed workers"
+            deadline = time.perf_counter() + 10.0
+            while (
+                any(_child_running(pid) for pid in pids)
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.05)
+            survivors = [pid for pid in pids if _child_running(pid)]
+            assert not survivors, f"orphaned worker processes: {survivors}"
+            pools_before = engine.pools_created
+            db.faults = NULL_FAULTS
+            assert db.execute(sql).rows == baseline
+            assert engine.pools_created == pools_before + 1
 
     def test_serial_timeout_enforced_post_hoc(self):
         engine = PartitionEngine(1, timeout_seconds=0.02)
@@ -501,8 +558,11 @@ class TestBlockCacheAccounting:
     def test_partition_counters_still_served_for_tests(self):
         # The shared per-partition counters remain (storage-level tests
         # and EXPLAIN ANALYZE use them); per-statement metrics just no
-        # longer read them.
-        with _scoring_db(4) as db:
+        # longer read them.  Pinned to the thread executor: these are
+        # in-process counters — under ``kind="process"`` the scan runs
+        # in worker processes and the parent's partitions never touch
+        # their caches at all.
+        with _scoring_db(4, executor_kind="thread") as db:
             db.execute("SELECT sum(x1) FROM x")
             partitions = db.table("x").partitions
             assert sum(p.cache_misses for p in partitions) > 0
